@@ -1,0 +1,118 @@
+// Extension E1 — MPTCP on a fat-tree (the paper's Section IV-F future
+// work, executed).
+//
+// A k=4 fat-tree gives four equal-cost core paths between pods.  Eight
+// senders in pod 0 each transfer 2 MB to one receiver in pod 3 while a
+// pod-local bulk flow loads the receiver's edge link.  We compare
+// single-path TCP against MPTCP with 2 and 4 subflows, each with and
+// without HWatch — the claim under test is that HWatch needs no
+// MPTCP-specific logic because every subflow handshake passes the shim
+// independently.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tcp/multipath.hpp"
+#include "topo/fat_tree.hpp"
+
+using namespace hwatch;
+
+namespace {
+
+struct RunResult {
+  double fct_mean_ms = 0;
+  double fct_max_ms = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t probes = 0;
+};
+
+RunResult run(std::uint32_t subflows, bool hwatch_on) {
+  sim::Scheduler sched;
+  net::Network network(sched);
+  topo::FatTreeConfig ft;
+  ft.k = 4;
+  ft.link_rate = sim::DataRate::gbps(10);
+  ft.base_rtt = sim::microseconds(100);
+  ft.qdisc = [] {
+    return std::make_unique<net::DctcpThresholdQueue>(
+        net::QueueLimits::in_bytes(250 * 1500), 50 * 1500);
+  };
+  topo::FatTree tree = topo::build_fat_tree(network, ft);
+
+  sim::Rng rng(17);
+  std::vector<std::unique_ptr<core::HypervisorShim>> shims;
+  if (hwatch_on) {
+    core::HWatchConfig hw;
+    hw.probe_span = sim::microseconds(50);
+    hw.policy.batch_interval = sim::microseconds(50);
+    for (net::Host* host : network.hosts()) {
+      shims.push_back(core::install_hwatch(network, *host, hw, rng.fork()));
+    }
+  }
+
+  tcp::TcpConfig t;
+  t.ecn = tcp::EcnMode::kNone;
+  t.min_rto = sim::milliseconds(200);
+  t.initial_rto = sim::milliseconds(200);
+
+  net::Host* receiver = tree.hosts.back();
+  // Edge-local bulk flow keeps the receiver's access link warm.
+  tcp::TcpConnection bulk(network, *tree.hosts[tree.hosts.size() - 2],
+                          *receiver, 900, 70, tcp::Transport::kNewReno, t);
+  bulk.start(tcp::TcpSender::kUnlimited);
+
+  tcp::MultipathConfig mp;
+  mp.subflows = subflows;
+  mp.tcp = t;
+  std::vector<std::unique_ptr<tcp::MultipathConnection>> conns;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    conns.push_back(std::make_unique<tcp::MultipathConnection>(
+        network, *tree.hosts[i % tree.hosts_per_pod()], *receiver,
+        static_cast<std::uint16_t>(1000 + 16 * i),
+        static_cast<std::uint16_t>(5000 + 16 * i), mp));
+  }
+  sched.schedule_at(sim::milliseconds(5), [&conns] {
+    for (auto& c : conns) c->start(2'000'000);
+  });
+  sched.run_until(sim::seconds(3.0));
+
+  RunResult r;
+  int done = 0;
+  for (auto& c : conns) {
+    if (!c->complete()) continue;
+    ++done;
+    r.fct_mean_ms += sim::to_millis(c->fct());
+    r.fct_max_ms = std::max(r.fct_max_ms, sim::to_millis(c->fct()));
+    r.timeouts += c->total_timeouts();
+  }
+  if (done > 0) r.fct_mean_ms /= done;
+  r.drops = network.total_queue_drops();
+  for (const auto& s : shims) r.probes += s->stats().probes_injected;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension E1",
+                      "MPTCP subflows on a k=4 fat-tree, with/without "
+                      "HWatch");
+
+  stats::Table t({"subflows", "hwatch", "FCT mean(ms)", "FCT max(ms)",
+                  "drops", "timeouts", "probes"});
+  for (std::uint32_t subflows : {1u, 2u, 4u}) {
+    for (bool hwatch_on : {false, true}) {
+      const RunResult r = run(subflows, hwatch_on);
+      t.add_row({std::to_string(subflows), hwatch_on ? "on" : "off",
+                 stats::Table::num(r.fct_mean_ms, 3),
+                 stats::Table::num(r.fct_max_ms, 3),
+                 std::to_string(r.drops), std::to_string(r.timeouts),
+                 std::to_string(r.probes)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nEach subflow is probed and window-managed by the shim "
+               "independently;\nprobes scale linearly with subflow count "
+               "and no MPTCP-specific shim code exists.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared machinery for Figures 8 and 9: the four-scheme comparison
+// (TCP-DropTail, TCP-RED, TCP-HWATCH, DCTCP) at a given source count.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace hwatch::bench {
+
+enum class Scheme {
+  kTcpDropTail,
+  kTcpRed,
+  kTcpHWatch,
+  kDctcp,
+};
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kTcpDropTail:
+      return "TCP-DropTail";
+    case Scheme::kTcpRed:
+      return "TCP-RED";
+    case Scheme::kTcpHWatch:
+      return "TCP-HWATCH";
+    case Scheme::kDctcp:
+      return "DCTCP";
+  }
+  return "?";
+}
+
+/// One curve of the figure: `sources` senders split 1:1 long:short.
+inline api::ScenarioResults run_scheme(Scheme scheme,
+                                       std::uint32_t sources) {
+  api::DumbbellScenarioConfig cfg = paper_dumbbell_base();
+  cfg.pairs = sources;
+  const std::uint32_t longs = sources / 2;
+  const std::uint32_t shorts = sources - longs;
+
+  tcp::Transport transport = tcp::Transport::kNewReno;
+  tcp::TcpConfig t = paper_tcp(tcp::EcnMode::kClassic);
+  switch (scheme) {
+    case Scheme::kTcpDropTail:
+      cfg.core_aqm.kind = api::AqmKind::kDropTail;
+      t = paper_tcp(tcp::EcnMode::kNone);
+      break;
+    case Scheme::kTcpRed:
+      cfg.core_aqm.kind = api::AqmKind::kRed;
+      t = paper_tcp(tcp::EcnMode::kClassic);
+      break;
+    case Scheme::kTcpHWatch:
+      // Plain (non-ECN) guest TCP; the hypervisor module does all the
+      // ECN work (transparent ECT stamping + rwnd control).  Switches
+      // run WRED configured per DCTCP's recommendation (Section IV-E):
+      // instantaneous marking above 20% of the buffer.
+      cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
+      t = paper_tcp(tcp::EcnMode::kNone);
+      cfg.hwatch_enabled = true;
+      cfg.hwatch = paper_hwatch(cfg.base_rtt);
+      break;
+    case Scheme::kDctcp:
+      cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
+      transport = tcp::Transport::kDctcp;
+      t = paper_tcp(tcp::EcnMode::kDctcp);
+      break;
+  }
+  cfg.edge_aqm = cfg.core_aqm;
+
+  cfg.long_groups = {{transport, t, longs, scheme_name(scheme)}};
+  cfg.short_groups = {{transport, t, shorts, scheme_name(scheme)}};
+  return api::run_dumbbell(cfg);
+}
+
+inline void run_figure(const std::string& figure, std::uint32_t sources) {
+  print_header(figure, std::to_string(sources) +
+                           " sources (1:1 long:short), four schemes");
+  std::vector<Curve> curves;
+  for (Scheme s : {Scheme::kTcpDropTail, Scheme::kTcpRed,
+                   Scheme::kTcpHWatch, Scheme::kDctcp}) {
+    curves.push_back({scheme_name(s), run_scheme(s, sources)});
+    const auto& res = curves.back().results;
+    if (res.shim.probes_injected > 0) {
+      std::cout << "  [" << scheme_name(s) << "] hwatch: probes="
+                << res.shim.probes_injected
+                << " synack-rewrites=" << res.shim.synacks_rewritten
+                << " ack-rewrites=" << res.shim.acks_rewritten
+                << " flows=" << res.shim.flows_tracked << "\n";
+    }
+  }
+  std::cout << "\n";
+  print_fct_panel(curves);
+  std::cout << "\n";
+  print_fct_panel(curves, /*per_epoch_mean=*/true);
+  std::cout << "\n";
+  print_goodput_panel(curves);
+  std::cout << "\n";
+  print_timeseries_panel(curves);
+  print_summary(curves);
+  print_improvements(curves, "TCP-HWATCH");
+  write_csvs(figure, curves);
+}
+
+}  // namespace hwatch::bench

@@ -1,0 +1,145 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): event
+// scheduling throughput, queue-discipline decision cost, checksum
+// stamping/adjustment, and whole-scenario event rate.  These bound how
+// large a datacenter the simulator can sweep per CPU-second.
+#include <benchmark/benchmark.h>
+
+#include "api/scenario.hpp"
+#include "net/checksum.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/connection.hpp"
+#include "topo/dumbbell.hpp"
+
+using namespace hwatch;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t x = 123;
+    std::int64_t sum = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      x = x * 6364136223846793005ull + 1;
+      sched.schedule_at(static_cast<sim::TimePs>(x % 1'000'000),
+                        [&sum] { ++sum; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sched.schedule_at(i + 1, [] {}));
+    }
+    for (auto id : ids) sched.cancel(id);
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancel);
+
+net::Packet bench_packet() {
+  net::Packet p;
+  p.ip.src = 1;
+  p.ip.dst = 2;
+  p.ip.ecn = net::Ecn::kEct0;
+  p.tcp.src_port = 1000;
+  p.tcp.dst_port = 80;
+  p.payload_bytes = 1442;
+  return p;
+}
+
+template <typename MakeQueue>
+void queue_churn(benchmark::State& state, MakeQueue make) {
+  auto q = make();
+  sim::TimePs now = 0;
+  for (auto _ : state) {
+    now += 1000;
+    q->enqueue(bench_packet(), now);
+    benchmark::DoNotOptimize(q->dequeue(now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_DropTailChurn(benchmark::State& state) {
+  queue_churn(state,
+              [] { return std::make_unique<net::DropTailQueue>(250); });
+}
+BENCHMARK(BM_DropTailChurn);
+
+void BM_DctcpStepChurn(benchmark::State& state) {
+  queue_churn(state, [] {
+    return std::make_unique<net::DctcpThresholdQueue>(250, 50);
+  });
+}
+BENCHMARK(BM_DctcpStepChurn);
+
+void BM_RedChurn(benchmark::State& state) {
+  queue_churn(state, [] {
+    net::RedConfig cfg;
+    cfg.min_th_pkts = 50;
+    cfg.max_th_pkts = 150;
+    return std::make_unique<net::RedQueue>(250, cfg);
+  });
+}
+BENCHMARK(BM_RedChurn);
+
+void BM_ChecksumStamp(benchmark::State& state) {
+  net::Packet p = bench_packet();
+  for (auto _ : state) {
+    net::stamp_checksum(p);
+    benchmark::DoNotOptimize(p.tcp.checksum);
+    ++p.tcp.seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChecksumStamp);
+
+void BM_ChecksumIncrementalAdjust(benchmark::State& state) {
+  net::Packet p = bench_packet();
+  net::stamp_checksum(p);
+  std::uint16_t w = 100;
+  for (auto _ : state) {
+    const std::uint16_t next = static_cast<std::uint16_t>(w + 7);
+    p.tcp.checksum = net::checksum_adjust(p.tcp.checksum, w, next);
+    w = next;
+    benchmark::DoNotOptimize(p.tcp.checksum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChecksumIncrementalAdjust);
+
+/// Whole-stack event rate: a small dumbbell scenario; reports simulated
+/// events per wall second.
+void BM_ScenarioEventRate(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    api::DumbbellScenarioConfig cfg;
+    cfg.pairs = 8;
+    cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
+    cfg.edge_aqm = cfg.core_aqm;
+    tcp::TcpConfig t;
+    t.ecn = tcp::EcnMode::kDctcp;
+    cfg.long_groups = {{tcp::Transport::kDctcp, t, 8, "dctcp"}};
+    cfg.incast.epochs = 0;
+    cfg.duration = sim::milliseconds(10);
+    api::ScenarioResults res = api::run_dumbbell(cfg);
+    events += res.events_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ScenarioEventRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Incast deep-dive: the paper's motivating pathology, epoch by epoch.
+//
+// 25 plain-TCP senders fire 6 synchronized 10 KB bursts at paired
+// receivers across a 10 Gb/s bottleneck while 25 bulk flows keep the
+// buffer loaded.  Run once without HWatch (tail losses put flows into
+// 200 ms retransmission timeouts) and once with it (probe-informed
+// initial windows + Next-Fit batching), printing a per-epoch breakdown.
+#include <iostream>
+#include <map>
+
+#include "api/scenario.hpp"
+#include "stats/table.hpp"
+
+using namespace hwatch;
+
+namespace {
+
+api::ScenarioResults run(bool hwatch_on) {
+  api::DumbbellScenarioConfig cfg;
+  cfg.pairs = 50;
+  cfg.base_rtt = sim::microseconds(100);
+  cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
+  cfg.core_aqm.buffer_packets = 250;
+  cfg.core_aqm.mark_threshold_packets = 50;
+  cfg.core_aqm.byte_mode = true;
+  cfg.core_aqm.mtu_bytes = 1000;
+  cfg.edge_aqm = cfg.core_aqm;
+
+  tcp::TcpConfig guest;
+  guest.mss = 942;  // 1000-byte frames
+  guest.ecn = tcp::EcnMode::kNone;
+  guest.min_rto = sim::milliseconds(200);
+  guest.initial_rto = sim::milliseconds(200);
+
+  cfg.long_groups = {{tcp::Transport::kNewReno, guest, 25, "bulk"}};
+  cfg.short_groups = {{tcp::Transport::kNewReno, guest, 25, "incast"}};
+  cfg.incast.epochs = 6;
+  cfg.incast.first_epoch = sim::milliseconds(100);
+  cfg.incast.epoch_interval = sim::milliseconds(150);
+  cfg.incast.flow_bytes = 10'000;
+  cfg.duration = sim::seconds(1.0);
+  cfg.seed = 7;
+
+  if (hwatch_on) {
+    cfg.hwatch_enabled = true;
+    cfg.hwatch.probe_count = 10;
+    cfg.hwatch.probe_span = sim::microseconds(50);
+    cfg.hwatch.policy.batch_interval = sim::microseconds(50);
+    cfg.hwatch.round_interval = sim::microseconds(100);
+    cfg.hwatch.mss = guest.mss;
+    cfg.hwatch.min_window_bytes = guest.mss;
+  }
+  return api::run_dumbbell(cfg);
+}
+
+void per_epoch_report(const std::string& name,
+                      const api::ScenarioResults& res) {
+  std::cout << "--- " << name << " ---\n";
+  struct Acc {
+    double fct_sum = 0;
+    double fct_max = 0;
+    std::size_t done = 0;
+    std::size_t missing = 0;
+    std::uint64_t timeouts = 0;
+  };
+  std::map<std::uint32_t, Acc> epochs;
+  for (const auto& r : res.short_flows()) {
+    Acc& a = epochs[r.epoch];
+    if (r.completed) {
+      ++a.done;
+      a.fct_sum += r.fct_ms();
+      a.fct_max = std::max(a.fct_max, r.fct_ms());
+    } else {
+      ++a.missing;
+    }
+    a.timeouts += r.timeouts;
+  }
+  stats::Table t({"epoch", "completed", "missing", "avg FCT(ms)",
+                  "max FCT(ms)", "timeouts"});
+  for (const auto& [epoch, a] : epochs) {
+    t.add_row({std::to_string(epoch), std::to_string(a.done),
+               std::to_string(a.missing),
+               a.done ? stats::Table::num(a.fct_sum / a.done, 3) : "-",
+               stats::Table::num(a.fct_max, 3),
+               std::to_string(a.timeouts)});
+  }
+  t.print(std::cout);
+  std::cout << "bottleneck drops: " << res.bottleneck_queue.dropped
+            << " (data " << res.bottleneck_queue.dropped_data << ", ctrl "
+            << res.bottleneck_queue.dropped_ctrl << ", probe "
+            << res.bottleneck_queue.dropped_probes << ")"
+            << ", marks: " << res.bottleneck_queue.ecn_marked << "\n"
+            << "bulk goodput mean: "
+            << stats::Table::num(
+                   res.long_goodput_cdf_gbps().summarize().mean, 3)
+            << " Gb/s, mean utilization: "
+            << stats::Table::num(100 * res.mean_utilization(), 1) << " %\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Incast rescue: 25 bulk + 25 incast TCP senders, 10 Gb/s "
+               "dumbbell, 6 epochs of 10 KB bursts.\n\n";
+  per_epoch_report("plain TCP (no HWatch)", run(false));
+  per_epoch_report("TCP + HWatch", run(true));
+  std::cout << "A timeout costs minRTO = 200 ms against a 100 us RTT: "
+               "every avoided drop above is 3-4 orders of magnitude of "
+               "latency saved.\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Render the bench CSVs (bench_out/<figure>/*.csv) as plots.
+
+Usage:
+    python3 scripts/plot_bench.py [bench_out] [--out plots]
+
+With matplotlib installed, writes one PNG per figure panel (the CDF
+curves of every scheme overlaid, plus the queue-occupancy time series)
+— the same panels the paper's figures show.  Without matplotlib, falls
+back to ASCII plots on stdout so the shapes are still inspectable on a
+headless box.
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_xy(path):
+    xs, ys = [], []
+    with open(path) as f:
+        reader = csv.reader(f)
+        next(reader, None)  # header
+        for row in reader:
+            if len(row) != 2:
+                continue
+            try:
+                xs.append(float(row[0]))
+                ys.append(float(row[1]))
+            except ValueError:
+                continue
+    return xs, ys
+
+
+def collect(root):
+    """figure -> panel -> [(curve_name, xs, ys)]"""
+    figures = defaultdict(lambda: defaultdict(list))
+    if not os.path.isdir(root):
+        sys.exit(f"no such directory: {root} (run the benches first)")
+    for fig in sorted(os.listdir(root)):
+        fig_dir = os.path.join(root, fig)
+        if not os.path.isdir(fig_dir):
+            continue
+        for name in sorted(os.listdir(fig_dir)):
+            if not name.endswith(".csv"):
+                continue
+            for panel in ("fct_cdf", "goodput_cdf", "queue", "util"):
+                suffix = f"_{panel}.csv"
+                if name.endswith(suffix):
+                    curve = name[: -len(suffix)]
+                    xs, ys = read_xy(os.path.join(fig_dir, name))
+                    if xs:
+                        figures[fig][panel].append((curve, xs, ys))
+    return figures
+
+
+def ascii_plot(title, curves, width=72, height=14):
+    print(f"\n{title}")
+    all_x = [x for _, xs, _ in curves for x in xs]
+    all_y = [y for _, _, ys in curves for y in ys]
+    if not all_x:
+        return
+    x0, x1 = min(all_x), max(all_x) or 1
+    y0, y1 = min(all_y), max(all_y) or 1
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    marks = "abcdefghij"
+    for idx, (name, xs, ys) in enumerate(curves):
+        m = marks[idx % len(marks)]
+        for x, y in zip(xs, ys):
+            col = int((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - int((y - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = m
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * width)
+    print(f"   x: [{x0:g}, {x1:g}]  y: [{y0:g}, {y1:g}]")
+    for idx, (name, _, _) in enumerate(curves):
+        print(f"   {marks[idx % len(marks)]} = {name}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("root", nargs="?", default="bench_out")
+    ap.add_argument("--out", default="plots")
+    args = ap.parse_args()
+
+    figures = collect(args.root)
+    if not figures:
+        sys.exit(f"no CSVs under {args.root}")
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+
+    panel_labels = {
+        "fct_cdf": ("FCT (ms)", "cumulative fraction"),
+        "goodput_cdf": ("goodput (Gb/s)", "cumulative fraction"),
+        "queue": ("time (s)", "queue (pkts)"),
+        "util": ("time (s)", "utilization"),
+    }
+
+    if plt is None:
+        print("(matplotlib not found: ASCII fallback)")
+        for fig, panels in figures.items():
+            for panel, curves in panels.items():
+                ascii_plot(f"{fig} / {panel}", curves)
+        return
+
+    os.makedirs(args.out, exist_ok=True)
+    for fig, panels in figures.items():
+        for panel, curves in panels.items():
+            plt.figure(figsize=(6, 4))
+            for name, xs, ys in curves:
+                if panel == "fct_cdf":
+                    plt.semilogx(xs, ys, label=name)
+                else:
+                    plt.plot(xs, ys, label=name)
+            xl, yl = panel_labels.get(panel, ("x", "y"))
+            plt.xlabel(xl)
+            plt.ylabel(yl)
+            plt.title(f"{fig}: {panel}")
+            plt.legend(fontsize=7)
+            plt.grid(True, alpha=0.3)
+            plt.tight_layout()
+            out = os.path.join(args.out, f"{fig}_{panel}.png")
+            plt.savefig(out, dpi=130)
+            plt.close()
+            print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

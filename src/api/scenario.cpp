@@ -1,0 +1,321 @@
+#include "api/scenario.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/scheduler.hpp"
+
+namespace hwatch::api {
+
+std::string to_string(AqmKind kind) {
+  switch (kind) {
+    case AqmKind::kDropTail:
+      return "droptail";
+    case AqmKind::kRed:
+      return "red-ecn";
+    case AqmKind::kDctcpStep:
+      return "dctcp-step";
+    case AqmKind::kPriority:
+      return "priority2";
+  }
+  return "?";
+}
+
+net::QdiscFactory AqmConfig::make_factory(sim::DataRate link_rate) const {
+  const net::QueueLimits limits =
+      byte_mode
+          ? net::QueueLimits::in_bytes(buffer_packets *
+                                       std::uint64_t{mtu_bytes})
+          : net::QueueLimits::in_packets(buffer_packets);
+  switch (kind) {
+    case AqmKind::kDropTail:
+      return [limits] { return std::make_unique<net::DropTailQueue>(limits); };
+    case AqmKind::kPriority:
+      return [limits] { return std::make_unique<net::PriorityQueue>(limits); };
+    case AqmKind::kDctcpStep: {
+      if (byte_mode) {
+        const std::uint64_t k_bytes =
+            mark_threshold_packets * std::uint64_t{mtu_bytes};
+        return [limits, k_bytes] {
+          return std::make_unique<net::DctcpThresholdQueue>(limits, k_bytes);
+        };
+      }
+      return net::make_dctcp_factory(buffer_packets,
+                                     mark_threshold_packets);
+    }
+    case AqmKind::kRed: {
+      net::RedConfig red;
+      // Floyd-style thresholds around the configured marking point.
+      red.min_th_pkts = static_cast<double>(mark_threshold_packets);
+      red.max_th_pkts =
+          std::max<double>(static_cast<double>(mark_threshold_packets) * 3,
+                           mark_threshold_packets + 1.0);
+      red.max_p = red_max_p;
+      red.weight = red_weight;
+      red.gentle = true;
+      red.ecn = true;
+      red.mean_pkt_time = link_rate.transmission_time(mtu_bytes);
+      red.byte_mode = byte_mode;
+      red.mean_pkt_bytes = mtu_bytes;
+      return [limits, red] {
+        return std::make_unique<net::RedQueue>(limits, red);
+      };
+    }
+  }
+  throw std::logic_error("unknown AqmKind");
+}
+
+std::vector<stats::FlowRecord> ScenarioResults::short_flows() const {
+  std::vector<stats::FlowRecord> out;
+  for (const auto& r : records) {
+    if (r.klass == stats::FlowClass::kShort) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<stats::FlowRecord> ScenarioResults::long_flows() const {
+  std::vector<stats::FlowRecord> out;
+  for (const auto& r : records) {
+    if (r.klass == stats::FlowClass::kLong) out.push_back(r);
+  }
+  return out;
+}
+
+stats::Cdf ScenarioResults::short_fct_cdf_ms() const {
+  return stats::Cdf(stats::fct_ms_samples(short_flows()));
+}
+
+stats::Cdf ScenarioResults::long_goodput_cdf_gbps() const {
+  return stats::Cdf(stats::goodput_gbps_samples(long_flows()));
+}
+
+stats::Cdf ScenarioResults::epoch_mean_fct_cdf_ms() const {
+  std::map<std::uint32_t, std::pair<double, std::size_t>> per_epoch;
+  for (const auto& r : records) {
+    if (r.klass != stats::FlowClass::kShort || !r.completed) continue;
+    auto& [sum, n] = per_epoch[r.epoch];
+    sum += r.fct_ms();
+    ++n;
+  }
+  stats::Cdf cdf;
+  for (const auto& [epoch, acc] : per_epoch) {
+    (void)epoch;
+    if (acc.second > 0) {
+      cdf.add(acc.first / static_cast<double>(acc.second));
+    }
+  }
+  return cdf;
+}
+
+double ScenarioResults::mean_utilization() const {
+  if (utilization.empty()) return 0;
+  double sum = 0;
+  for (const auto& p : utilization) sum += p.value;
+  return sum / static_cast<double>(utilization.size());
+}
+
+std::size_t ScenarioResults::incomplete_short_flows() const {
+  std::size_t n = 0;
+  for (const auto& r : records) {
+    if (r.klass == stats::FlowClass::kShort && !r.completed) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Installs HWatch on every host; returns the owning vector.
+std::vector<std::unique_ptr<core::HypervisorShim>> install_shims(
+    net::Network& net, const core::HWatchConfig& cfg, sim::Rng& rng) {
+  std::vector<std::unique_ptr<core::HypervisorShim>> shims;
+  shims.reserve(net.hosts().size());
+  for (net::Host* host : net.hosts()) {
+    shims.push_back(core::install_hwatch(net, *host, cfg, rng.fork()));
+  }
+  return shims;
+}
+
+ShimAggregate aggregate_shims(
+    const std::vector<std::unique_ptr<core::HypervisorShim>>& shims) {
+  ShimAggregate agg;
+  for (const auto& s : shims) {
+    agg.probes_injected += s->stats().probes_injected;
+    agg.probe_bytes_injected += s->stats().probe_bytes_injected;
+    agg.synacks_rewritten += s->stats().synacks_rewritten;
+    agg.acks_rewritten += s->stats().acks_rewritten;
+    agg.window_decisions += s->stats().window_decisions;
+    agg.flows_tracked += s->flow_table().created();
+  }
+  return agg;
+}
+
+}  // namespace
+
+ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  sim::Rng rng(cfg.seed);
+
+  topo::DumbbellConfig topo_cfg;
+  topo_cfg.pairs = cfg.pairs;
+  topo_cfg.edge_rate = cfg.edge_rate;
+  topo_cfg.bottleneck_rate = cfg.bottleneck_rate;
+  topo_cfg.base_rtt = cfg.base_rtt;
+  topo_cfg.edge_qdisc = cfg.edge_aqm.make_factory(cfg.edge_rate);
+  topo_cfg.bottleneck_qdisc =
+      cfg.core_aqm.make_factory(cfg.bottleneck_rate);
+  topo::Dumbbell d = topo::build_dumbbell(net, topo_cfg);
+
+  std::vector<std::unique_ptr<core::HypervisorShim>> shims;
+  if (cfg.hwatch_enabled) {
+    shims = install_shims(net, cfg.hwatch, rng);
+  }
+
+  workload::TrafficManager tm(net);
+  std::uint32_t long_count = 0;
+  for (const auto& g : cfg.long_groups) long_count += g.count;
+  std::uint32_t short_count = 0;
+  for (const auto& g : cfg.short_groups) short_count += g.count;
+  if (long_count + short_count > cfg.pairs) {
+    throw std::invalid_argument(
+        "dumbbell scenario: more sources requested than host pairs");
+  }
+
+  // Long flows use pairs [0, long_count); short flows the next range.
+  std::vector<net::Host*> long_srcs(d.left.begin(),
+                                    d.left.begin() + long_count);
+  std::vector<net::Host*> long_dsts(d.right.begin(),
+                                    d.right.begin() + long_count);
+  std::vector<net::Host*> short_srcs(
+      d.left.begin() + long_count,
+      d.left.begin() + long_count + short_count);
+  std::vector<net::Host*> short_dsts(
+      d.right.begin() + long_count,
+      d.right.begin() + long_count + short_count);
+
+  if (long_count > 0) {
+    workload::add_bulk_flows(tm, long_srcs, long_dsts, cfg.long_groups, 0,
+                             cfg.bulk_start_spread, rng);
+  }
+  if (short_count > 0) {
+    workload::add_incast_epochs(tm, short_srcs, short_dsts,
+                                cfg.short_groups, cfg.incast, rng);
+  }
+
+  auto queue_sampler = stats::make_queue_sampler(
+      sched, *d.bottleneck, cfg.sample_interval, cfg.duration);
+  stats::UtilizationSampler util_sampler(sched, *d.bottleneck,
+                                         cfg.sample_interval, cfg.duration);
+  stats::ThroughputSampler tput_sampler(sched, *d.bottleneck,
+                                        cfg.sample_interval, cfg.duration);
+
+  sched.run_until(cfg.duration);
+
+  ScenarioResults res;
+  res.records = tm.collect_records();
+  res.queue_packets = queue_sampler.series();
+  res.utilization = util_sampler.series();
+  res.throughput_gbps = tput_sampler.series();
+  res.bottleneck_queue = d.bottleneck->qdisc().stats();
+  res.fabric_drops = net.total_queue_drops();
+  res.retransmits = tm.total_retransmits();
+  res.timeouts = tm.total_timeouts();
+  res.events_executed = sched.executed();
+  res.shim = aggregate_shims(shims);
+  return res;
+}
+
+ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  sim::Rng rng(cfg.seed);
+
+  topo::LeafSpineConfig topo_cfg;
+  topo_cfg.racks = cfg.racks;
+  topo_cfg.hosts_per_rack = cfg.hosts_per_rack;
+  topo_cfg.host_rate = cfg.link_rate;
+  topo_cfg.uplink_rate = cfg.link_rate;
+  topo_cfg.base_rtt = cfg.base_rtt;
+  topo_cfg.edge_qdisc = cfg.edge_aqm.make_factory(cfg.link_rate);
+  topo_cfg.fabric_qdisc = cfg.fabric_aqm.make_factory(cfg.link_rate);
+  topo::LeafSpine t = topo::build_leaf_spine(net, topo_cfg);
+  if (cfg.racks < 2) {
+    throw std::invalid_argument("leaf-spine scenario needs >= 2 racks");
+  }
+
+  std::vector<std::unique_ptr<core::HypervisorShim>> shims;
+  if (cfg.hwatch_enabled) {
+    shims = install_shims(net, cfg.hwatch, rng);
+  }
+
+  workload::TrafficManager tm(net);
+  const std::uint32_t recv_rack = cfg.racks - 1;
+
+  // Bulk flows: round-robin across the sending racks, all towards hosts
+  // in the receiving rack (the spine -> leaf[recv_rack] link is the
+  // bottleneck, as in the testbed).
+  std::vector<net::Host*> bulk_srcs;
+  for (std::uint32_t i = 0; i < cfg.bulk_flows; ++i) {
+    const std::uint32_t rack = i % recv_rack;
+    const auto& rack_hosts = t.hosts[rack];
+    bulk_srcs.push_back(rack_hosts[(i / recv_rack) % rack_hosts.size()]);
+  }
+  std::vector<net::Host*> bulk_dsts(t.hosts[recv_rack].begin(),
+                                    t.hosts[recv_rack].end());
+  if (cfg.bulk_flows > 0) {
+    workload::SenderGroup g = cfg.bulk_template;
+    g.count = cfg.bulk_flows;
+    workload::add_bulk_flows(tm, bulk_srcs, bulk_dsts, {g}, 0,
+                             sim::milliseconds(10), rng);
+  }
+
+  // Web servers: the first `web_servers_per_rack` hosts of every sending
+  // rack; clients: the first `web_clients` hosts of the receiving rack.
+  std::vector<net::Host*> servers;
+  for (std::uint32_t r = 0; r < recv_rack; ++r) {
+    for (std::uint32_t h = 0;
+         h < cfg.web_servers_per_rack && h < t.hosts[r].size(); ++h) {
+      servers.push_back(t.hosts[r][h]);
+    }
+  }
+  std::vector<net::Host*> clients;
+  for (std::uint32_t h = 0;
+       h < cfg.web_clients && h < t.hosts[recv_rack].size(); ++h) {
+    clients.push_back(t.hosts[recv_rack][h]);
+  }
+  if (cfg.web_pattern == LeafSpineScenarioConfig::WebPattern::kOpenWaves) {
+    workload::add_web_waves(tm, servers, clients, cfg.web_transport,
+                            cfg.web_tcp, cfg.web, rng);
+  } else {
+    workload::add_closed_loop_web(tm, servers, clients, cfg.web_transport,
+                                  cfg.web_tcp, cfg.closed_loop, rng);
+  }
+
+  // Bottleneck: the spine -> receiving-leaf downlink (single spine).
+  net::Link* bottleneck = t.downlinks[recv_rack];
+  auto queue_sampler = stats::make_queue_sampler(
+      sched, *bottleneck, cfg.sample_interval, cfg.duration);
+  stats::UtilizationSampler util_sampler(sched, *bottleneck,
+                                         cfg.sample_interval, cfg.duration);
+  stats::ThroughputSampler tput_sampler(sched, *bottleneck,
+                                        cfg.sample_interval, cfg.duration);
+
+  sched.run_until(cfg.duration);
+
+  ScenarioResults res;
+  res.records = tm.collect_records();
+  res.queue_packets = queue_sampler.series();
+  res.utilization = util_sampler.series();
+  res.throughput_gbps = tput_sampler.series();
+  res.bottleneck_queue = bottleneck->qdisc().stats();
+  res.fabric_drops = net.total_queue_drops();
+  res.retransmits = tm.total_retransmits();
+  res.timeouts = tm.total_timeouts();
+  res.events_executed = sched.executed();
+  res.shim = aggregate_shims(shims);
+  return res;
+}
+
+}  // namespace hwatch::api

@@ -1,0 +1,82 @@
+// Delay-based congestion inference (the paper's Section III-D "Further
+// Observation").
+//
+// ECN gives a binary signal; the probe train also carries *timing*.  A
+// probe that crossed an empty path arrives after the base propagation
+// delay; queued bytes add serialization delay on top, so the inflation
+// of a probe's one-way delay over the smallest delay ever observed on
+// the path estimates the standing queue:  Q_bytes ~ inflation * C.
+// (Hypervisor-to-hypervisor probes can carry a timestamp; datacenter
+// hosts are PTP-synchronized, and only *differences* against the same
+// clock pair are used, so absolute sync hardly matters.)
+//
+// The shim uses this as an optional secondary signal at connection
+// setup: probes that came back unmarked but heavily delayed are
+// reclassified as congested before the Next-Fit plan is computed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace hwatch::core {
+
+class DelayWatcher {
+ public:
+  /// `drain_rate` converts delay inflation to queued bytes (operators
+  /// configure it as the access-link rate, the natural lower bound on
+  /// any bottleneck's drain rate).
+  explicit DelayWatcher(sim::DataRate drain_rate =
+                            sim::DataRate::gbps(10))
+      : drain_rate_(drain_rate) {}
+
+  /// Feeds one probe's one-way delay.
+  void add_sample(sim::TimePs one_way_delay) {
+    ++samples_;
+    min_delay_ = std::min(min_delay_, one_way_delay);
+    last_delay_ = one_way_delay;
+    max_delay_ = std::max(max_delay_, one_way_delay);
+  }
+
+  bool has_samples() const { return samples_ > 0; }
+  std::uint64_t samples() const { return samples_; }
+
+  /// Baseline (uncongested) path delay estimate.
+  sim::TimePs base_delay() const { return min_delay_; }
+
+  /// Current delay inflation over the baseline.
+  sim::TimePs inflation() const {
+    return has_samples() ? last_delay_ - min_delay_ : 0;
+  }
+  sim::TimePs max_inflation() const {
+    return has_samples() ? max_delay_ - min_delay_ : 0;
+  }
+
+  /// Standing-queue estimate behind the last probe, in bytes.
+  std::uint64_t queued_bytes_estimate() const {
+    return drain_rate_.bytes_in(inflation());
+  }
+
+  /// Same, in segments of the given size.
+  std::uint64_t queued_packets_estimate(std::uint32_t mss) const {
+    return mss == 0 ? 0 : queued_bytes_estimate() / mss;
+  }
+
+  void reset() {
+    samples_ = 0;
+    min_delay_ = sim::kTimeNever;
+    last_delay_ = 0;
+    max_delay_ = 0;
+  }
+
+ private:
+  sim::DataRate drain_rate_;
+  std::uint64_t samples_ = 0;
+  sim::TimePs min_delay_ = sim::kTimeNever;
+  sim::TimePs last_delay_ = 0;
+  sim::TimePs max_delay_ = 0;
+};
+
+}  // namespace hwatch::core

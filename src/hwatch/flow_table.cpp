@@ -1,0 +1,25 @@
+#include "hwatch/flow_table.hpp"
+
+namespace hwatch::core {
+
+FlowEntry& FlowTable::upsert(const net::FlowKey& key, FlowRole role) {
+  auto [it, inserted] = table_.try_emplace(key);
+  if (inserted) {
+    it->second.key = key;
+    it->second.role = role;
+    ++created_;
+  }
+  return it->second;
+}
+
+FlowEntry* FlowTable::find(const net::FlowKey& key) {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const FlowEntry* FlowTable::find(const net::FlowKey& key) const {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+}  // namespace hwatch::core

@@ -1,0 +1,108 @@
+// Hypervisor flow table.
+//
+// Mirrors the kernel-module design in Section IV-D: entries are created
+// at connection set-up (hash on the 4-tuple), store the window-scale
+// factors exchanged in SYN/SYN-ACK, the per-round ECN mark statistics,
+// the probe-train tallies, and the current window allowance the shim
+// enforces; entries are cleared when a FIN is observed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hwatch/delay_watcher.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace hwatch::core {
+
+/// Role of the local host for a given flow (data direction src -> dst).
+enum class FlowRole : std::uint8_t { kSender = 0, kReceiver };
+
+struct FlowEntry {
+  net::FlowKey key;  // data direction: sender -> receiver
+  FlowRole role = FlowRole::kSender;
+
+  // ---- window-scale bookkeeping (both directions) ----
+  /// Shift announced by the remote data sender in its SYN.
+  std::uint8_t sender_wscale = 0;
+  /// Shift announced by the local guest in its SYN-ACK (receiver role):
+  /// the shim must encode rewritten windows with this shift.
+  std::uint8_t receiver_wscale = 0;
+  bool syn_seen = false;
+  bool synack_seen = false;
+  /// Whether the guest negotiated ECN itself (ECE+CWR on its SYN); when
+  /// false the shim may stamp/strip ECT transparently.
+  bool guest_ecn_capable = false;
+
+  // ---- receiver-role ECN statistics (current observation round) ----
+  std::uint64_t unmarked = 0;  // data packets without CE this round
+  std::uint64_t marked = 0;    // data packets with CE this round
+  sim::TimePs round_start = 0;
+  std::uint64_t clean_rounds = 0;  // consecutive rounds without a mark
+
+  // ---- probe-train tallies (receiver role) ----
+  std::uint64_t probe_unmarked = 0;
+  std::uint64_t probe_marked = 0;
+
+  // ---- enforcement state ----
+  /// Current window cap in bytes; no rewriting happens until the first
+  /// decision sets it.
+  std::optional<std::uint64_t> allowance_bytes;
+  struct PendingGrant {
+    sim::TimePs release_time;
+    std::uint64_t bytes;
+  };
+  std::vector<PendingGrant> pending_grants;
+
+  // ---- sender-role probe state ----
+  std::uint32_t probes_sent = 0;
+  bool syn_held = false;
+
+  /// A SYN-ACK for this flow is sitting in the admission-pacing queue
+  /// (duplicates from SYN retransmissions are suppressed meanwhile).
+  bool synack_queued = false;
+
+  /// Data bytes seen leaving this host for the flow (sender role);
+  /// drives the short-flow DSCP prioritization option.
+  std::uint64_t bytes_sent_seen = 0;
+
+  bool fin_seen = false;
+
+  /// Applies every grant that has come due.
+  void apply_due_grants(sim::TimePs now) {
+    std::size_t kept = 0;
+    for (auto& g : pending_grants) {
+      if (g.release_time <= now) {
+        allowance_bytes = allowance_bytes.value_or(0) + g.bytes;
+      } else {
+        pending_grants[kept++] = g;
+      }
+    }
+    pending_grants.resize(kept);
+  }
+};
+
+class FlowTable {
+ public:
+  /// Finds or creates the entry for a data-direction key.
+  FlowEntry& upsert(const net::FlowKey& key, FlowRole role);
+
+  FlowEntry* find(const net::FlowKey& key);
+  const FlowEntry* find(const net::FlowKey& key) const;
+
+  bool erase(const net::FlowKey& key) { return table_.erase(key) > 0; }
+
+  std::size_t size() const { return table_.size(); }
+
+  /// Total entries ever created (deployment-scale observability).
+  std::uint64_t created() const { return created_; }
+
+ private:
+  std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> table_;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace hwatch::core

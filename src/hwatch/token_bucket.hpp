@@ -1,0 +1,55 @@
+// Token bucket used by the shim to pace batches of SYN-ACKs and probe
+// trains (Section IV-D: "HWatch utilizes token buckets to pace between
+// batches of SYN-ACK packets").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace hwatch::core {
+
+class TokenBucket {
+ public:
+  /// `rate` refills tokens (bytes/s equivalent: tokens are bytes here);
+  /// `burst` caps accumulation.
+  TokenBucket(sim::DataRate rate, std::uint64_t burst_bytes)
+      : rate_(rate), burst_(burst_bytes), tokens_(burst_bytes) {}
+
+  /// Refills for elapsed time then tries to take `bytes`.
+  bool try_consume(std::uint64_t bytes, sim::TimePs now) {
+    refill(now);
+    if (tokens_ < bytes) return false;
+    tokens_ -= bytes;
+    return true;
+  }
+
+  /// Time until `bytes` tokens will be available (0 when already there).
+  sim::TimePs time_until_available(std::uint64_t bytes, sim::TimePs now) {
+    refill(now);
+    if (tokens_ >= bytes) return 0;
+    const std::uint64_t missing = bytes - tokens_;
+    return rate_.transmission_time(missing);
+  }
+
+  std::uint64_t tokens(sim::TimePs now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(sim::TimePs now) {
+    if (now <= last_refill_) return;
+    tokens_ = std::min(burst_, tokens_ + rate_.bytes_in(now - last_refill_));
+    last_refill_ = now;
+  }
+
+  sim::DataRate rate_;
+  std::uint64_t burst_;
+  std::uint64_t tokens_;
+  sim::TimePs last_refill_ = 0;
+};
+
+}  // namespace hwatch::core

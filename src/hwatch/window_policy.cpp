@@ -1,0 +1,72 @@
+#include "hwatch/window_policy.hpp"
+
+#include <algorithm>
+
+namespace hwatch::core {
+
+const char* to_string(BatchMode mode) {
+  switch (mode) {
+    case BatchMode::kSingleShot:
+      return "single-shot";
+    case BatchMode::kCoalesced:
+      return "coalesced-2batch";
+    case BatchMode::kThreeBatch:
+      return "three-batch";
+  }
+  return "?";
+}
+
+BatchPlan plan_window(std::uint64_t unmarked, std::uint64_t marked,
+                      const WindowPolicyConfig& cfg, sim::Rng* rng) {
+  BatchPlan plan;
+
+  // Split X_M into an early and a late half.  For X_M == 1 the paper
+  // places the packet in either batch with probability 1/2.
+  std::uint64_t early_m = (marked + 1) / 2;
+  std::uint64_t late_m = marked / 2;
+  if (marked == 1 && rng != nullptr && rng->chance(0.5)) {
+    early_m = 0;
+    late_m = 1;
+  }
+
+  switch (cfg.mode) {
+    case BatchMode::kSingleShot:
+      plan.immediate_packets = unmarked + marked;
+      break;
+    case BatchMode::kCoalesced:
+      plan.immediate_packets = unmarked + early_m;
+      if (late_m > 0) {
+        plan.deferred.push_back(DeferredGrant{cfg.batch_interval, late_m});
+      }
+      break;
+    case BatchMode::kThreeBatch:
+      plan.immediate_packets = unmarked;
+      if (early_m > 0) {
+        plan.deferred.push_back(DeferredGrant{cfg.batch_interval, early_m});
+      }
+      if (late_m > 0) {
+        plan.deferred.push_back(
+            DeferredGrant{2 * cfg.batch_interval, late_m});
+      }
+      break;
+  }
+
+  // Enforce the floor by pulling packets forward from deferred batches
+  // (total quota is conserved); only when the whole plan is smaller than
+  // the floor do we add fresh quota.
+  if (plan.immediate_packets < cfg.min_packets) {
+    std::uint64_t deficit = cfg.min_packets - plan.immediate_packets;
+    for (auto it = plan.deferred.begin();
+         deficit > 0 && it != plan.deferred.end();) {
+      const std::uint64_t take = std::min(deficit, it->packets);
+      it->packets -= take;
+      plan.immediate_packets += take;
+      deficit -= take;
+      it = it->packets == 0 ? plan.deferred.erase(it) : std::next(it);
+    }
+    plan.immediate_packets += deficit;  // plan smaller than the floor
+  }
+  return plan;
+}
+
+}  // namespace hwatch::core

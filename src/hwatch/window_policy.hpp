@@ -1,0 +1,76 @@
+// Next-Fit window policy (the paper's Section IV theory, made executable).
+//
+// Inputs are the per-flow ECN statistics mined at the receiving
+// hypervisor over one observation round: `unmarked` packets arrived
+// without CE (X_UM, they fit below the marking threshold K) and `marked`
+// packets arrived CE-marked (X_M, they landed in the region between K and
+// the buffer limit).  The theorems translate directly:
+//
+//   Theorem IV.1  — X_UM packets per flow can be granted immediately.
+//   Theorem IV.2  — the X_M packets must be split across two later
+//                   batches of X_M/2, spaced by the drain time T.
+//   Cor. IV.2.1   — hence three batches in total mitigate incast loss.
+//   Cor. IV.2.2   — batches 1 and 2 may be coalesced (X_UM + X_M/2 now,
+//                   X_M/2 after T), shortening completion to <= 2 RTT
+//                   (Lemma IV.3); this is HWatch's default.
+//
+// The kSingleShot mode (everything now) is the ablation baseline that
+// shows why batching matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace hwatch::core {
+
+enum class BatchMode : std::uint8_t {
+  kSingleShot = 0,  // no batching: grant X_UM + X_M at once (ablation)
+  kCoalesced,       // Corollary IV.2.2: (X_UM + ceil(X_M/2)) now, rest at T
+  kThreeBatch,      // Theorem IV.2 verbatim: X_UM now, X_M/2 at T and 2T
+};
+
+const char* to_string(BatchMode mode);
+
+/// One deferred window grant: `packets` more may be admitted `delay`
+/// after the decision.
+struct DeferredGrant {
+  sim::TimePs delay;
+  std::uint64_t packets;
+
+  friend bool operator==(const DeferredGrant&, const DeferredGrant&) =
+      default;
+};
+
+/// A window decision: an immediate grant plus zero or more deferred ones.
+struct BatchPlan {
+  std::uint64_t immediate_packets = 0;
+  std::vector<DeferredGrant> deferred;
+
+  std::uint64_t total_packets() const {
+    std::uint64_t total = immediate_packets;
+    for (const auto& d : deferred) total += d.packets;
+    return total;
+  }
+};
+
+struct WindowPolicyConfig {
+  BatchMode mode = BatchMode::kCoalesced;
+  /// Drain-time estimate T between batches; the paper argues T ~ RTT/2
+  /// for the configurations of interest.
+  sim::TimePs batch_interval = sim::microseconds(50);
+  /// Floor so a window decision can never stall a flow entirely.
+  std::uint64_t min_packets = 1;
+};
+
+/// Pure policy: maps one round of (unmarked, marked) counts to a batch
+/// plan.  `rng` resolves the X_M == 1 coin flip the paper specifies (the
+/// lone marked packet goes to an early or late batch with probability
+/// 1/2); pass nullptr to place it deterministically in the early batch.
+BatchPlan plan_window(std::uint64_t unmarked, std::uint64_t marked,
+                      const WindowPolicyConfig& cfg,
+                      sim::Rng* rng = nullptr);
+
+}  // namespace hwatch::core

@@ -1,0 +1,78 @@
+#include "net/checksum.hpp"
+
+#include <array>
+
+namespace hwatch::net {
+
+namespace {
+
+std::uint32_t add16(std::uint32_t sum, std::uint16_t word) {
+  sum += word;
+  return sum;
+}
+
+std::uint16_t fold(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+/// Serializes the checksummed header content into 16-bit words.
+std::array<std::uint16_t, 18> header_words(const Packet& p) {
+  const TcpHeader& t = p.tcp;
+  std::uint16_t flags = 0;
+  flags |= t.syn ? 0x0001 : 0;
+  flags |= t.ack_flag ? 0x0002 : 0;
+  flags |= t.fin ? 0x0004 : 0;
+  flags |= t.rst ? 0x0008 : 0;
+  flags |= t.ece ? 0x0010 : 0;
+  flags |= t.cwr ? 0x0020 : 0;
+  flags |= t.urg ? 0x0040 : 0;
+  return {
+      // pseudo-header
+      static_cast<std::uint16_t>(p.ip.src >> 16),
+      static_cast<std::uint16_t>(p.ip.src & 0xFFFF),
+      static_cast<std::uint16_t>(p.ip.dst >> 16),
+      static_cast<std::uint16_t>(p.ip.dst & 0xFFFF),
+      static_cast<std::uint16_t>(p.payload_bytes >> 16),
+      static_cast<std::uint16_t>(p.payload_bytes & 0xFFFF),
+      // transport header
+      t.src_port,
+      t.dst_port,
+      static_cast<std::uint16_t>(t.seq >> 48),
+      static_cast<std::uint16_t>(t.seq >> 32),
+      static_cast<std::uint16_t>(t.seq >> 16),
+      static_cast<std::uint16_t>(t.seq),
+      static_cast<std::uint16_t>(t.ack >> 32),
+      static_cast<std::uint16_t>(t.ack >> 16),
+      static_cast<std::uint16_t>(t.ack),
+      flags,
+      t.rwnd_raw,
+      static_cast<std::uint16_t>((std::uint16_t{t.wscale} << 8) |
+                                 t.urgent_ptr),
+  };
+}
+
+}  // namespace
+
+std::uint16_t tcp_checksum(const Packet& p) {
+  std::uint32_t sum = 0;
+  for (std::uint16_t w : header_words(p)) sum = add16(sum, w);
+  return static_cast<std::uint16_t>(~fold(sum));
+}
+
+void stamp_checksum(Packet& p) { p.tcp.checksum = tcp_checksum(p); }
+
+bool verify_checksum(const Packet& p) {
+  return p.tcp.checksum == tcp_checksum(p);
+}
+
+std::uint16_t checksum_adjust(std::uint16_t checksum, std::uint16_t old_word,
+                              std::uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(C + (-m) + m') computed in ones' complement.
+  std::uint32_t sum = static_cast<std::uint16_t>(~checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  return static_cast<std::uint16_t>(~fold(sum));
+}
+
+}  // namespace hwatch::net

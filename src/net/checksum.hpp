@@ -1,0 +1,33 @@
+// Internet checksum over the simulated TCP header.
+//
+// HWatch rewrites the receive-window field of in-flight ACK/SYN-ACK
+// segments from the hypervisor, so it must also fix the TCP checksum the
+// way the kernel module does.  We model this faithfully: transports stamp
+// a real 16-bit ones'-complement checksum over the header fields and the
+// shim patches it incrementally per RFC 1624, letting tests catch any
+// rewrite that forgets the fix-up.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace hwatch::net {
+
+/// Ones'-complement 16-bit checksum over the TCP header fields and a
+/// pseudo-header (src, dst, payload length).  Computed with the checksum
+/// field itself treated as zero.
+std::uint16_t tcp_checksum(const Packet& p);
+
+/// Stamps `p.tcp.checksum` with the correct value.
+void stamp_checksum(Packet& p);
+
+/// True when the stored checksum matches the header contents.
+bool verify_checksum(const Packet& p);
+
+/// RFC 1624 incremental update: returns the new checksum after one 16-bit
+/// header word changed from `old_word` to `new_word`.
+std::uint16_t checksum_adjust(std::uint16_t checksum, std::uint16_t old_word,
+                              std::uint16_t new_word);
+
+}  // namespace hwatch::net

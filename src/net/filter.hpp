@@ -1,0 +1,33 @@
+// NetFilter-style packet hooks on hosts.
+//
+// The paper implements HWatch as a Linux NetFilter kernel module (or an
+// OvS datapath patch) sitting between the guest VMs and the NIC.  We model
+// that vantage point as a PacketFilter chain on each Host: every outbound
+// packet from the local transport agents passes the OUT hook, and every
+// inbound packet passes the IN hook before demultiplexing.  Filters may
+// modify headers in place (the HWatch rwnd rewrite), consume packets
+// (probe absorption), or drop them (fault injection in tests).
+#pragma once
+
+#include "net/packet.hpp"
+
+namespace hwatch::net {
+
+enum class FilterVerdict : std::uint8_t {
+  kPass = 0,  // continue down the chain / deliver
+  kConsume,   // filter took ownership (e.g. held or absorbed)
+  kDrop,      // discard, counted as a filter drop
+};
+
+class PacketFilter {
+ public:
+  virtual ~PacketFilter() = default;
+
+  /// Outbound hook: packet leaving the local agents towards the NIC.
+  virtual FilterVerdict on_outbound(Packet& p) = 0;
+
+  /// Inbound hook: packet arriving from the NIC before agent demux.
+  virtual FilterVerdict on_inbound(Packet& p) = 0;
+};
+
+}  // namespace hwatch::net

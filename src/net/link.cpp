@@ -1,0 +1,58 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace hwatch::net {
+
+Link::Link(sim::Scheduler& sched, std::string name, sim::DataRate rate,
+           sim::TimePs prop_delay, std::unique_ptr<QueueDiscipline> qdisc,
+           Node* dst)
+    : sched_(sched),
+      name_(std::move(name)),
+      rate_(rate),
+      prop_delay_(prop_delay),
+      qdisc_(std::move(qdisc)),
+      dst_(dst) {
+  assert(qdisc_ != nullptr);
+  assert(dst_ != nullptr);
+}
+
+EnqueueOutcome Link::transmit(Packet&& p) {
+  const EnqueueOutcome outcome = qdisc_->enqueue(std::move(p), sched_.now());
+  if (outcome != EnqueueOutcome::kDropped && !transmitting_) {
+    start_transmission();
+  }
+  return outcome;
+}
+
+void Link::start_transmission() {
+  std::optional<Packet> next = qdisc_->dequeue(sched_.now());
+  if (!next) return;
+  transmitting_ = true;
+  const sim::TimePs tx = rate_.transmission_time(next->size_bytes());
+  busy_time_ += tx;
+  // Move the packet into the completion event.  std::function requires
+  // copyable callables, so park the packet in a shared_ptr.
+  auto holder = std::make_shared<Packet>(std::move(*next));
+  sched_.schedule_in(tx, [this, holder] {
+    on_transmission_complete(std::move(*holder));
+  });
+}
+
+void Link::on_transmission_complete(Packet&& p) {
+  transmitting_ = false;
+  bytes_delivered_ += p.size_bytes();
+  ++packets_delivered_;
+  // Propagation: the receiver sees the packet prop_delay later.  The
+  // transmitter is free immediately (pipelining).
+  auto holder = std::make_shared<Packet>(std::move(p));
+  sched_.schedule_in(prop_delay_, [this, holder] {
+    dst_->handle_packet(std::move(*holder));
+  });
+  start_transmission();
+}
+
+}  // namespace hwatch::net

@@ -1,0 +1,66 @@
+// Unidirectional link: qdisc + serializing transmitter + propagation.
+//
+// A Link models one switch/NIC output port.  Packets admitted by the
+// queue discipline are serialized one at a time at the link rate, then
+// delivered to the destination node after the propagation delay.  Busy
+// time is accumulated so samplers can report utilization exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/units.hpp"
+
+namespace hwatch::net {
+
+class Node;
+
+class Link {
+ public:
+  Link(sim::Scheduler& sched, std::string name, sim::DataRate rate,
+       sim::TimePs prop_delay, std::unique_ptr<QueueDiscipline> qdisc,
+       Node* dst);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Entry point for the owning node: queue the packet for transmission.
+  /// Returns the qdisc's verdict (callers normally ignore it; drops are
+  /// visible in stats, as on real hardware).
+  EnqueueOutcome transmit(Packet&& p);
+
+  QueueDiscipline& qdisc() { return *qdisc_; }
+  const QueueDiscipline& qdisc() const { return *qdisc_; }
+
+  sim::DataRate rate() const { return rate_; }
+  sim::TimePs propagation_delay() const { return prop_delay_; }
+  const std::string& name() const { return name_; }
+  Node* destination() const { return dst_; }
+
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+  /// Cumulative time the transmitter has spent serializing packets.
+  /// utilization over [t0,t1] = (busy(t1) - busy(t0)) / (t1 - t0).
+  sim::TimePs busy_time() const { return busy_time_; }
+
+ private:
+  void start_transmission();
+  void on_transmission_complete(Packet&& p);
+
+  sim::Scheduler& sched_;
+  std::string name_;
+  sim::DataRate rate_;
+  sim::TimePs prop_delay_;
+  std::unique_ptr<QueueDiscipline> qdisc_;
+  Node* dst_;
+  bool transmitting_ = false;
+  sim::TimePs busy_time_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+};
+
+}  // namespace hwatch::net

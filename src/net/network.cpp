@@ -1,0 +1,101 @@
+#include "net/network.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace hwatch::net {
+
+Host& Network::add_host(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(id, name);
+  Host* ptr = host.get();
+  nodes_.push_back(std::move(host));
+  adjacency_.emplace_back();
+  hosts_.push_back(ptr);
+  return *ptr;
+}
+
+Switch& Network::add_switch(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto sw = std::make_unique<Switch>(id, name);
+  Switch* ptr = sw.get();
+  nodes_.push_back(std::move(sw));
+  adjacency_.emplace_back();
+  switches_.push_back(ptr);
+  return *ptr;
+}
+
+Network::DuplexLink Network::connect(Node& a, Node& b, sim::DataRate rate,
+                                     sim::TimePs prop_delay,
+                                     const QdiscFactory& make_qdisc) {
+  auto fwd = std::make_unique<Link>(sched_, a.name() + "->" + b.name(), rate,
+                                    prop_delay, make_qdisc(), &b);
+  auto bwd = std::make_unique<Link>(sched_, b.name() + "->" + a.name(), rate,
+                                    prop_delay, make_qdisc(), &a);
+  Link* f = fwd.get();
+  Link* w = bwd.get();
+  links_.push_back(std::move(fwd));
+  links_.push_back(std::move(bwd));
+  adjacency_[a.id()].push_back(Edge{b.id(), f});
+  adjacency_[b.id()].push_back(Edge{a.id(), w});
+  if (auto* ha = dynamic_cast<Host*>(&a)) ha->set_nic(f);
+  if (auto* hb = dynamic_cast<Host*>(&b)) hb->set_nic(w);
+  return DuplexLink{f, w};
+}
+
+Host* Network::host(NodeId id) const {
+  return dynamic_cast<Host*>(node(id));
+}
+
+Link* Network::link_between(NodeId a, NodeId b) const {
+  if (a >= adjacency_.size()) return nullptr;
+  for (const Edge& e : adjacency_[a]) {
+    if (e.peer == b) return e.link;
+  }
+  return nullptr;
+}
+
+void Network::compute_routes() {
+  for (Switch* sw : switches_) sw->clear_routes();
+
+  // One reverse BFS per destination host: dist[v] = hops from v to dst.
+  // Every neighbour edge that decreases the distance by exactly one is an
+  // equal-cost next hop.
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(nodes_.size());
+
+  for (const Host* dst : hosts_) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[dst->id()] = 0;
+    std::deque<NodeId> frontier{dst->id()};
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      // Hosts other than the destination never forward transit traffic.
+      if (v != dst->id() && dynamic_cast<Host*>(nodes_[v].get())) continue;
+      for (const Edge& e : adjacency_[v]) {
+        if (dist[e.peer] == kInf) {
+          dist[e.peer] = dist[v] + 1;
+          frontier.push_back(e.peer);
+        }
+      }
+    }
+    for (Switch* sw : switches_) {
+      if (dist[sw->id()] == kInf) continue;
+      for (const Edge& e : adjacency_[sw->id()]) {
+        if (dist[e.peer] != kInf && dist[e.peer] + 1 == dist[sw->id()]) {
+          sw->add_route(dst->id(), e.link);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t Network::total_queue_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& link : links_) total += link->qdisc().stats().dropped;
+  return total;
+}
+
+}  // namespace hwatch::net

@@ -1,0 +1,80 @@
+// Network: owns all nodes and links, builds duplex connections and
+// computes shortest-path routes (with equal-cost multipath) by BFS.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/units.hpp"
+
+namespace hwatch::net {
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Host& add_host(const std::string& name);
+  Switch& add_switch(const std::string& name);
+
+  /// Creates a duplex connection: two unidirectional links (a->b, b->a),
+  /// each with its own queue from `make_qdisc`.  Host endpoints get the
+  /// link registered as their NIC.
+  struct DuplexLink {
+    Link* forward;   // a -> b
+    Link* backward;  // b -> a
+  };
+  DuplexLink connect(Node& a, Node& b, sim::DataRate rate,
+                     sim::TimePs prop_delay, const QdiscFactory& make_qdisc);
+
+  /// Populates every switch's forwarding table with shortest paths to
+  /// every host, keeping all equal-cost next hops (ECMP).  Must be called
+  /// after the topology is final and before traffic starts.
+  void compute_routes();
+
+  Node* node(NodeId id) const {
+    return id < nodes_.size() ? nodes_[id].get() : nullptr;
+  }
+  Host* host(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  const std::vector<Host*>& hosts() const { return hosts_; }
+  const std::vector<Switch*>& switches() const { return switches_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  /// The unidirectional link from `a` to `b`, or nullptr.
+  Link* link_between(NodeId a, NodeId b) const;
+
+  /// Fresh unique packet uid (trace identity).
+  std::uint64_t next_packet_uid() { return ++packet_uid_; }
+
+  sim::Scheduler& scheduler() { return sched_; }
+
+  /// Aggregate drop count across every queue in the fabric.
+  std::uint64_t total_queue_drops() const;
+
+ private:
+  struct Edge {
+    NodeId peer;
+    Link* link;  // this-node -> peer
+  };
+
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Host*> hosts_;
+  std::vector<Switch*> switches_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::uint64_t packet_uid_ = 0;
+};
+
+}  // namespace hwatch::net

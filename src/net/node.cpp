@@ -1,0 +1,83 @@
+#include "net/node.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hwatch::net {
+
+Link* Switch::select_route(const Packet& p) const {
+  auto it = routes_.find(p.ip.dst);
+  if (it == routes_.end() || it->second.empty()) return nullptr;
+  const auto& hops = it->second;
+  if (hops.size() == 1) return hops.front();
+  // ECMP: hash the 4-tuple so a flow sticks to one path.
+  const std::size_t h = FlowKeyHash{}(flow_key_of(p));
+  return hops[h % hops.size()];
+}
+
+void Switch::handle_packet(Packet&& p) {
+  if (p.ip.ttl == 0) {
+    ++routeless_drops_;
+    return;
+  }
+  --p.ip.ttl;
+  Link* out = select_route(p);
+  if (out == nullptr) {
+    ++routeless_drops_;
+    return;
+  }
+  ++forwarded_;
+  out->transmit(std::move(p));
+}
+
+void Host::bind(std::uint16_t port, AgentHandler handler) {
+  if (agents_.contains(port)) {
+    throw std::invalid_argument("Host::bind: port already bound");
+  }
+  agents_.emplace(port, std::move(handler));
+}
+
+void Host::unbind(std::uint16_t port) { agents_.erase(port); }
+
+void Host::send(Packet&& p) {
+  for (PacketFilter* f : filters_) {
+    switch (f->on_outbound(p)) {
+      case FilterVerdict::kPass:
+        break;
+      case FilterVerdict::kConsume:
+        return;
+      case FilterVerdict::kDrop:
+        ++filter_drops_;
+        return;
+    }
+  }
+  send_raw(std::move(p));
+}
+
+void Host::send_raw(Packet&& p) {
+  assert(nic_ != nullptr && "Host has no NIC link");
+  nic_->transmit(std::move(p));
+}
+
+void Host::handle_packet(Packet&& p) {
+  for (PacketFilter* f : filters_) {
+    switch (f->on_inbound(p)) {
+      case FilterVerdict::kPass:
+        break;
+      case FilterVerdict::kConsume:
+        return;
+      case FilterVerdict::kDrop:
+        ++filter_drops_;
+        return;
+    }
+  }
+  auto it = agents_.find(p.tcp.dst_port);
+  if (it == agents_.end()) {
+    ++no_agent_drops_;
+    return;
+  }
+  ++delivered_;
+  it->second(std::move(p));
+}
+
+}  // namespace hwatch::net

@@ -1,0 +1,105 @@
+// Nodes: switches (static forwarding over output links) and hosts
+// (transport agents + hypervisor filter chain + one NIC uplink).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/filter.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace hwatch::net {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Invoked by an incoming Link when a packet finishes propagation.
+  virtual void handle_packet(Packet&& p) = 0;
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+/// Output-queued switch with a static forwarding table.  Equal-cost
+/// multipath is supported by storing several next hops per destination
+/// and picking one by flow hash (packets of one flow stay in order).
+class Switch final : public Node {
+ public:
+  using Node::Node;
+
+  /// Adds `link` as a next hop towards destination host `dst`.
+  void add_route(NodeId dst, Link* link) { routes_[dst].push_back(link); }
+
+  void clear_routes() { routes_.clear(); }
+
+  void handle_packet(Packet&& p) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t routeless_drops() const { return routeless_drops_; }
+
+ private:
+  Link* select_route(const Packet& p) const;
+
+  std::unordered_map<NodeId, std::vector<Link*>> routes_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t routeless_drops_ = 0;
+};
+
+/// End host: local transport agents keyed by destination port, an
+/// optional hypervisor filter chain, and a single NIC uplink.
+class Host final : public Node {
+ public:
+  using Node::Node;
+
+  /// Handler receives packets whose tcp.dst_port matches the bound port.
+  using AgentHandler = std::function<void(Packet&&)>;
+
+  void set_nic(Link* uplink) { nic_ = uplink; }
+  Link* nic() const { return nic_; }
+
+  void bind(std::uint16_t port, AgentHandler handler);
+  void unbind(std::uint16_t port);
+  bool is_bound(std::uint16_t port) const {
+    return agents_.contains(port);
+  }
+
+  /// Installs a filter at the back of the chain (non-owning; the caller
+  /// keeps the filter alive, typically the scenario object).
+  void install_filter(PacketFilter* f) { filters_.push_back(f); }
+  void remove_filters() { filters_.clear(); }
+
+  /// Transport-agent send path: OUT filter chain, then the NIC.
+  void send(Packet&& p);
+
+  /// Hypervisor send path: bypasses the OUT chain (used by the shim to
+  /// inject probes or release held packets without re-filtering them).
+  void send_raw(Packet&& p);
+
+  void handle_packet(Packet&& p) override;
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t no_agent_drops() const { return no_agent_drops_; }
+  std::uint64_t filter_drops() const { return filter_drops_; }
+
+ private:
+  Link* nic_ = nullptr;
+  std::unordered_map<std::uint16_t, AgentHandler> agents_;
+  std::vector<PacketFilter*> filters_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t no_agent_drops_ = 0;
+  std::uint64_t filter_drops_ = 0;
+};
+
+}  // namespace hwatch::net

@@ -1,0 +1,27 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace hwatch::net {
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  if (kind == PacketKind::kProbe) {
+    os << "PROBE " << ip.src << "->" << ip.dst << " train="
+       << probe_train_id;
+  } else {
+    os << (tcp.syn ? (tcp.ack_flag ? "SYNACK" : "SYN")
+           : tcp.fin ? "FIN"
+           : payload_bytes > 0 ? "DATA"
+                               : "ACK");
+    os << " " << ip.src << ":" << tcp.src_port << "->" << ip.dst << ":"
+       << tcp.dst_port << " seq=" << tcp.seq << " ack=" << tcp.ack
+       << " len=" << payload_bytes << " rwnd=" << tcp.rwnd_raw;
+    if (tcp.ece) os << " ECE";
+    if (tcp.cwr) os << " CWR";
+  }
+  if (ip.ecn == Ecn::kCe) os << " CE";
+  return os.str();
+}
+
+}  // namespace hwatch::net

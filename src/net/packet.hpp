@@ -1,0 +1,154 @@
+// Packet model.
+//
+// Packets carry an Ethernet+IP framing model and a TCP header with the
+// exact fields HWatch manipulates: the 16-bit receive-window field, the
+// window-scale shift negotiated in SYN segments, the urgent pointer the
+// paper earmarks as a side channel, ECN codepoints and the checksum.
+// Sequence/ack numbers count bytes in 64 bits (no wraparound handling —
+// a documented simplification; flows here are far below 2^32 anyway, and
+// 64-bit arithmetic keeps invariants assertable).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace hwatch::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Framing constants.  A full data segment is 1500 bytes on the wire,
+/// matching the paper's packet size; a Probe1 is 38 bytes (ETH+IP, empty).
+inline constexpr std::uint32_t kEthHeaderBytes = 18;
+inline constexpr std::uint32_t kIpHeaderBytes = 20;
+inline constexpr std::uint32_t kTcpHeaderBytes = 20;
+inline constexpr std::uint32_t kTcpFrameOverhead =
+    kEthHeaderBytes + kIpHeaderBytes + kTcpHeaderBytes;  // 58
+inline constexpr std::uint32_t kProbeFrameBytes =
+    kEthHeaderBytes + kIpHeaderBytes;  // 38, "Probe1"
+inline constexpr std::uint32_t kDefaultMss = 1442;  // 1442 + 58 = 1500
+
+/// IP ECN codepoints (RFC 3168).
+enum class Ecn : std::uint8_t {
+  kNotEct = 0,  // not ECN-capable transport
+  kEct1 = 1,
+  kEct0 = 2,
+  kCe = 3,  // congestion experienced
+};
+
+inline bool ecn_capable(Ecn e) { return e != Ecn::kNotEct; }
+
+struct IpHeader {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Ecn ecn = Ecn::kNotEct;
+  std::uint8_t dscp = 0;
+  std::uint8_t ttl = 64;
+};
+
+/// One SACK block: received bytes [start, end).
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  bool empty() const { return start >= end; }
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  bool rst = false;
+  bool ece = false;  // ECN-echo
+  bool cwr = false;  // congestion window reduced
+  bool urg = false;
+  std::uint16_t urgent_ptr = 0;
+  /// Raw 16-bit window field; effective window = rwnd_raw << peer's
+  /// negotiated shift (see wscale).
+  std::uint16_t rwnd_raw = 0;
+  /// Window-scale option value; meaningful only on SYN / SYN-ACK.
+  std::uint8_t wscale = 0;
+  std::uint16_t checksum = 0;
+
+  /// SACK option (RFC 2018): up to 3 blocks of received-but-unacked
+  /// data, most recent first; sack_count = 0 means no option present.
+  /// On SYN/SYN-ACK, sack_permitted advertises support.
+  std::array<SackBlock, 3> sack{};
+  std::uint8_t sack_count = 0;
+  bool sack_permitted = false;
+};
+
+enum class PacketKind : std::uint8_t {
+  kTcp = 0,
+  kProbe = 1,  // raw-IP hypervisor probe (HWatch Probe1)
+};
+
+struct Packet {
+  std::uint64_t uid = 0;  // unique per simulation, for tracing
+  PacketKind kind = PacketKind::kTcp;
+  IpHeader ip;
+  TcpHeader tcp;
+  std::uint32_t payload_bytes = 0;
+
+  // --- bookkeeping (not on the wire) ---
+  sim::TimePs sent_time = 0;     // when the transport emitted it
+  sim::TimePs enqueue_time = 0;  // last qdisc admission (queue-delay stats)
+  std::uint32_t probe_train_id = 0;  // which probe train this belongs to
+
+  /// Total frame size on the wire.
+  std::uint32_t size_bytes() const {
+    return kind == PacketKind::kProbe ? kProbeFrameBytes + payload_bytes
+                                      : kTcpFrameOverhead + payload_bytes;
+  }
+
+  bool is_data() const {
+    return kind == PacketKind::kTcp && payload_bytes > 0;
+  }
+  bool is_pure_ack() const {
+    return kind == PacketKind::kTcp && tcp.ack_flag && payload_bytes == 0 &&
+           !tcp.syn && !tcp.fin;
+  }
+  bool is_syn() const { return kind == PacketKind::kTcp && tcp.syn; }
+
+  /// Short human-readable form for traces.
+  std::string describe() const;
+};
+
+/// 4-tuple flow identity, the key of the HWatch hypervisor flow table.
+struct FlowKey {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// Key of the reverse direction (ACK path).
+  FlowKey reversed() const { return FlowKey{dst, src, dst_port, src_port}; }
+};
+
+/// Flow key of a packet as seen on the wire.
+inline FlowKey flow_key_of(const Packet& p) {
+  return FlowKey{p.ip.src, p.ip.dst, p.tcp.src_port, p.tcp.dst_port};
+}
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::uint64_t h = (std::uint64_t{k.src} << 32) | k.dst;
+    h ^= (std::uint64_t{k.src_port} << 16 | k.dst_port) * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace hwatch::net

@@ -1,0 +1,46 @@
+// Two-band strict-priority queue discipline.
+//
+// Models the preemptive designs the paper positions HWatch against
+// (requirement R2: "should not degrade the performance of long-lived
+// flows dramatically like in preemptive systems"): packets with a
+// nonzero DSCP are served strictly before best-effort traffic, so a
+// hypervisor that marks short flows "urgent" preempts the bulk flows in
+// the fabric.  Shared hard bound across both bands; tail-drop on the
+// total bound.
+#pragma once
+
+#include "net/queue.hpp"
+
+namespace hwatch::net {
+
+class PriorityQueue final : public QueueDiscipline {
+ public:
+  explicit PriorityQueue(QueueLimits limits) : QueueDiscipline(limits) {}
+  explicit PriorityQueue(std::uint64_t capacity_pkts)
+      : QueueDiscipline(capacity_pkts) {}
+
+  std::string name() const override { return "priority2"; }
+
+ protected:
+  EnqueueOutcome classify(const Packet& p, sim::TimePs now) override {
+    (void)p;
+    (void)now;
+    return EnqueueOutcome::kAccepted;
+  }
+
+  int service_class(const Packet& p) const override {
+    return p.ip.dscp > 0 ? 1 : 0;
+  }
+
+  /// Preemptive dropping (pFabric-style): an urgent arrival pushes
+  /// best-effort packets out of a full buffer until it fits.
+  bool make_room(const Packet& p) override {
+    if (service_class(p) == 0) return false;
+    while (would_overflow(p)) {
+      if (!evict_best_effort_tail()) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace hwatch::net

@@ -1,0 +1,37 @@
+#include "net/trace.hpp"
+
+#include <ostream>
+
+namespace hwatch::net {
+
+void PacketTracer::record(const Packet& p, bool outbound) {
+  if (cfg_.predicate && !cfg_.predicate(p)) return;
+  ++seen_;
+  if (p.kind == PacketKind::kProbe) {
+    ++counts_.probes;
+  } else if (p.tcp.syn) {
+    ++counts_.syn;
+  } else if (p.tcp.fin) {
+    ++counts_.fin;
+  } else if (p.is_data()) {
+    ++counts_.data;
+  } else if (p.is_pure_ack()) {
+    ++counts_.acks;
+  }
+  if (p.ip.ecn == Ecn::kCe) ++counts_.ce_marked;
+  if (entries_.size() < cfg_.max_entries) {
+    entries_.push_back(TraceEntry{sched_.now(), outbound, p});
+  }
+}
+
+void PacketTracer::dump(std::ostream& os) const {
+  for (const TraceEntry& e : entries_) {
+    os << sim::to_seconds(e.time) << (e.outbound ? " + " : " - ")
+       << e.packet.describe() << '\n';
+  }
+  if (truncated()) {
+    os << "... (" << seen_ - entries_.size() << " more packets seen)\n";
+  }
+}
+
+}  // namespace hwatch::net

@@ -1,0 +1,83 @@
+// Packet tracing — the ns-2 trace-file facility, as a filter.
+//
+// Install a PacketTracer on any host to record the packets crossing its
+// hypervisor hooks (both directions), optionally filtered by a
+// predicate, and dump them as one-line-per-packet text for debugging or
+// offline analysis.  Tests also use it to assert on exact packet
+// sequences.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "net/filter.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hwatch::net {
+
+struct TraceEntry {
+  sim::TimePs time;
+  bool outbound;  // false = inbound
+  Packet packet;  // header snapshot at hook time
+};
+
+struct TracerConfig {
+  /// Stop recording beyond this many entries (the counters keep
+  /// counting); protects long runs from unbounded memory.
+  std::size_t max_entries = 100'000;
+  /// Record only packets matching this predicate (default: all).
+  std::function<bool(const Packet&)> predicate;
+};
+
+class PacketTracer final : public PacketFilter {
+ public:
+  explicit PacketTracer(sim::Scheduler& sched, TracerConfig config = {})
+      : sched_(sched), cfg_(std::move(config)) {}
+
+  FilterVerdict on_outbound(Packet& p) override {
+    record(p, /*outbound=*/true);
+    return FilterVerdict::kPass;
+  }
+  FilterVerdict on_inbound(Packet& p) override {
+    record(p, /*outbound=*/false);
+    return FilterVerdict::kPass;
+  }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::uint64_t total_seen() const { return seen_; }
+  bool truncated() const { return seen_ > entries_.size(); }
+  void clear() {
+    entries_.clear();
+    seen_ = 0;
+  }
+
+  /// Packets counted per rough category over the whole run.
+  struct Counts {
+    std::uint64_t data = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t syn = 0;   // SYN and SYN-ACK
+    std::uint64_t fin = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t ce_marked = 0;
+  };
+  const Counts& counts() const { return counts_; }
+
+  /// One line per recorded entry:
+  ///   <time_s> <+|-> <describe()>
+  /// ('+' = outbound from the traced host, '-' = inbound to it).
+  void dump(std::ostream& os) const;
+
+ private:
+  void record(const Packet& p, bool outbound);
+
+  sim::Scheduler& sched_;
+  TracerConfig cfg_;
+  std::vector<TraceEntry> entries_;
+  std::uint64_t seen_ = 0;
+  Counts counts_;
+};
+
+}  // namespace hwatch::net

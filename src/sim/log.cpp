@@ -1,0 +1,40 @@
+#include "sim/log.hpp"
+
+#include <iostream>
+
+namespace hwatch::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(std::ostream* sink) { g_sink = sink; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (!log_enabled(level)) return;
+  std::ostream& os = g_sink ? *g_sink : std::clog;
+  os << "[" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace hwatch::sim

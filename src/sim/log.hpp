@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// Scenario-scale runs push tens of millions of events, so per-packet
+// logging must cost nothing when disabled: callers guard with
+// `if (log_enabled(Level::kTrace))` before formatting.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace hwatch::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Redirects output (default: std::clog).  Pass nullptr to restore.
+void set_log_sink(std::ostream* sink);
+
+/// Emits one log line (appends '\n').
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// log_msg(LogLevel::kInfo, "flow ", id, " done in ", ms, " ms")
+template <typename... Args>
+void log_msg(LogLevel level, const Args&... args) {
+  if (!log_enabled(level)) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log_line(level, os.str());
+}
+
+}  // namespace hwatch::sim

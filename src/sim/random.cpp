@@ -1,0 +1,20 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hwatch::sim {
+
+double Rng::bounded_pareto(double shape, double lo, double hi) {
+  if (!(shape > 0) || !(lo > 0) || !(hi > lo)) {
+    throw std::invalid_argument("bounded_pareto: need shape>0, 0<lo<hi");
+  }
+  // Inverse-CDF sampling of the bounded Pareto distribution.
+  const double u = uniform();
+  const double la = std::pow(lo, shape);
+  const double ha = std::pow(hi, shape);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / shape);
+}
+
+}  // namespace hwatch::sim

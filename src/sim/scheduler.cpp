@@ -1,0 +1,89 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hwatch::sim {
+
+EventId Scheduler::schedule_at(TimePs t, Callback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("Scheduler: event scheduled in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  ++live_count_;
+  return EventId{id};
+}
+
+bool Scheduler::cancel(EventId id) {
+  // Only ids that are still pending may be cancelled; fired, cancelled or
+  // invalid ids are rejected so live_count_ stays accurate.
+  if (!id.valid() || pending_ids_.erase(id.value) == 0) return false;
+  // The heap entry cannot be removed directly; remember the id and skip
+  // the entry when it surfaces.
+  cancelled_.insert(id.value);
+  --live_count_;
+  return true;
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move via const_cast is the standard
+    // idiom to avoid copying the std::function payload.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    Entry e = std::move(top);
+    queue_.pop();
+    auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_ids_.erase(e.id);
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  assert(e.time >= now_);
+  now_ = e.time;
+  --live_count_;
+  ++executed_;
+  e.cb();
+  return true;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Scheduler::run_until(TimePs t) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (queue_.empty()) break;
+    // Peek through cancelled entries to find the next live event time.
+    Entry e;
+    if (!pop_next(e)) break;
+    if (e.time > t) {
+      // Not due yet: push it back.  pop_next() removed the id from the
+      // pending set but did not touch live_count_, so only the id is
+      // restored (seq is preserved, keeping FIFO order stable).
+      pending_ids_.insert(e.id);
+      queue_.push(std::move(e));
+      break;
+    }
+    now_ = e.time;
+    --live_count_;
+    ++executed_;
+    e.cb();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace hwatch::sim

@@ -1,0 +1,100 @@
+// Discrete-event scheduler.
+//
+// The heart of the simulator: a cancellable priority queue of callbacks
+// keyed by (time, insertion sequence).  The sequence number makes event
+// ordering at equal timestamps FIFO and therefore fully deterministic,
+// which the reproducibility tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hwatch::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  constexpr bool valid() const { return value != 0; }
+  friend constexpr bool operator==(EventId a, EventId b) {
+    return a.value == b.value;
+  }
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.  Monotonically non-decreasing during run().
+  TimePs now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).  Returns a handle that
+  /// can be passed to cancel().
+  EventId schedule_at(TimePs t, Callback cb);
+
+  /// Schedules `cb` `delay` picoseconds from now.
+  EventId schedule_in(TimePs delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event.  Returns false when the event already fired,
+  /// was cancelled before, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or stop() is called.
+  void run();
+
+  /// Runs events with time <= `t`, then sets now to `t`.
+  void run_until(TimePs t);
+
+  /// Executes at most one pending event.  Returns false when none remain.
+  bool step();
+
+  /// Makes run()/run_until() return after the current callback finishes.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of events currently pending (excludes cancelled ones).
+  std::size_t pending() const { return live_count_; }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePs time;
+    std::uint64_t seq;  // tie-breaker: FIFO at equal time
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next non-cancelled entry, or returns false.
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_count_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hwatch::sim

@@ -1,0 +1,46 @@
+// Fixed-point simulated time.
+//
+// All simulation time is carried as a signed 64-bit count of picoseconds
+// (`TimePs`).  Picosecond resolution makes link serialization arithmetic
+// exact for every rate/size pair used in the paper (e.g. a 38-byte HWatch
+// probe on a 10 Gb/s link serializes in exactly 30'400 ps) while still
+// covering ~106 days of simulated time, far beyond any scenario here.
+#pragma once
+
+#include <cstdint>
+
+namespace hwatch::sim {
+
+/// Simulated time in picoseconds since the start of the run.
+using TimePs = std::int64_t;
+
+inline constexpr TimePs kPsPerNano = 1'000;
+inline constexpr TimePs kPsPerMicro = 1'000'000;
+inline constexpr TimePs kPsPerMilli = 1'000'000'000;
+inline constexpr TimePs kPsPerSec = 1'000'000'000'000;
+
+/// A time value no event can ever be scheduled at; used as "never"/"unset".
+inline constexpr TimePs kTimeNever = INT64_MAX;
+
+constexpr TimePs picoseconds(std::int64_t ps) { return ps; }
+constexpr TimePs nanoseconds(std::int64_t ns) { return ns * kPsPerNano; }
+constexpr TimePs microseconds(std::int64_t us) { return us * kPsPerMicro; }
+constexpr TimePs milliseconds(std::int64_t ms) { return ms * kPsPerMilli; }
+constexpr TimePs seconds_i(std::int64_t s) { return s * kPsPerSec; }
+
+/// Converts a floating-point second count (e.g. "0.25 s") to TimePs.
+constexpr TimePs seconds(double s) {
+  return static_cast<TimePs>(s * static_cast<double>(kPsPerSec));
+}
+
+constexpr double to_seconds(TimePs t) {
+  return static_cast<double>(t) / static_cast<double>(kPsPerSec);
+}
+constexpr double to_millis(TimePs t) {
+  return static_cast<double>(t) / static_cast<double>(kPsPerMilli);
+}
+constexpr double to_micros(TimePs t) {
+  return static_cast<double>(t) / static_cast<double>(kPsPerMicro);
+}
+
+}  // namespace hwatch::sim

@@ -1,0 +1,64 @@
+// One-shot restartable timer on top of the Scheduler.
+//
+// Used for TCP retransmission timeouts and HWatch batch-release timers:
+// the owner re-arms or cancels freely; at most one expiry is pending at a
+// time and the callback only fires for the most recent arm.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace hwatch::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Scheduler& sched, Callback on_expire)
+      : sched_(sched), on_expire_(std::move(on_expire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// (Re)arms the timer to fire `delay` from now, replacing any pending
+  /// expiry.
+  void arm(TimePs delay) {
+    cancel();
+    expiry_ = sched_.now() + delay;
+    id_ = sched_.schedule_at(expiry_, [this] {
+      id_ = EventId{};
+      expiry_ = kTimeNever;
+      on_expire_();
+    });
+  }
+
+  /// Arms only when not already pending (keeps the earlier deadline).
+  void arm_if_idle(TimePs delay) {
+    if (!pending()) arm(delay);
+  }
+
+  void cancel() {
+    if (id_.valid()) {
+      sched_.cancel(id_);
+      id_ = EventId{};
+      expiry_ = kTimeNever;
+    }
+  }
+
+  bool pending() const { return id_.valid(); }
+
+  /// Absolute expiry time, or kTimeNever when idle.
+  TimePs expiry() const { return expiry_; }
+
+ private:
+  Scheduler& sched_;
+  Callback on_expire_;
+  EventId id_{};
+  TimePs expiry_ = kTimeNever;
+};
+
+}  // namespace hwatch::sim

@@ -1,0 +1,67 @@
+// Data-size and data-rate units.
+//
+// Rates are bits per second in a strong type so a Mb/s value can never be
+// passed where a Gb/s value is expected without an explicit constructor.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hwatch::sim {
+
+/// Link or processing rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  constexpr explicit DataRate(std::uint64_t bits_per_sec)
+      : bps_(bits_per_sec) {}
+
+  static constexpr DataRate bps(std::uint64_t v) { return DataRate(v); }
+  static constexpr DataRate kbps(std::uint64_t v) {
+    return DataRate(v * 1'000);
+  }
+  static constexpr DataRate mbps(std::uint64_t v) {
+    return DataRate(v * 1'000'000);
+  }
+  static constexpr DataRate gbps(std::uint64_t v) {
+    return DataRate(v * 1'000'000'000);
+  }
+
+  constexpr std::uint64_t bits_per_sec() const { return bps_; }
+  constexpr double gbits_per_sec() const { return bps_ / 1e9; }
+  constexpr bool is_zero() const { return bps_ == 0; }
+
+  /// Exact serialization time of `bytes` at this rate, rounded up to the
+  /// next picosecond.  Uses 128-bit intermediate arithmetic: 10^12 ps/s
+  /// times a jumbo frame would overflow 64 bits.
+  constexpr TimePs transmission_time(std::uint64_t bytes) const {
+    if (bps_ == 0) return kTimeNever;
+    const __int128 bits = static_cast<__int128>(bytes) * 8;
+    const __int128 ps = (bits * kPsPerSec + bps_ - 1) / bps_;
+    return static_cast<TimePs>(ps);
+  }
+
+  /// Bytes this rate can carry in `interval` (floor).
+  constexpr std::uint64_t bytes_in(TimePs interval) const {
+    const __int128 bits = static_cast<__int128>(bps_) * interval / kPsPerSec;
+    return static_cast<std::uint64_t>(bits / 8);
+  }
+
+  friend constexpr bool operator==(DataRate a, DataRate b) {
+    return a.bps_ == b.bps_;
+  }
+  friend constexpr bool operator<(DataRate a, DataRate b) {
+    return a.bps_ < b.bps_;
+  }
+
+ private:
+  std::uint64_t bps_ = 0;
+};
+
+/// Bandwidth-delay product in bytes for a rate and a round-trip time.
+constexpr std::uint64_t bdp_bytes(DataRate rate, TimePs rtt) {
+  return rate.bytes_in(rtt);
+}
+
+}  // namespace hwatch::sim

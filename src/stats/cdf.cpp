@@ -1,0 +1,100 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hwatch::stats {
+
+Cdf::Cdf(std::vector<double> samples) : data_(std::move(samples)) {
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void Cdf::add(double sample) {
+  data_.push_back(sample);
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::quantile(double q) const {
+  ensure_sorted();
+  if (data_.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+}
+
+double Cdf::fraction_below(double x) const {
+  ensure_sorted();
+  if (data_.empty()) return 0;
+  const auto it = std::upper_bound(data_.begin(), data_.end(), x);
+  return static_cast<double>(it - data_.begin()) /
+         static_cast<double>(data_.size());
+}
+
+Summary Cdf::summarize() const {
+  ensure_sorted();
+  Summary s;
+  s.count = data_.size();
+  if (data_.empty()) return s;
+  s.mean = std::accumulate(data_.begin(), data_.end(), 0.0) /
+           static_cast<double>(data_.size());
+  double sq = 0;
+  for (double v : data_) sq += (v - s.mean) * (v - s.mean);
+  s.variance = data_.size() > 1
+                   ? sq / static_cast<double>(data_.size() - 1)
+                   : 0.0;
+  s.min = data_.front();
+  s.max = data_.back();
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+std::vector<std::pair<double, double>> Cdf::series(std::size_t points) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (data_.empty() || points == 0) return out;
+  out.reserve(points + 1);
+  for (std::size_t i = 0; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+const std::vector<double>& Cdf::sorted_samples() const {
+  ensure_sorted();
+  return data_;
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double jain_fairness(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double sum = 0;
+  double sq = 0;
+  for (double x : v) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0) return 0;
+  return sum * sum / (static_cast<double>(v.size()) * sq);
+}
+
+}  // namespace hwatch::stats

@@ -1,0 +1,65 @@
+// Empirical CDFs and summary statistics.
+//
+// The paper reports almost everything as CDFs across flows (FCT of
+// short-lived flows, goodput of long-lived flows, drop counts); Cdf
+// reproduces those series and the summaries the text quotes (averages,
+// variance, improvement factors).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hwatch::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double variance = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double sample);
+
+  std::size_t count() const { return sorted_ ? data_.size() : data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Value at quantile q in [0, 1] (linear interpolation).
+  double quantile(double q) const;
+
+  /// Fraction of samples <= x.
+  double fraction_below(double x) const;
+
+  Summary summarize() const;
+
+  /// (value, cumulative fraction) pairs at `points` evenly spaced
+  /// quantiles — the series a gnuplot CDF figure plots.
+  std::vector<std::pair<double, double>> series(std::size_t points = 20)
+      const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = true;
+};
+
+/// Mean of a sample vector (0 for empty).
+double mean_of(const std::vector<double>& v);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 means
+/// perfectly equal shares.  Returns 0 for empty or all-zero input.
+double jain_fairness(const std::vector<double>& v);
+
+}  // namespace hwatch::stats

@@ -1,0 +1,22 @@
+#include "stats/flow_record.hpp"
+
+namespace hwatch::stats {
+
+std::vector<double> fct_ms_samples(const std::vector<FlowRecord>& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    if (r.completed) out.push_back(r.fct_ms());
+  }
+  return out;
+}
+
+std::vector<double> goodput_gbps_samples(
+    const std::vector<FlowRecord>& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.goodput_bps / 1e9);
+  return out;
+}
+
+}  // namespace hwatch::stats

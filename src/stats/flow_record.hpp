@@ -1,0 +1,43 @@
+// Per-flow result records collected by scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace hwatch::stats {
+
+enum class FlowClass : std::uint8_t {
+  kShort = 0,  // delay-sensitive, finite size
+  kLong,       // bulk / long-lived
+};
+
+struct FlowRecord {
+  net::FlowKey key;
+  FlowClass klass = FlowClass::kShort;
+  std::string transport;  // "newreno", "dctcp", ...
+  std::uint32_t epoch = 0;  // incast wave index for short flows
+  std::uint64_t bytes = 0;
+
+  bool completed = false;
+  sim::TimePs start_time = 0;
+  sim::TimePs fct = sim::kTimeNever;  // valid when completed
+
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  double goodput_bps = 0;  // long flows: receiver-measured
+
+  double fct_ms() const { return sim::to_millis(fct); }
+};
+
+/// FCT samples (ms) of the completed flows in `records`.
+std::vector<double> fct_ms_samples(const std::vector<FlowRecord>& records);
+
+/// Goodput samples (Gb/s) of the flows in `records`.
+std::vector<double> goodput_gbps_samples(
+    const std::vector<FlowRecord>& records);
+
+}  // namespace hwatch::stats

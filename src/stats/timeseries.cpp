@@ -1,0 +1,88 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+
+namespace hwatch::stats {
+
+PeriodicSampler::PeriodicSampler(sim::Scheduler& sched, sim::TimePs interval,
+                                 sim::TimePs until, SampleFn sample)
+    : sched_(sched),
+      interval_(interval),
+      until_(until),
+      sample_(std::move(sample)) {
+  sched_.schedule_in(interval_, [this] { tick(); });
+}
+
+void PeriodicSampler::tick() {
+  const sim::TimePs now = sched_.now();
+  series_.push_back(TimePoint{now, sample_(now)});
+  if (now + interval_ <= until_) {
+    sched_.schedule_in(interval_, [this] { tick(); });
+  }
+}
+
+double PeriodicSampler::mean() const {
+  if (series_.empty()) return 0;
+  double sum = 0;
+  for (const auto& p : series_) sum += p.value;
+  return sum / static_cast<double>(series_.size());
+}
+
+double PeriodicSampler::max() const {
+  double m = 0;
+  for (const auto& p : series_) m = std::max(m, p.value);
+  return m;
+}
+
+PeriodicSampler make_queue_sampler(sim::Scheduler& sched, net::Link& link,
+                                   sim::TimePs interval, sim::TimePs until) {
+  return PeriodicSampler(sched, interval, until, [&link](sim::TimePs) {
+    return static_cast<double>(link.qdisc().len_packets());
+  });
+}
+
+UtilizationSampler::UtilizationSampler(sim::Scheduler& sched,
+                                       net::Link& link, sim::TimePs interval,
+                                       sim::TimePs until)
+    : sched_(sched), link_(link), interval_(interval), until_(until) {
+  sched_.schedule_in(interval_, [this] { tick(); });
+}
+
+void UtilizationSampler::tick() {
+  const sim::TimePs now = sched_.now();
+  const sim::TimePs busy = link_.busy_time();
+  const double util = static_cast<double>(busy - last_busy_) /
+                      static_cast<double>(interval_);
+  last_busy_ = busy;
+  series_.push_back(TimePoint{now, std::min(util, 1.0)});
+  if (now + interval_ <= until_) {
+    sched_.schedule_in(interval_, [this] { tick(); });
+  }
+}
+
+double UtilizationSampler::mean() const {
+  if (series_.empty()) return 0;
+  double sum = 0;
+  for (const auto& p : series_) sum += p.value;
+  return sum / static_cast<double>(series_.size());
+}
+
+ThroughputSampler::ThroughputSampler(sim::Scheduler& sched, net::Link& link,
+                                     sim::TimePs interval, sim::TimePs until)
+    : sched_(sched), link_(link), interval_(interval), until_(until) {
+  sched_.schedule_in(interval_, [this] { tick(); });
+}
+
+void ThroughputSampler::tick() {
+  const sim::TimePs now = sched_.now();
+  const std::uint64_t bytes = link_.bytes_delivered();
+  const double bits = static_cast<double>(bytes - last_bytes_) * 8.0;
+  last_bytes_ = bytes;
+  series_.push_back(
+      TimePoint{now, bits / sim::to_seconds(interval_) / 1e9});
+  if (now + interval_ <= until_) {
+    sched_.schedule_in(interval_, [this] { tick(); });
+  }
+}
+
+}  // namespace hwatch::stats

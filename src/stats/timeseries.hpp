@@ -1,0 +1,93 @@
+// Periodic samplers: queue occupancy over time and link utilization over
+// time — the data behind the paper's "persistent queue" and "bottleneck
+// utilization" panels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace hwatch::stats {
+
+struct TimePoint {
+  sim::TimePs time;
+  double value;
+};
+
+using TimeSeries = std::vector<TimePoint>;
+
+/// Calls `sample(now)` every `interval` until `until` and records the
+/// returned value.
+class PeriodicSampler {
+ public:
+  using SampleFn = std::function<double(sim::TimePs)>;
+
+  PeriodicSampler(sim::Scheduler& sched, sim::TimePs interval,
+                  sim::TimePs until, SampleFn sample);
+
+  const TimeSeries& series() const { return series_; }
+
+  /// Mean of the recorded values (0 when empty).
+  double mean() const;
+
+  /// Maximum recorded value (0 when empty).
+  double max() const;
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  sim::TimePs interval_;
+  sim::TimePs until_;
+  SampleFn sample_;
+  TimeSeries series_;
+};
+
+/// Samples a link's queue length in packets.
+PeriodicSampler make_queue_sampler(sim::Scheduler& sched, net::Link& link,
+                                   sim::TimePs interval, sim::TimePs until);
+
+/// Samples a link's utilization over each interval (busy-time delta /
+/// interval, in [0, 1]).
+class UtilizationSampler {
+ public:
+  UtilizationSampler(sim::Scheduler& sched, net::Link& link,
+                     sim::TimePs interval, sim::TimePs until);
+  const TimeSeries& series() const { return series_; }
+  double mean() const;
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  net::Link& link_;
+  sim::TimePs interval_;
+  sim::TimePs until_;
+  sim::TimePs last_busy_ = 0;
+  std::uint64_t last_bytes_ = 0;
+  TimeSeries series_;
+};
+
+/// Goodput-over-time: bytes delivered by a link per interval, as Gb/s.
+class ThroughputSampler {
+ public:
+  ThroughputSampler(sim::Scheduler& sched, net::Link& link,
+                    sim::TimePs interval, sim::TimePs until);
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  net::Link& link_;
+  sim::TimePs interval_;
+  sim::TimePs until_;
+  std::uint64_t last_bytes_ = 0;
+  TimeSeries series_;
+};
+
+}  // namespace hwatch::stats

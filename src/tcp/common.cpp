@@ -1,0 +1,40 @@
+#include "tcp/common.hpp"
+
+namespace hwatch::tcp {
+
+std::string to_string(EcnMode mode) {
+  switch (mode) {
+    case EcnMode::kNone:
+      return "no-ecn";
+    case EcnMode::kClassic:
+      return "classic-ecn";
+    case EcnMode::kBlind:
+      return "ecn-blind";
+    case EcnMode::kDctcp:
+      return "dctcp-ecn";
+  }
+  return "?";
+}
+
+std::string to_string(Transport t) {
+  switch (t) {
+    case Transport::kNewReno:
+      return "newreno";
+    case Transport::kDctcp:
+      return "dctcp";
+    case Transport::kCubic:
+      return "cubic";
+  }
+  return "?";
+}
+
+std::uint16_t encode_window(std::uint64_t window_bytes, std::uint8_t shift) {
+  const std::uint64_t raw = window_bytes >> shift;
+  return raw > 0xFFFF ? 0xFFFF : static_cast<std::uint16_t>(raw);
+}
+
+std::uint64_t decode_window(std::uint16_t raw, std::uint8_t shift) {
+  return std::uint64_t{raw} << shift;
+}
+
+}  // namespace hwatch::tcp

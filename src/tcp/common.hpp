@@ -1,0 +1,87 @@
+// Shared TCP types: congestion-control flavour selection, ECN behaviour
+// modes, and per-connection configuration mirroring the knobs the paper
+// sweeps (initial congestion window, minRTO, ECN responsiveness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace hwatch::tcp {
+
+/// How a sender negotiates and reacts to ECN.
+enum class EcnMode : std::uint8_t {
+  kNone = 0,  // not ECN-capable: packets are Not-ECT, AQMs drop instead
+  kClassic,   // RFC 3168: ECE halves cwnd once per window, CWR handshake
+  kBlind,     // negotiates ECT but ignores ECE ("non-responsive" tenant)
+  kDctcp,     // proportional reduction driven by the marked fraction
+};
+
+/// Congestion-control flavour of a sender.
+enum class Transport : std::uint8_t {
+  kNewReno = 0,
+  kDctcp,
+  kCubic,
+};
+
+std::string to_string(EcnMode mode);
+std::string to_string(Transport t);
+
+struct TcpConfig {
+  std::uint32_t mss = net::kDefaultMss;
+
+  /// Initial congestion window in segments (paper sweeps 1..20; Linux
+  /// default 10).
+  std::uint32_t initial_cwnd_segments = 10;
+
+  /// Initial slow-start threshold (effectively unbounded by default).
+  std::uint64_t initial_ssthresh_bytes = UINT64_MAX / 4;
+
+  EcnMode ecn = EcnMode::kClassic;
+
+  /// RFC 6298 with a configurable floor: Linux ~200 ms; the paper's
+  /// testbed runs HWatch with 4 ms.
+  sim::TimePs min_rto = sim::milliseconds(200);
+  sim::TimePs max_rto = sim::seconds_i(60);
+  /// RTO used before the first RTT sample exists.
+  sim::TimePs initial_rto = sim::milliseconds(200);
+
+  std::uint32_t dupack_threshold = 3;
+
+  /// RFC 2018 selective acknowledgements: negotiated on SYN/SYN-ACK;
+  /// the sink advertises up to 3 blocks, the sender keeps a scoreboard
+  /// and retransmits only the holes.
+  bool sack = false;
+
+  /// RFC 3042 limited transmit: the first two duplicate ACKs may clock
+  /// out one new segment each, helping short flows build the dupack
+  /// pipeline they need to avoid an RTO (the paper's Observation 1).
+  bool limited_transmit = false;
+
+  /// Delayed ACKs (RFC 1122 / 5681): acknowledge every second in-order
+  /// segment, or after delack_timeout.  Out-of-order arrivals, FINs and
+  /// (in DCTCP mode) CE-state changes are acknowledged immediately —
+  /// the RFC 8257 delayed-ACK state machine.
+  bool delayed_ack = false;
+  std::uint32_t ack_every = 2;
+  sim::TimePs delack_timeout = sim::milliseconds(1);  // datacenter-tuned
+
+  /// DCTCP EWMA gain g for the marked-fraction estimate.
+  double dctcp_g = 1.0 / 16.0;
+
+  /// Receive window this endpoint advertises (bytes) and its window
+  /// scale shift.  The raw 16-bit field is rwnd >> wscale.
+  std::uint64_t advertised_window_bytes = 1u << 20;
+  std::uint8_t window_scale = 6;
+};
+
+/// Derives the on-the-wire 16-bit window field for an advertised window
+/// under a scale shift, saturating at the field maximum.
+std::uint16_t encode_window(std::uint64_t window_bytes, std::uint8_t shift);
+
+/// Effective window in bytes from a raw field and the peer's shift.
+std::uint64_t decode_window(std::uint16_t raw, std::uint8_t shift);
+
+}  // namespace hwatch::tcp

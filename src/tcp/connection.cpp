@@ -1,0 +1,39 @@
+#include "tcp/connection.hpp"
+
+#include "tcp/cubic.hpp"
+
+namespace hwatch::tcp {
+
+std::unique_ptr<TcpSender> make_sender(Transport transport,
+                                       net::Network& net, net::Host& host,
+                                       std::uint16_t port,
+                                       net::NodeId dst_node,
+                                       std::uint16_t dst_port,
+                                       const TcpConfig& config) {
+  switch (transport) {
+    case Transport::kDctcp:
+      return std::make_unique<DctcpSender>(net, host, port, dst_node,
+                                           dst_port, config);
+    case Transport::kCubic:
+      return std::make_unique<CubicSender>(net, host, port, dst_node,
+                                           dst_port, config);
+    case Transport::kNewReno:
+      return std::make_unique<TcpSender>(net, host, port, dst_node,
+                                         dst_port, config);
+  }
+  return nullptr;
+}
+
+TcpConnection::TcpConnection(net::Network& net, net::Host& src,
+                             net::Host& dst, std::uint16_t src_port,
+                             std::uint16_t dst_port, Transport transport,
+                             TcpConfig config)
+    : transport_(transport) {
+  TcpConfig sink_cfg = config;
+  if (transport == Transport::kDctcp) sink_cfg.ecn = EcnMode::kDctcp;
+  sink_ = std::make_unique<TcpSink>(net, dst, dst_port, sink_cfg);
+  sender_ = make_sender(transport, net, src, src_port, dst.id(), dst_port,
+                        config);
+}
+
+}  // namespace hwatch::tcp

@@ -1,0 +1,48 @@
+// Connection factory: wires a sender agent on the source host to a sink
+// agent on the destination host, with matching ECN behaviour on both
+// ends.  Scenarios create one TcpConnection per flow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/network.hpp"
+#include "tcp/dctcp.hpp"
+#include "tcp/sender.hpp"
+#include "tcp/sink.hpp"
+
+namespace hwatch::tcp {
+
+/// Builds the right sender subclass for a transport flavour.
+std::unique_ptr<TcpSender> make_sender(Transport transport,
+                                       net::Network& net, net::Host& host,
+                                       std::uint16_t port,
+                                       net::NodeId dst_node,
+                                       std::uint16_t dst_port,
+                                       const TcpConfig& config);
+
+class TcpConnection {
+ public:
+  /// Creates the sender on `src` (bound to src_port) and the sink on
+  /// `dst` (bound to dst_port).  `config.ecn` applies to both endpoints
+  /// (the sink's echo mode follows the sender's flavour).
+  TcpConnection(net::Network& net, net::Host& src, net::Host& dst,
+                std::uint16_t src_port, std::uint16_t dst_port,
+                Transport transport, TcpConfig config);
+
+  /// Begins the transfer immediately.
+  void start(std::uint64_t bytes) { sender_->start(bytes); }
+
+  TcpSender& sender() { return *sender_; }
+  const TcpSender& sender() const { return *sender_; }
+  TcpSink& sink() { return *sink_; }
+  const TcpSink& sink() const { return *sink_; }
+  Transport transport() const { return transport_; }
+
+ private:
+  Transport transport_;
+  std::unique_ptr<TcpSink> sink_;      // constructed first: must be bound
+  std::unique_ptr<TcpSender> sender_;  // before the SYN can be answered
+};
+
+}  // namespace hwatch::tcp

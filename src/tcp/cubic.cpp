@@ -1,0 +1,80 @@
+#include "tcp/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hwatch::tcp {
+
+void CubicSender::enter_reduction() {
+  w_max_ = cwnd_ / mss();
+  epoch_start_ = sim::kTimeNever;  // new epoch starts on the next growth
+}
+
+std::uint64_t CubicSender::ssthresh_after_loss() {
+  enter_reduction();
+  return std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(cwnd_ * params_.beta), 2ull * mss());
+}
+
+void CubicSender::on_ecn_feedback(const net::Packet& ack,
+                                  std::uint64_t newly_acked) {
+  (void)newly_acked;
+  if (config().ecn != EcnMode::kClassic) return;
+  if (!ack.tcp.ece || in_fast_recovery()) return;
+  if (snd_una() <= ecn_reduce_until_) return;
+  enter_reduction();
+  reduce_window(cwnd_ * params_.beta);
+  ecn_reduce_until_ = snd_nxt();
+  signal_cwr();
+  ++stats_.ecn_reductions;
+}
+
+double CubicSender::cubic_target_segments(double t_seconds) const {
+  const double dt = t_seconds - k_seconds_;
+  return params_.c * dt * dt * dt + w_max_;
+}
+
+void CubicSender::grow_window(std::uint64_t newly_acked) {
+  if (in_slow_start()) {
+    cwnd_ += static_cast<double>(
+        std::min<std::uint64_t>(newly_acked, 2ull * mss()));
+    return;
+  }
+  const sim::TimePs t_now = now();
+  if (epoch_start_ == sim::kTimeNever) {
+    // New cubic epoch: anchor the curve at the current window.
+    epoch_start_ = t_now;
+    const double w_cur = cwnd_ / mss();
+    if (w_max_ < w_cur) w_max_ = w_cur;
+    k_seconds_ = std::cbrt(w_max_ * (1.0 - params_.beta) / params_.c);
+    w_est_ = w_cur;
+    acked_since_epoch_ = 0;
+  }
+  acked_since_epoch_ += newly_acked;
+
+  const double t = sim::to_seconds(t_now - epoch_start_);
+  const double target = cubic_target_segments(t);
+
+  // TCP-friendly region (RFC 8312 4.2): emulate AIMD(1, beta) growth.
+  const double rtt_s = rtt().has_sample()
+                           ? sim::to_seconds(rtt().srtt())
+                           : 100e-6;
+  w_est_ += (3.0 * (1.0 - params_.beta) / (1.0 + params_.beta)) *
+            (static_cast<double>(newly_acked) / cwnd_);
+
+  const double w_cur = cwnd_ / mss();
+  double next = std::max(target, w_est_);
+  if (next <= w_cur) {
+    // Concave plateau: creep towards the target like the RFC's
+    // cwnd/(100 cwnd) minimal growth.
+    next = w_cur + 0.01 * (static_cast<double>(newly_acked) / mss());
+  } else {
+    // Approach the cubic target over roughly one RTT of ACKs.
+    next = w_cur + (next - w_cur) *
+                       (static_cast<double>(newly_acked) / cwnd_);
+  }
+  (void)rtt_s;
+  cwnd_ = std::max(next * mss(), 2.0 * mss());
+}
+
+}  // namespace hwatch::tcp

@@ -1,0 +1,30 @@
+#include "tcp/dctcp.hpp"
+
+namespace hwatch::tcp {
+
+void DctcpSender::on_ecn_feedback(const net::Packet& ack,
+                                  std::uint64_t newly_acked) {
+  acked_total_ += newly_acked;
+  if (ack.tcp.ece) acked_marked_ += newly_acked;
+
+  // Observation window: one round of the sequence space.
+  if (snd_una() >= window_end_) {
+    if (acked_total_ > 0) {
+      const double f = static_cast<double>(acked_marked_) /
+                       static_cast<double>(acked_total_);
+      alpha_ = (1.0 - g_) * alpha_ + g_ * f;
+    }
+    acked_total_ = 0;
+    acked_marked_ = 0;
+    window_end_ = snd_nxt();
+  }
+
+  // Proportional reduction, at most once per window of data.
+  if (ack.tcp.ece && !in_fast_recovery() && snd_una() > reduce_until_) {
+    reduce_window(cwnd_ * (1.0 - alpha_ / 2.0));
+    reduce_until_ = snd_nxt();
+    ++stats_.ecn_reductions;
+  }
+}
+
+}  // namespace hwatch::tcp

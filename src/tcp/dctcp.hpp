@@ -1,0 +1,44 @@
+// DCTCP sender (Alizadeh et al., SIGCOMM'10 / RFC 8257).
+//
+// Differs from NewReno only in the ECN response: the receiver's per-packet
+// ECE echoes drive an EWMA estimate `alpha` of the marked-byte fraction,
+// and on the first ECE of each window the congestion window is reduced
+// proportionally, cwnd *= (1 - alpha/2), instead of being halved.  This
+// is the "aggressive acquisition" behaviour whose coexistence problems
+// the paper's Figure 2 demonstrates.
+#pragma once
+
+#include "tcp/sender.hpp"
+
+namespace hwatch::tcp {
+
+class DctcpSender final : public TcpSender {
+ public:
+  DctcpSender(net::Network& net, net::Host& host, std::uint16_t port,
+              net::NodeId dst_node, std::uint16_t dst_port, TcpConfig config)
+      : TcpSender(net, host, port, dst_node, dst_port, force_dctcp(config)),
+        g_(config.dctcp_g) {}
+
+  double alpha() const { return alpha_; }
+
+  std::string transport_name() const override { return "dctcp"; }
+
+ protected:
+  void on_ecn_feedback(const net::Packet& ack,
+                       std::uint64_t newly_acked) override;
+
+ private:
+  static TcpConfig force_dctcp(TcpConfig c) {
+    c.ecn = EcnMode::kDctcp;
+    return c;
+  }
+
+  double g_;
+  double alpha_ = 1.0;  // conservative start, per RFC 8257
+  std::uint64_t window_end_ = 0;
+  std::uint64_t acked_total_ = 0;
+  std::uint64_t acked_marked_ = 0;
+  std::uint64_t reduce_until_ = 0;
+};
+
+}  // namespace hwatch::tcp

@@ -1,0 +1,91 @@
+#include "tcp/interval_set.hpp"
+
+#include <algorithm>
+
+namespace hwatch::tcp {
+
+std::uint64_t IntervalSet::insert(std::uint64_t start, std::uint64_t end) {
+  if (start >= end) return 0;
+  std::uint64_t newly = end - start;
+
+  auto it = set_.lower_bound(start);
+  if (it != set_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      // Overlaps (or abuts) the interval before: absorb it.
+      const std::uint64_t overlap_start = std::max(start, prev->first);
+      const std::uint64_t overlap_end = std::min(end, prev->second);
+      if (overlap_end > overlap_start) newly -= overlap_end - overlap_start;
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = set_.erase(prev);
+    }
+  }
+  while (it != set_.end() && it->first <= end) {
+    const std::uint64_t overlap_start = std::max(start, it->first);
+    const std::uint64_t overlap_end = std::min(end, it->second);
+    if (overlap_end > overlap_start) newly -= overlap_end - overlap_start;
+    end = std::max(end, it->second);
+    it = set_.erase(it);
+  }
+  set_.emplace(start, end);
+  return newly;
+}
+
+bool IntervalSet::contains(std::uint64_t point) const {
+  auto it = set_.upper_bound(point);
+  if (it == set_.begin()) return false;
+  return std::prev(it)->second > point;
+}
+
+std::optional<net::SackBlock> IntervalSet::interval_containing(
+    std::uint64_t point) const {
+  auto it = set_.upper_bound(point);
+  if (it == set_.begin()) return std::nullopt;
+  auto prev = std::prev(it);
+  if (prev->second > point) {
+    return net::SackBlock{prev->first, prev->second};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t IntervalSet::next_uncovered(std::uint64_t from) const {
+  auto blk = interval_containing(from);
+  return blk ? blk->end : from;
+}
+
+std::uint64_t IntervalSet::gap_end(std::uint64_t from,
+                                   std::uint64_t bound) const {
+  auto it = set_.lower_bound(from);
+  if (it == set_.end()) return bound;
+  return std::min(it->first, bound);
+}
+
+void IntervalSet::erase_below(std::uint64_t point) {
+  auto it = set_.begin();
+  while (it != set_.end() && it->second <= point) {
+    it = set_.erase(it);
+  }
+  if (it != set_.end() && it->first < point) {
+    const std::uint64_t end = it->second;
+    set_.erase(it);
+    set_.emplace(point, end);
+  }
+}
+
+std::uint64_t IntervalSet::covered_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [s, e] : set_) total += e - s;
+  return total;
+}
+
+std::uint64_t IntervalSet::covered_above(std::uint64_t point) const {
+  std::uint64_t total = 0;
+  for (const auto& [s, e] : set_) {
+    if (e <= point) continue;
+    total += e - std::max(s, point);
+  }
+  return total;
+}
+
+}  // namespace hwatch::tcp

@@ -1,0 +1,59 @@
+// Disjoint half-open byte-interval set.
+//
+// Two users: the sink's out-of-order reassembly buffer and the SACK
+// sender's scoreboard of selectively-acknowledged ranges.  Intervals
+// are [start, end) in 64-bit sequence space, kept disjoint and merged
+// on insert.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace hwatch::tcp {
+
+class IntervalSet {
+ public:
+  using Map = std::map<std::uint64_t, std::uint64_t>;
+
+  /// Inserts [start, end), merging with neighbours.  Returns the number
+  /// of bytes that were not previously covered.
+  std::uint64_t insert(std::uint64_t start, std::uint64_t end);
+
+  bool contains(std::uint64_t point) const;
+
+  /// The interval containing `point`, if any.
+  std::optional<net::SackBlock> interval_containing(
+      std::uint64_t point) const;
+
+  /// First point >= `from` not covered by any interval.
+  std::uint64_t next_uncovered(std::uint64_t from) const;
+
+  /// End (exclusive) of the uncovered gap starting at `from`: the start
+  /// of the next interval above `from`, or `bound` if none below it.
+  /// Precondition: `from` is uncovered.
+  std::uint64_t gap_end(std::uint64_t from, std::uint64_t bound) const;
+
+  /// Drops all coverage below `point` (trimming a straddling interval).
+  void erase_below(std::uint64_t point);
+
+  void clear() { set_.clear(); }
+  bool empty() const { return set_.empty(); }
+  std::size_t size() const { return set_.size(); }
+
+  /// Total bytes covered.
+  std::uint64_t covered_bytes() const;
+
+  /// Bytes covered strictly above `point`.
+  std::uint64_t covered_above(std::uint64_t point) const;
+
+  Map::const_iterator begin() const { return set_.begin(); }
+  Map::const_iterator end() const { return set_.end(); }
+
+ private:
+  Map set_;  // start -> end, disjoint, non-adjacent after merge
+};
+
+}  // namespace hwatch::tcp

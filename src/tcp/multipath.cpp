@@ -1,0 +1,84 @@
+#include "tcp/multipath.hpp"
+
+#include <stdexcept>
+
+namespace hwatch::tcp {
+
+MultipathConnection::MultipathConnection(net::Network& net, net::Host& src,
+                                         net::Host& dst,
+                                         std::uint16_t base_src_port,
+                                         std::uint16_t base_dst_port,
+                                         const MultipathConfig& config)
+    : sched_(&net.scheduler()) {
+  if (config.subflows == 0) {
+    throw std::invalid_argument("multipath: need at least one subflow");
+  }
+  subflows_.reserve(config.subflows);
+  for (std::uint32_t i = 0; i < config.subflows; ++i) {
+    auto conn = std::make_unique<TcpConnection>(
+        net, src, dst, static_cast<std::uint16_t>(base_src_port + i),
+        static_cast<std::uint16_t>(base_dst_port + i), config.transport,
+        config.tcp);
+    conn->sender().set_on_complete([this](const TcpSender&) {
+      ++completed_;
+      if (completed_ == subflows_.size()) {
+        complete_time_ = sched_->now();
+        if (on_complete_) on_complete_(*this);
+      }
+    });
+    subflows_.push_back(std::move(conn));
+  }
+}
+
+void MultipathConnection::start(std::uint64_t total_bytes) {
+  if (started_) throw std::logic_error("multipath: start() called twice");
+  started_ = true;
+  start_time_ = sched_->now();
+  if (total_bytes >= TcpSender::kUnlimited) {
+    for (auto& sf : subflows_) sf->start(TcpSender::kUnlimited);
+    return;
+  }
+  const std::uint64_t n = subflows_.size();
+  const std::uint64_t share = total_bytes / n;
+  std::uint64_t first_share = share + total_bytes % n;
+  for (std::size_t i = 0; i < subflows_.size(); ++i) {
+    subflows_[i]->start(i == 0 ? first_share : share);
+  }
+}
+
+sim::TimePs MultipathConnection::fct() const {
+  if (complete_time_ == sim::kTimeNever) return sim::kTimeNever;
+  return complete_time_ - start_time_;
+}
+
+std::uint64_t MultipathConnection::bytes_acked() const {
+  std::uint64_t total = 0;
+  for (const auto& sf : subflows_) {
+    total += sf->sender().stats().bytes_acked;
+  }
+  return total;
+}
+
+double MultipathConnection::aggregate_goodput_bps() const {
+  double total = 0;
+  for (const auto& sf : subflows_) total += sf->sink().goodput_bps();
+  return total;
+}
+
+std::uint64_t MultipathConnection::total_retransmits() const {
+  std::uint64_t total = 0;
+  for (const auto& sf : subflows_) {
+    total += sf->sender().stats().retransmits;
+  }
+  return total;
+}
+
+std::uint64_t MultipathConnection::total_timeouts() const {
+  std::uint64_t total = 0;
+  for (const auto& sf : subflows_) {
+    total += sf->sender().stats().timeouts;
+  }
+  return total;
+}
+
+}  // namespace hwatch::tcp

@@ -1,0 +1,31 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <cstdlib>
+
+namespace hwatch::tcp {
+
+void RttEstimator::add_sample(sim::TimePs rtt) {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    // RFC 6298: alpha = 1/8, beta = 1/4.
+    const sim::TimePs err = std::llabs(srtt_ - rtt);
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+  recompute();
+}
+
+void RttEstimator::recompute() {
+  if (!has_sample_) return;
+  const sim::TimePs candidate = srtt_ + std::max<sim::TimePs>(4 * rttvar_, 1);
+  rto_ = std::clamp(candidate, min_rto_, max_rto_);
+}
+
+void RttEstimator::backoff() {
+  rto_ = std::min(rto_ * 2, max_rto_);
+}
+
+}  // namespace hwatch::tcp

@@ -1,0 +1,51 @@
+// RFC 6298 retransmission-timeout estimator with a configurable floor.
+//
+// The paper's core pathology is that minRTO (200 ms in stock Linux) is
+// 3-4 orders of magnitude above datacenter RTTs (~100 us), so every
+// tail-loss costs thousands of RTTs.  The floor is explicit here so
+// scenarios can reproduce both the 200 ms default and the 4 ms testbed
+// setting.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace hwatch::tcp {
+
+class RttEstimator {
+ public:
+  RttEstimator(sim::TimePs initial_rto, sim::TimePs min_rto,
+               sim::TimePs max_rto)
+      : rto_(std::clamp(initial_rto, min_rto, max_rto)),
+        min_rto_(min_rto),
+        max_rto_(max_rto) {}
+
+  /// Feeds one RTT measurement (Karn-filtered by the caller: samples from
+  /// retransmitted segments must not reach here).
+  void add_sample(sim::TimePs rtt);
+
+  /// Current retransmission timeout.
+  sim::TimePs rto() const { return rto_; }
+
+  /// Doubles the RTO (exponential backoff on expiry), capped at max.
+  void backoff();
+
+  /// Resets backoff after a successful new-data ACK (RFC 6298 §5.7 keeps
+  /// the backed-off value until the next sample; we recompute directly).
+  void recompute();
+
+  bool has_sample() const { return has_sample_; }
+  sim::TimePs srtt() const { return srtt_; }
+  sim::TimePs rttvar() const { return rttvar_; }
+
+ private:
+  sim::TimePs srtt_ = 0;
+  sim::TimePs rttvar_ = 0;
+  sim::TimePs rto_;
+  sim::TimePs min_rto_;
+  sim::TimePs max_rto_;
+  bool has_sample_ = false;
+};
+
+}  // namespace hwatch::tcp

@@ -1,0 +1,191 @@
+// TCP sender agent: NewReno congestion control with configurable ECN
+// behaviour, SYN handshake, fast retransmit/recovery, RFC 6298 RTO with
+// exponential backoff, and live receive-window flow control (the channel
+// HWatch actuates).
+//
+// Sequence space: SYN occupies seq 0, payload bytes occupy [1, total],
+// FIN occupies total+1; the connection completes when the FIN is acked
+// (snd_una == total + 2).  64-bit sequence numbers, no wraparound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/timer.hpp"
+#include "tcp/common.hpp"
+#include "tcp/interval_set.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace hwatch::tcp {
+
+enum class SenderState : std::uint8_t {
+  kIdle = 0,
+  kSynSent,
+  kEstablished,
+  kClosed,  // FIN acked: transfer complete
+};
+
+struct SenderStats {
+  sim::TimePs start_time = sim::kTimeNever;     // connect() call
+  sim::TimePs established_time = sim::kTimeNever;
+  sim::TimePs complete_time = sim::kTimeNever;  // FIN acked
+  std::uint64_t bytes_acked = 0;                // payload bytes
+  std::uint64_t segments_sent = 0;              // data segments, incl. retx
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;      // RTO expiries with data outstanding
+  std::uint64_t syn_timeouts = 0;  // handshake (SYN) retransmissions
+  std::uint64_t ecn_reductions = 0;  // window cuts triggered by ECE
+};
+
+class TcpSender {
+ public:
+  /// `port` is the local (source) port; ACKs arrive addressed to it.
+  TcpSender(net::Network& net, net::Host& host, std::uint16_t port,
+            net::NodeId dst_node, std::uint16_t dst_port, TcpConfig config);
+  virtual ~TcpSender();
+
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  /// Opens the connection and transfers `total_bytes` of payload, then a
+  /// FIN.  Pass kUnlimited for a long-lived flow that never completes.
+  static constexpr std::uint64_t kUnlimited = UINT64_MAX / 2;
+  void start(std::uint64_t total_bytes);
+
+  using CompletionCallback = std::function<void(const TcpSender&)>;
+  void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  // --- observers -----------------------------------------------------
+  SenderState state() const { return state_; }
+  const SenderStats& stats() const { return stats_; }
+  const TcpConfig& config() const { return cfg_; }
+  double cwnd_bytes() const { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const { return ssthresh_; }
+  std::uint64_t snd_una() const { return snd_una_; }
+  std::uint64_t snd_nxt() const { return snd_nxt_; }
+  std::uint64_t peer_rwnd_bytes() const { return peer_rwnd_; }
+  bool in_fast_recovery() const { return in_recovery_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  net::FlowKey flow_key() const {
+    return net::FlowKey{host_.id(), dst_node_, port_, dst_port_};
+  }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Flow completion time; kTimeNever while incomplete.
+  sim::TimePs fct() const {
+    return stats_.complete_time == sim::kTimeNever
+               ? sim::kTimeNever
+               : stats_.complete_time - stats_.start_time;
+  }
+
+  virtual std::string transport_name() const { return "newreno"; }
+
+ protected:
+  /// ECN feedback hook, called for every arriving ACK before window
+  /// growth.  The base class implements RFC 3168 (one halving per window,
+  /// CWR handshake) for kClassic and ignores ECE for kBlind/kNone; DCTCP
+  /// overrides with the proportional estimator.
+  virtual void on_ecn_feedback(const net::Packet& ack,
+                               std::uint64_t newly_acked);
+
+  /// Multiplicative-decrease entry point shared by loss and ECN paths.
+  void reduce_window(double new_cwnd_bytes);
+
+  /// Schedules the CWR echo on the next new data segment — REQUIRED
+  /// after any ECE-triggered reduction in classic-ECN mode, or the
+  /// receiver's latched ECE never clears and the window death-spirals.
+  void signal_cwr() { cwr_pending_ = true; }
+
+  /// Window growth per newly-acked data; the base class implements
+  /// byte-counting slow start (RFC 3465) + AIMD congestion avoidance.
+  /// Cubic overrides the avoidance region.
+  virtual void grow_window(std::uint64_t newly_acked);
+
+  /// Slow-start threshold after loss detection (fast retransmit / RTO).
+  /// NewReno halves the flight; Cubic multiplies cwnd by beta.
+  virtual std::uint64_t ssthresh_after_loss();
+
+  bool in_slow_start() const {
+    return cwnd_ < static_cast<double>(ssthresh_);
+  }
+  sim::TimePs now() const;
+
+  std::uint32_t mss() const { return cfg_.mss; }
+  double cwnd_ = 0;  // bytes; fractional growth in congestion avoidance
+  std::uint64_t ssthresh_ = 0;
+  SenderStats stats_;
+
+ private:
+  void on_packet(net::Packet&& p);
+  void handle_syn_ack(const net::Packet& p);
+  void handle_ack(const net::Packet& p);
+  void on_new_data_acked(const net::Packet& p, std::uint64_t newly);
+  void on_duplicate_ack(const net::Packet& p);
+  /// Retransmits the next not-yet-retransmitted hole (SACK) or the
+  /// first unacked segment (NewReno).  Returns false when every hole
+  /// below the recovery point was already retransmitted.
+  bool retransmit_next_hole();
+  void send_available();
+  void emit_segment(std::uint64_t seq, bool retransmission);
+  void send_syn();
+  void send_pure_ack();
+  void on_rto();
+  void arm_rto();
+  void maybe_complete();
+  std::uint64_t bytes_in_flight() const { return snd_nxt_ - snd_una_; }
+  /// End of the payload region (exclusive): seq of the FIN.
+  std::uint64_t fin_seq() const { return total_bytes_ + 1; }
+
+  net::Network& net_;
+  net::Host& host_;
+  std::uint16_t port_;
+  net::NodeId dst_node_;
+  std::uint16_t dst_port_;
+  TcpConfig cfg_;
+
+  SenderState state_ = SenderState::kIdle;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t snd_max_ = 0;  // highest sequence ever sent (for acks
+                               // arriving after a go-back-N reset)
+  bool fin_sent_ = false;
+
+  std::uint64_t peer_rwnd_ = 0;
+  std::uint8_t peer_wscale_ = 0;
+
+  // SACK (RFC 2018) state: negotiated on the handshake; the scoreboard
+  // holds selectively-acknowledged ranges above snd_una.
+  bool peer_sack_ = false;
+  IntervalSet sacked_;
+  /// Highest sequence whose hole was already retransmitted in the
+  /// current recovery episode (avoids duplicate hole retransmissions).
+  std::uint64_t retx_hole_high_ = 0;
+
+  std::uint32_t dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  /// Extra send budget from RFC 3042 limited transmit (cleared by the
+  /// next cumulative ACK or RTO).
+  std::uint64_t limited_transmit_bytes_ = 0;
+
+  // Classic-ECN reduction bookkeeping.
+  bool cwr_pending_ = false;
+  std::uint64_t ecn_reduce_until_ = 0;  // no second cut before this seq acked
+
+  // Karn-filtered single-sample RTT timing.
+  bool timing_valid_ = false;
+  std::uint64_t rtt_seq_ = 0;
+  sim::TimePs rtt_sent_at_ = 0;
+  bool syn_retransmitted_ = false;
+  sim::TimePs syn_sent_at_ = 0;
+
+  RttEstimator rtt_;
+  sim::Timer rto_timer_;
+  CompletionCallback on_complete_;
+};
+
+}  // namespace hwatch::tcp

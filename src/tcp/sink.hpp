@@ -1,0 +1,104 @@
+// TCP receiver agent.
+//
+// Accepts a connection (SYN -> SYN-ACK), reassembles the byte stream
+// (cumulative ACKs over an out-of-order segment map), advertises its
+// receive window, and echoes ECN according to the peer's flavour:
+//   * classic   — ECE latched from the first CE until a CWR arrives,
+//   * DCTCP     — ECE mirrors the CE state of the segment being ACKed
+//                 (per-packet ACKs make the delayed-ACK state machine
+//                 collapse to exact mirroring),
+//   * none/blind— never sets ECE / sets it but the peer ignores it.
+// Note that stock ns-2 TCP has no receive-window processing at all; the
+// paper had to add it, and so does this stack — the sink's advertised
+// window is live flow control, which is exactly the knob HWatch rewrites
+// in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/timer.hpp"
+#include "tcp/common.hpp"
+#include "tcp/interval_set.hpp"
+
+namespace hwatch::tcp {
+
+struct SinkStats {
+  std::uint64_t bytes_received = 0;       // in-order payload bytes
+  std::uint64_t segments_received = 0;    // data segments (incl. dup)
+  std::uint64_t duplicate_segments = 0;   // below rcv_nxt entirely
+  std::uint64_t ce_marked_segments = 0;   // data segments carrying CE
+  std::uint64_t acks_sent = 0;
+  sim::TimePs first_data_time = sim::kTimeNever;
+  sim::TimePs last_data_time = 0;
+};
+
+class TcpSink {
+ public:
+  /// Binds to `port` on `host`.  `ecn_echo` should match the peer
+  /// sender's EcnMode.
+  TcpSink(net::Network& net, net::Host& host, std::uint16_t port,
+          TcpConfig config);
+  ~TcpSink();
+
+  TcpSink(const TcpSink&) = delete;
+  TcpSink& operator=(const TcpSink&) = delete;
+
+  const SinkStats& stats() const { return stats_; }
+
+  /// Next expected in-order byte (data starts at 1; SYN occupies 0).
+  std::uint64_t rcv_nxt() const { return rcv_nxt_; }
+
+  bool connected() const { return connected_; }
+  bool fin_received() const { return fin_received_; }
+
+  /// Window-scale shift the peer announced in its SYN.
+  std::uint8_t peer_wscale() const { return peer_wscale_; }
+
+  /// Application-level goodput between the first and last data arrival.
+  double goodput_bps() const;
+
+ private:
+  void on_packet(net::Packet&& p);
+  void handle_syn(const net::Packet& p);
+  void handle_data(net::Packet&& p);
+  void send_ack(bool syn_ack, bool fin_ack);
+  void update_ecn_state(const net::Packet& p);
+  net::Packet make_segment() const;
+
+  net::Network& net_;
+  net::Host& host_;
+  std::uint16_t port_;
+  TcpConfig cfg_;
+
+  bool connected_ = false;
+  bool fin_received_ = false;
+  std::uint64_t rcv_nxt_ = 0;
+  net::NodeId peer_node_ = net::kInvalidNode;
+  std::uint16_t peer_port_ = 0;
+  std::uint8_t peer_wscale_ = 0;
+
+  // Out-of-order segments above rcv_nxt.
+  IntervalSet ooo_;
+  // SACK: whether the peer negotiated it, and the most recent block for
+  // RFC 2018's "first block" rule.
+  bool peer_sack_ = false;
+  std::uint64_t last_arrival_start_ = 0;
+  bool have_last_arrival_ = false;
+
+  // ECN echo state.
+  bool ece_latched_ = false;    // classic mode
+  bool last_seg_ce_ = false;    // dctcp mode
+
+  // Delayed-ACK state (active only when cfg_.delayed_ack).
+  std::uint32_t unacked_segments_ = 0;
+  sim::Timer delack_timer_;
+
+  SinkStats stats_;
+};
+
+}  // namespace hwatch::tcp

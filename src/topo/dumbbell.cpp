@@ -1,0 +1,45 @@
+#include "topo/dumbbell.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hwatch::topo {
+
+Dumbbell build_dumbbell(net::Network& net, const DumbbellConfig& cfg) {
+  if (!cfg.edge_qdisc || !cfg.bottleneck_qdisc) {
+    throw std::invalid_argument("dumbbell: qdisc factories are required");
+  }
+  if (cfg.pairs == 0) {
+    throw std::invalid_argument("dumbbell: need at least one host pair");
+  }
+  Dumbbell d;
+  d.switch_left = &net.add_switch("swL");
+  d.switch_right = &net.add_switch("swR");
+
+  // One-way path crosses two edge links and the bottleneck; give each
+  // link an equal share of base_rtt / 2 / 3.
+  const sim::TimePs per_link = cfg.base_rtt / 6;
+
+  for (std::uint32_t i = 0; i < cfg.pairs; ++i) {
+    net::Host& l = net.add_host("L" + std::to_string(i));
+    net.connect(l, *d.switch_left, cfg.edge_rate, per_link, cfg.edge_qdisc);
+    d.left.push_back(&l);
+  }
+  for (std::uint32_t i = 0; i < cfg.pairs; ++i) {
+    net::Host& r = net.add_host("R" + std::to_string(i));
+    net.connect(r, *d.switch_right, cfg.edge_rate, per_link,
+                cfg.edge_qdisc);
+    d.right.push_back(&r);
+  }
+
+  auto core = net.connect(*d.switch_left, *d.switch_right,
+                          cfg.bottleneck_rate, per_link,
+                          cfg.bottleneck_qdisc);
+  d.bottleneck = core.forward;
+  d.bottleneck_reverse = core.backward;
+
+  net.compute_routes();
+  return d;
+}
+
+}  // namespace hwatch::topo

@@ -1,0 +1,37 @@
+// Dumbbell topology: N left hosts -- switch L -- bottleneck -- switch R
+// -- N right hosts.  This is the paper's simulation fabric (Figures 1, 2,
+// 8, 9): 10 Gb/s everywhere, 100 us base RTT, 250-packet bottleneck
+// buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hwatch::topo {
+
+struct DumbbellConfig {
+  std::uint32_t pairs = 50;  // left/right host pairs
+  sim::DataRate edge_rate = sim::DataRate::gbps(10);
+  sim::DataRate bottleneck_rate = sim::DataRate::gbps(10);
+  /// Base round-trip across host-L-R-host; split over the links.
+  sim::TimePs base_rtt = sim::microseconds(100);
+  net::QdiscFactory edge_qdisc;        // required
+  net::QdiscFactory bottleneck_qdisc;  // required
+};
+
+struct Dumbbell {
+  std::vector<net::Host*> left;
+  std::vector<net::Host*> right;
+  net::Switch* switch_left = nullptr;
+  net::Switch* switch_right = nullptr;
+  /// The congested direction: switch L -> switch R.
+  net::Link* bottleneck = nullptr;
+  net::Link* bottleneck_reverse = nullptr;
+};
+
+/// Builds the topology into `net` and computes routes.
+Dumbbell build_dumbbell(net::Network& net, const DumbbellConfig& cfg);
+
+}  // namespace hwatch::topo

@@ -1,0 +1,59 @@
+#include "topo/fat_tree.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hwatch::topo {
+
+FatTree build_fat_tree(net::Network& net, const FatTreeConfig& cfg) {
+  if (cfg.k < 2 || cfg.k % 2 != 0) {
+    throw std::invalid_argument("fat_tree: k must be even and >= 2");
+  }
+  if (!cfg.qdisc) {
+    throw std::invalid_argument("fat_tree: qdisc factory is required");
+  }
+  const std::uint32_t k = cfg.k;
+  const std::uint32_t half = k / 2;
+  // Longest path: host-edge-agg-core-agg-edge-host = 6 links one way.
+  const sim::TimePs per_link = cfg.base_rtt / 12;
+
+  FatTree t;
+  t.k = k;
+
+  for (std::uint32_t c = 0; c < half * half; ++c) {
+    t.cores.push_back(&net.add_switch("core" + std::to_string(c)));
+  }
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    const std::string ps = std::to_string(pod);
+    for (std::uint32_t a = 0; a < half; ++a) {
+      net::Switch& agg =
+          net.add_switch("p" + ps + "agg" + std::to_string(a));
+      t.aggregations.push_back(&agg);
+      // Aggregation a in every pod connects to cores [a*half, a*half+half).
+      for (std::uint32_t c = 0; c < half; ++c) {
+        net.connect(agg, *t.cores[a * half + c], cfg.link_rate, per_link,
+                    cfg.qdisc);
+      }
+    }
+    for (std::uint32_t e = 0; e < half; ++e) {
+      net::Switch& edge =
+          net.add_switch("p" + ps + "edge" + std::to_string(e));
+      t.edges.push_back(&edge);
+      for (std::uint32_t a = 0; a < half; ++a) {
+        net.connect(edge, *t.aggregations[pod * half + a], cfg.link_rate,
+                    per_link, cfg.qdisc);
+      }
+      for (std::uint32_t h = 0; h < half; ++h) {
+        net::Host& host = net.add_host("p" + ps + "e" + std::to_string(e) +
+                                       "h" + std::to_string(h));
+        net.connect(host, edge, cfg.link_rate, per_link, cfg.qdisc);
+        t.hosts.push_back(&host);
+      }
+    }
+  }
+
+  net.compute_routes();
+  return t;
+}
+
+}  // namespace hwatch::topo

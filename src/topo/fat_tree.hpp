@@ -1,0 +1,36 @@
+// k-ary fat-tree (Al-Fares et al., SIGCOMM'08), the canonical multi-path
+// datacenter fabric the paper cites as its deployment context.  Included
+// as an extension so the HWatch results can be checked on a topology with
+// genuine ECMP path diversity.
+//
+// Layout for even k: (k/2)^2 core switches; k pods, each with k/2
+// aggregation and k/2 edge switches; each edge switch serves k/2 hosts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hwatch::topo {
+
+struct FatTreeConfig {
+  std::uint32_t k = 4;  // must be even and >= 2
+  sim::DataRate link_rate = sim::DataRate::gbps(10);
+  sim::TimePs base_rtt = sim::microseconds(100);
+  net::QdiscFactory qdisc;  // used on every port
+};
+
+struct FatTree {
+  std::vector<net::Host*> hosts;           // pod-major order
+  std::vector<net::Switch*> edges;         // k/2 per pod
+  std::vector<net::Switch*> aggregations;  // k/2 per pod
+  std::vector<net::Switch*> cores;         // (k/2)^2
+
+  std::uint32_t k = 0;
+  std::uint32_t hosts_per_pod() const { return (k / 2) * (k / 2); }
+};
+
+FatTree build_fat_tree(net::Network& net, const FatTreeConfig& cfg);
+
+}  // namespace hwatch::topo

@@ -1,0 +1,47 @@
+#include "topo/leaf_spine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hwatch::topo {
+
+LeafSpine build_leaf_spine(net::Network& net, const LeafSpineConfig& cfg) {
+  if (!cfg.edge_qdisc || !cfg.fabric_qdisc) {
+    throw std::invalid_argument("leaf_spine: qdisc factories are required");
+  }
+  if (cfg.racks == 0 || cfg.hosts_per_rack == 0 || cfg.spines == 0) {
+    throw std::invalid_argument("leaf_spine: empty dimension");
+  }
+  LeafSpine t;
+
+  // A host-to-host path in different racks crosses 4 links one way
+  // (host->leaf, leaf->spine, spine->leaf, leaf->host).
+  const sim::TimePs per_link = cfg.base_rtt / 8;
+
+  for (std::uint32_t s = 0; s < cfg.spines; ++s) {
+    t.spines.push_back(&net.add_switch("spine" + std::to_string(s)));
+  }
+  for (std::uint32_t r = 0; r < cfg.racks; ++r) {
+    net::Switch& leaf = net.add_switch("leaf" + std::to_string(r));
+    t.leaves.push_back(&leaf);
+    t.hosts.emplace_back();
+    for (std::uint32_t h = 0; h < cfg.hosts_per_rack; ++h) {
+      net::Host& host = net.add_host("r" + std::to_string(r) + "h" +
+                                     std::to_string(h));
+      net.connect(host, leaf, cfg.host_rate, per_link, cfg.edge_qdisc);
+      t.hosts.back().push_back(&host);
+    }
+  }
+  for (net::Switch* spine : t.spines) {
+    for (net::Switch* leaf : t.leaves) {
+      auto duplex = net.connect(*spine, *leaf, cfg.uplink_rate, per_link,
+                                cfg.fabric_qdisc);
+      t.downlinks.push_back(duplex.forward);  // spine -> leaf
+    }
+  }
+
+  net.compute_routes();
+  return t;
+}
+
+}  // namespace hwatch::topo

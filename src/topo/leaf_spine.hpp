@@ -1,0 +1,36 @@
+// Leaf-spine topology mirroring the paper's testbed (Section VI): 4 racks
+// of servers behind non-blocking leaf switches, one spine (the NetFPGA
+// "reference switch"), 1 Gb/s links, ~200 us base RTT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hwatch::topo {
+
+struct LeafSpineConfig {
+  std::uint32_t racks = 4;
+  std::uint32_t hosts_per_rack = 21;  // 84 servers total, as the testbed
+  sim::DataRate host_rate = sim::DataRate::gbps(1);
+  sim::DataRate uplink_rate = sim::DataRate::gbps(1);  // oversubscribed
+  std::uint32_t spines = 1;
+  sim::TimePs base_rtt = sim::microseconds(200);
+  net::QdiscFactory edge_qdisc;    // host <-> leaf ports
+  net::QdiscFactory fabric_qdisc;  // leaf <-> spine ports
+};
+
+struct LeafSpine {
+  /// hosts[r] = hosts in rack r.
+  std::vector<std::vector<net::Host*>> hosts;
+  std::vector<net::Switch*> leaves;
+  std::vector<net::Switch*> spines;
+  /// downlinks[r] = spine -> leaf r link (the hot spot for rack-bound
+  /// incast); one entry per (spine, rack) pair ordered spine-major.
+  std::vector<net::Link*> downlinks;
+};
+
+LeafSpine build_leaf_spine(net::Network& net, const LeafSpineConfig& cfg);
+
+}  // namespace hwatch::topo

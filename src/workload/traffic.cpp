@@ -1,0 +1,254 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace hwatch::workload {
+
+void TrafficManager::add_flow(const FlowSpec& spec) {
+  if (spec.src == nullptr || spec.dst == nullptr) {
+    throw std::invalid_argument("add_flow: null endpoint");
+  }
+  const std::uint16_t sport = next_port(*spec.src);
+  const std::uint16_t dport = next_port(*spec.dst);
+  auto conn = std::make_unique<tcp::TcpConnection>(
+      net_, *spec.src, *spec.dst, sport, dport, spec.transport, spec.tcp);
+
+  const std::size_t index = entries_.size();
+  conn->sender().set_on_complete([this, index](const tcp::TcpSender&) {
+    entries_[index].completed = true;
+    ++completed_;
+    if (entries_[index].spec.on_complete) {
+      entries_[index].spec.on_complete();
+    }
+  });
+  tcp::TcpConnection* raw = conn.get();
+  const std::uint64_t bytes = spec.bytes;
+  net_.scheduler().schedule_at(spec.start,
+                               [raw, bytes] { raw->start(bytes); });
+  entries_.push_back(Entry{spec, std::move(conn), false});
+}
+
+std::uint16_t TrafficManager::next_port(const net::Host& host) {
+  if (next_port_.size() <= host.id()) {
+    next_port_.resize(host.id() + 1, 1024);
+  }
+  const std::uint16_t port = next_port_[host.id()]++;
+  if (port == 0) throw std::runtime_error("port space exhausted");
+  return port;
+}
+
+std::vector<stats::FlowRecord> TrafficManager::collect_records() const {
+  std::vector<stats::FlowRecord> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    stats::FlowRecord r;
+    r.key = e.conn->sender().flow_key();
+    r.klass = e.spec.klass;
+    r.transport = e.conn->sender().transport_name();
+    r.epoch = e.spec.epoch;
+    r.bytes = e.spec.bytes;
+    r.completed = e.completed;
+    r.start_time = e.spec.start;
+    r.fct = e.conn->sender().fct();
+    r.retransmits = e.conn->sender().stats().retransmits;
+    r.timeouts = e.conn->sender().stats().timeouts;
+    r.goodput_bps = e.conn->sink().goodput_bps();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::uint64_t TrafficManager::total_retransmits() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) {
+    total += e.conn->sender().stats().retransmits;
+  }
+  return total;
+}
+
+std::uint64_t TrafficManager::total_timeouts() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) {
+    total += e.conn->sender().stats().timeouts;
+  }
+  return total;
+}
+
+void add_bulk_flows(TrafficManager& tm,
+                    const std::vector<net::Host*>& srcs,
+                    const std::vector<net::Host*>& dsts,
+                    const std::vector<SenderGroup>& groups, sim::TimePs t0,
+                    sim::TimePs start_spread, sim::Rng& rng) {
+  if (dsts.empty()) throw std::invalid_argument("bulk: no destinations");
+  std::size_t s = 0;
+  for (const SenderGroup& g : groups) {
+    for (std::uint32_t i = 0; i < g.count; ++i, ++s) {
+      if (s >= srcs.size()) {
+        throw std::invalid_argument("bulk: more flows than sources");
+      }
+      FlowSpec spec;
+      spec.src = srcs[s];
+      spec.dst = dsts[s % dsts.size()];
+      spec.transport = g.transport;
+      spec.tcp = g.tcp;
+      spec.bytes = tcp::TcpSender::kUnlimited;
+      spec.start =
+          t0 + static_cast<sim::TimePs>(rng.uniform() *
+                                        static_cast<double>(start_spread));
+      spec.klass = stats::FlowClass::kLong;
+      tm.add_flow(spec);
+    }
+  }
+}
+
+void add_incast_epochs(TrafficManager& tm,
+                       const std::vector<net::Host*>& srcs,
+                       const std::vector<net::Host*>& dsts,
+                       const std::vector<SenderGroup>& groups,
+                       const IncastConfig& cfg, sim::Rng& rng) {
+  if (dsts.empty()) throw std::invalid_argument("incast: no destinations");
+  // Expand groups to one (source, transport) slot per short sender.
+  struct Slot {
+    std::size_t src_index;
+    const SenderGroup* group;
+  };
+  std::vector<Slot> slots;
+  std::size_t s = 0;
+  for (const SenderGroup& g : groups) {
+    for (std::uint32_t i = 0; i < g.count; ++i, ++s) {
+      if (s >= srcs.size()) {
+        throw std::invalid_argument("incast: more flows than sources");
+      }
+      slots.push_back(Slot{s, &g});
+    }
+  }
+
+  for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const sim::TimePs epoch_start =
+        cfg.first_epoch + static_cast<sim::TimePs>(epoch) *
+                              cfg.epoch_interval;
+    // Random launch order with exponential gaps: correlated arrivals,
+    // which is precisely what produces incast.
+    std::vector<std::size_t> order(slots.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    sim::TimePs at = epoch_start;
+    for (std::size_t idx : order) {
+      const Slot& slot = slots[idx];
+      FlowSpec spec;
+      spec.src = srcs[slot.src_index];
+      spec.dst = dsts[slot.src_index % dsts.size()];
+      spec.transport = slot.group->transport;
+      spec.tcp = slot.group->tcp;
+      spec.bytes = cfg.flow_bytes;
+      spec.start = at;
+      spec.klass = stats::FlowClass::kShort;
+      spec.epoch = epoch;
+      tm.add_flow(spec);
+      at += rng.exponential_time(cfg.mean_interarrival);
+    }
+  }
+}
+
+void add_web_waves(TrafficManager& tm,
+                   const std::vector<net::Host*>& servers,
+                   const std::vector<net::Host*>& clients,
+                   tcp::Transport transport, const tcp::TcpConfig& tcp,
+                   const WebWaveConfig& cfg, sim::Rng& rng) {
+  for (std::uint32_t w = 0; w < cfg.waves; ++w) {
+    const sim::TimePs wave_start =
+        cfg.first_wave + static_cast<sim::TimePs>(w) * cfg.wave_interval;
+    for (net::Host* server : servers) {
+      for (net::Host* client : clients) {
+        for (std::uint32_t c = 0; c < cfg.connections_per_pair; ++c) {
+          FlowSpec spec;
+          spec.src = server;  // the response body dominates: model the
+          spec.dst = client;  // transfer server -> client
+          spec.transport = transport;
+          spec.tcp = tcp;
+          spec.bytes = cfg.object_bytes *
+                       std::max<std::uint32_t>(cfg.requests_per_connection,
+                                               1);
+          spec.start = wave_start + static_cast<sim::TimePs>(
+                                        rng.uniform() *
+                                        static_cast<double>(cfg.wave_spread));
+          spec.klass = stats::FlowClass::kShort;
+          spec.epoch = w;
+          tm.add_flow(spec);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// One closed-loop request slot; owns its own chaining state via
+/// shared_ptr so the lambdas can outlive this stack frame safely.
+struct ClosedLoopSlot {
+  workload::TrafficManager* tm;
+  net::Network* net;
+  net::Host* server;
+  net::Host* client;
+  tcp::Transport transport;
+  tcp::TcpConfig tcp;
+  std::uint64_t object_bytes;
+  std::uint32_t remaining;
+  std::uint32_t issued = 0;
+  sim::TimePs think_time_mean;
+  sim::Rng rng;
+};
+
+void issue_next_request(const std::shared_ptr<ClosedLoopSlot>& slot) {
+  if (slot->remaining == 0) return;
+  --slot->remaining;
+  workload::FlowSpec spec;
+  spec.src = slot->server;
+  spec.dst = slot->client;
+  spec.transport = slot->transport;
+  spec.tcp = slot->tcp;
+  spec.bytes = slot->object_bytes;
+  spec.start = slot->net->scheduler().now();
+  spec.klass = stats::FlowClass::kShort;
+  spec.epoch = slot->issued++;
+  spec.on_complete = [slot] {
+    if (slot->remaining == 0) return;
+    const sim::TimePs think =
+        slot->think_time_mean > 0
+            ? slot->rng.exponential_time(slot->think_time_mean)
+            : 0;
+    slot->net->scheduler().schedule_in(
+        think, [slot] { issue_next_request(slot); });
+  };
+  slot->tm->add_flow(spec);
+}
+
+}  // namespace
+
+void add_closed_loop_web(TrafficManager& tm,
+                         const std::vector<net::Host*>& servers,
+                         const std::vector<net::Host*>& clients,
+                         tcp::Transport transport,
+                         const tcp::TcpConfig& tcp,
+                         const ClosedLoopConfig& cfg, sim::Rng& rng) {
+  net::Network& net = tm.network();
+  for (net::Host* server : servers) {
+    for (net::Host* client : clients) {
+      for (std::uint32_t s = 0; s < cfg.slots_per_pair; ++s) {
+        auto slot = std::make_shared<ClosedLoopSlot>(ClosedLoopSlot{
+            &tm, &net, server, client, transport, tcp, cfg.object_bytes,
+            cfg.requests_per_slot, 0, cfg.think_time_mean, rng.fork()});
+        const sim::TimePs at =
+            cfg.start + static_cast<sim::TimePs>(
+                            rng.uniform() *
+                            static_cast<double>(cfg.start_spread));
+        net.scheduler().schedule_at(at,
+                                    [slot] { issue_next_request(slot); });
+      }
+    }
+  }
+}
+
+}  // namespace hwatch::workload

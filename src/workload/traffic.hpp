@@ -1,0 +1,161 @@
+// Traffic generation: flow specs, a TrafficManager that owns the
+// connections and harvests per-flow records, and generators for the
+// paper's three workloads — long-lived bulk flows (iperf stand-in),
+// correlated incast epochs of short flows, and testbed-style web-request
+// waves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "stats/flow_record.hpp"
+#include "tcp/connection.hpp"
+
+namespace hwatch::workload {
+
+struct FlowSpec {
+  net::Host* src = nullptr;
+  net::Host* dst = nullptr;
+  tcp::Transport transport = tcp::Transport::kNewReno;
+  tcp::TcpConfig tcp;
+  std::uint64_t bytes = 0;  // TcpSender::kUnlimited for long-lived
+  sim::TimePs start = 0;
+  stats::FlowClass klass = stats::FlowClass::kShort;
+  std::uint32_t epoch = 0;
+  /// Optional hook fired when the flow completes (closed-loop
+  /// generators chain the next request here).
+  std::function<void()> on_complete;
+};
+
+/// Owns every connection of a scenario, schedules their starts, and
+/// produces FlowRecords when the run ends.
+class TrafficManager {
+ public:
+  explicit TrafficManager(net::Network& net) : net_(net) {}
+
+  TrafficManager(const TrafficManager&) = delete;
+  TrafficManager& operator=(const TrafficManager&) = delete;
+
+  /// Creates the connection now (agents bind immediately) and schedules
+  /// its start.
+  void add_flow(const FlowSpec& spec);
+
+  std::size_t flow_count() const { return entries_.size(); }
+  std::size_t completed_count() const { return completed_; }
+
+  /// Harvests records: completed short flows carry their FCT; long-lived
+  /// flows carry the sink-measured goodput.
+  std::vector<stats::FlowRecord> collect_records() const;
+
+  /// Sum of retransmissions/timeouts across all senders.
+  std::uint64_t total_retransmits() const;
+  std::uint64_t total_timeouts() const;
+
+  /// Allocates a fresh ephemeral port on a host.
+  std::uint16_t next_port(const net::Host& host);
+
+  net::Network& network() { return net_; }
+
+ private:
+  struct Entry {
+    FlowSpec spec;
+    std::unique_ptr<tcp::TcpConnection> conn;
+    bool completed = false;
+  };
+
+  net::Network& net_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint16_t> next_port_;  // indexed by node id
+  std::size_t completed_ = 0;
+};
+
+/// A (transport, tcp-config, count) group; scenario configs use lists of
+/// these to express the paper's heterogeneous-tenant mixes.
+struct SenderGroup {
+  tcp::Transport transport = tcp::Transport::kNewReno;
+  tcp::TcpConfig tcp;
+  std::uint32_t count = 0;
+  std::string label;  // for reporting, defaults to transport name
+};
+
+/// Long-lived flows src[i] -> dst[i mod |dst|], started inside
+/// [t0, t0+start_spread) at uniformly random offsets.  Groups are
+/// assigned round-robin over the source list, consuming `count` sources
+/// each.
+void add_bulk_flows(TrafficManager& tm,
+                    const std::vector<net::Host*>& srcs,
+                    const std::vector<net::Host*>& dsts,
+                    const std::vector<SenderGroup>& groups, sim::TimePs t0,
+                    sim::TimePs start_spread, sim::Rng& rng);
+
+struct IncastConfig {
+  std::uint32_t epochs = 6;
+  sim::TimePs first_epoch = sim::milliseconds(100);
+  sim::TimePs epoch_interval = sim::milliseconds(150);
+  std::uint64_t flow_bytes = 10'000;  // paper: 10 KB per short flow
+  /// Mean inter-arrival between consecutive short flows inside an epoch
+  /// (paper: the transmission time of a single segment).
+  sim::TimePs mean_interarrival = sim::microseconds(1);
+};
+
+/// Correlated incast: every epoch, each source in `groups` starts one
+/// short flow towards its paired destination, in random order with
+/// exponential inter-arrival gaps.
+void add_incast_epochs(TrafficManager& tm,
+                       const std::vector<net::Host*>& srcs,
+                       const std::vector<net::Host*>& dsts,
+                       const std::vector<SenderGroup>& groups,
+                       const IncastConfig& cfg, sim::Rng& rng);
+
+struct WebWaveConfig {
+  std::uint32_t waves = 5;
+  sim::TimePs first_wave = sim::milliseconds(500);
+  sim::TimePs wave_interval = sim::milliseconds(1000);
+  std::uint32_t connections_per_pair = 10;  // parallel requests
+  std::uint32_t requests_per_connection = 1;
+  std::uint64_t object_bytes = 11'500;  // the testbed's 11.5 KB page
+  /// Requests of one wave are spread over this span.
+  sim::TimePs wave_spread = sim::milliseconds(20);
+};
+
+/// Testbed workload: every wave, each (server, client) pair opens
+/// `connections_per_pair` short flows of `object_bytes` from server to
+/// client.
+void add_web_waves(TrafficManager& tm,
+                   const std::vector<net::Host*>& servers,
+                   const std::vector<net::Host*>& clients,
+                   tcp::Transport transport, const tcp::TcpConfig& tcp,
+                   const WebWaveConfig& cfg, sim::Rng& rng);
+
+struct ClosedLoopConfig {
+  /// Parallel request slots per (server, client) pair; the testbed used
+  /// 10 parallel connections.
+  std::uint32_t slots_per_pair = 10;
+  /// Sequential requests each slot issues, one after another (the
+  /// testbed generators fetched the page 1000 times back to back).
+  std::uint32_t requests_per_slot = 5;
+  std::uint64_t object_bytes = 11'500;
+  sim::TimePs start = sim::milliseconds(100);
+  /// First requests of all slots start inside this window.
+  sim::TimePs start_spread = sim::milliseconds(10);
+  /// Exponential think time between a completion and the next request
+  /// of the same slot (0 = immediately back to back).
+  sim::TimePs think_time_mean = 0;
+};
+
+/// Closed-loop web workload: each slot issues its requests sequentially
+/// — the next transfer starts only after the previous one completed —
+/// so offered load self-regulates, exactly like the testbed's Apache
+/// clients.  Each request is its own TCP connection (epoch = request
+/// index within the slot).
+void add_closed_loop_web(TrafficManager& tm,
+                         const std::vector<net::Host*>& servers,
+                         const std::vector<net::Host*>& clients,
+                         tcp::Transport transport,
+                         const tcp::TcpConfig& tcp,
+                         const ClosedLoopConfig& cfg, sim::Rng& rng);
+
+}  // namespace hwatch::workload

@@ -1,0 +1,158 @@
+// Cross-cutting property tests: invariants that must hold for every
+// seed and parameter choice, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "api/scenario.hpp"
+#include "tcp/dctcp.hpp"
+#include "tcp/tcp_test_util.hpp"
+
+namespace hwatch::api {
+namespace {
+
+tcp::TcpConfig quick_tcp(tcp::EcnMode ecn) {
+  tcp::TcpConfig t;
+  t.min_rto = sim::milliseconds(50);
+  t.initial_rto = sim::milliseconds(50);
+  t.ecn = ecn;
+  return t;
+}
+
+// ------------------------------------------------------------- seeds
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  DumbbellScenarioConfig config(bool hwatch_on) const {
+    DumbbellScenarioConfig cfg;
+    cfg.pairs = 12;
+    cfg.core_aqm.kind = AqmKind::kDctcpStep;
+    cfg.core_aqm.buffer_packets = 80;
+    cfg.core_aqm.mark_threshold_packets = 16;
+    cfg.core_aqm.byte_mode = true;
+    cfg.edge_aqm = cfg.core_aqm;
+    workload::SenderGroup g{tcp::Transport::kNewReno,
+                            quick_tcp(tcp::EcnMode::kNone), 6, "tcp"};
+    cfg.long_groups = {g};
+    cfg.short_groups = {g};
+    cfg.incast.epochs = 2;
+    cfg.incast.first_epoch = sim::milliseconds(10);
+    cfg.incast.epoch_interval = sim::milliseconds(40);
+    cfg.duration = sim::milliseconds(120);
+    cfg.seed = GetParam();
+    cfg.hwatch_enabled = hwatch_on;
+    cfg.hwatch.probe_span = sim::microseconds(50);
+    cfg.hwatch.policy.batch_interval = sim::microseconds(50);
+    return cfg;
+  }
+};
+
+TEST_P(SeedSweep, FlowByteConservation) {
+  // Every completed short flow must have delivered exactly its size:
+  // sender-acked bytes equal the request size regardless of how many
+  // drops/retransmissions the fabric inflicted.
+  const ScenarioResults res = run_dumbbell(config(false));
+  for (const auto& r : res.short_flows()) {
+    if (r.completed) {
+      EXPECT_GT(r.fct, 0);
+      EXPECT_LT(r.fct, sim::seconds_i(2));
+    }
+  }
+  // Queue accounting is self-consistent at the bottleneck.
+  const auto& q = res.bottleneck_queue;
+  EXPECT_EQ(q.dropped, q.dropped_data + q.dropped_ctrl + q.dropped_probes);
+  EXPECT_GE(q.enqueued, q.dequeued);
+}
+
+TEST_P(SeedSweep, HWatchNeverIncreasesDrops) {
+  const ScenarioResults plain = run_dumbbell(config(false));
+  const ScenarioResults watched = run_dumbbell(config(true));
+  EXPECT_LE(watched.fabric_drops, plain.fabric_drops)
+      << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, HWatchCompletesAtLeastAsManyShortFlows) {
+  const ScenarioResults plain = run_dumbbell(config(false));
+  const ScenarioResults watched = run_dumbbell(config(true));
+  EXPECT_LE(watched.incomplete_short_flows(),
+            plain.incomplete_short_flows())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 17, 42));
+
+// ------------------------------------------------- flow-size behaviour
+
+class FlowSizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowSizeSweep, FctGrowsWithSizeOnACleanPath) {
+  tcp::testutil::TwoHostNet h;
+  tcp::TcpConnection small(h.net, *h.a, *h.b, 1000, 80,
+                           tcp::Transport::kNewReno,
+                           quick_tcp(tcp::EcnMode::kNone));
+  tcp::TcpConnection large(h.net, *h.a, *h.b, 1001, 81,
+                           tcp::Transport::kNewReno,
+                           quick_tcp(tcp::EcnMode::kNone));
+  const std::uint64_t size = GetParam();
+  small.start(size);
+  h.sched.run_until(sim::milliseconds(500));
+  large.start(4 * size);
+  h.sched.run_until(sim::seconds(2));
+  ASSERT_EQ(small.sender().state(), tcp::SenderState::kClosed);
+  ASSERT_EQ(large.sender().state(), tcp::SenderState::kClosed);
+  EXPECT_GT(large.sender().fct(), small.sender().fct());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FlowSizeSweep,
+                         ::testing::Values(5'000, 50'000, 500'000));
+
+// --------------------------------------------------- DCTCP g parameter
+
+class DctcpGainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DctcpGainSweep, AlphaStaysInUnitIntervalAndFlowIsStable) {
+  tcp::testutil::TwoHostNet h(net::make_dctcp_factory(250, 20));
+  auto cfg = quick_tcp(tcp::EcnMode::kDctcp);
+  cfg.dctcp_g = GetParam();
+  tcp::DctcpSender sender(h.net, *h.a, 1000, h.b->id(), 80, cfg);
+  tcp::TcpSink sink(h.net, *h.b, 80, cfg);
+  sender.start(tcp::TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(30));
+  EXPECT_GE(sender.alpha(), 0.0);
+  EXPECT_LE(sender.alpha(), 1.0);
+  EXPECT_EQ(sender.stats().timeouts, 0u);
+  EXPECT_GT(sender.stats().bytes_acked, 1'000'000u);
+  // Queue regulated near K for every gain.
+  EXPECT_LT(h.bottleneck->qdisc().stats().max_len_pkts, 120u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, DctcpGainSweep,
+                         ::testing::Values(1.0 / 64, 1.0 / 16, 1.0 / 4,
+                                           1.0));
+
+// ------------------------------------------- HWatch probe-count sweep
+
+class ProbeCountSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProbeCountSweep, EveryTrainLengthYieldsAWorkingConnection) {
+  tcp::testutil::TwoHostNet h;
+  sim::Rng rng(3);
+  core::HWatchConfig hw;
+  hw.probe_count = GetParam();
+  hw.probe_span = sim::microseconds(20);
+  auto shim_a = core::install_hwatch(h.net, *h.a, hw, rng.fork());
+  auto shim_b = core::install_hwatch(h.net, *h.b, hw, rng.fork());
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno,
+                          quick_tcp(tcp::EcnMode::kNone));
+  conn.start(20'000);
+  h.sched.run_until(sim::seconds(1));
+  EXPECT_EQ(conn.sender().state(), tcp::SenderState::kClosed);
+  EXPECT_EQ(shim_a->stats().probes_injected, GetParam());
+  EXPECT_EQ(conn.sink().stats().bytes_received, 20'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probes, ProbeCountSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace hwatch::api

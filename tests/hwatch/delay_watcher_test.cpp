@@ -1,0 +1,146 @@
+// Delay-based congestion inference (Section III-D).
+#include "hwatch/delay_watcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwatch/shim.hpp"
+#include "tcp/tcp_test_util.hpp"
+#include "tcp/connection.hpp"
+
+namespace hwatch::core {
+namespace {
+
+TEST(DelayWatcherTest, EmptyWatcherIsInert) {
+  DelayWatcher w;
+  EXPECT_FALSE(w.has_samples());
+  EXPECT_EQ(w.inflation(), 0);
+  EXPECT_EQ(w.queued_bytes_estimate(), 0u);
+}
+
+TEST(DelayWatcherTest, TracksMinAndInflation) {
+  DelayWatcher w(sim::DataRate::gbps(10));
+  w.add_sample(sim::microseconds(50));
+  EXPECT_EQ(w.base_delay(), sim::microseconds(50));
+  EXPECT_EQ(w.inflation(), 0);
+  w.add_sample(sim::microseconds(80));
+  EXPECT_EQ(w.inflation(), sim::microseconds(30));
+  // The baseline only ratchets down.
+  w.add_sample(sim::microseconds(45));
+  EXPECT_EQ(w.base_delay(), sim::microseconds(45));
+  EXPECT_EQ(w.inflation(), 0);
+  EXPECT_EQ(w.max_inflation(), sim::microseconds(35));
+  EXPECT_EQ(w.samples(), 3u);
+}
+
+TEST(DelayWatcherTest, QueueEstimateFollowsLittlesLaw) {
+  // 30 us of inflation at 10 Gb/s = 37500 bytes ~ 25 full segments.
+  DelayWatcher w(sim::DataRate::gbps(10));
+  w.add_sample(sim::microseconds(50));
+  w.add_sample(sim::microseconds(80));
+  EXPECT_EQ(w.queued_bytes_estimate(), 37'500u);
+  EXPECT_EQ(w.queued_packets_estimate(1500), 25u);
+}
+
+TEST(DelayWatcherTest, ResetClearsState) {
+  DelayWatcher w;
+  w.add_sample(sim::microseconds(10));
+  w.reset();
+  EXPECT_FALSE(w.has_samples());
+}
+
+// ------------------------------------------------ shim integration
+
+using tcp::testutil::TwoHostNet;
+
+tcp::TcpConfig guest_cfg() {
+  tcp::TcpConfig c;
+  c.min_rto = sim::milliseconds(50);
+  c.initial_rto = sim::milliseconds(50);
+  c.ecn = tcp::EcnMode::kNone;
+  return c;
+}
+
+TEST(DelaySignalTest, StandingQueueDetectedWithoutMarks) {
+  // Bottleneck with a HIGH marking threshold (no probe ever marked) but
+  // a bulk flow holding a real standing queue: only the delay signal
+  // can see it.  The setup window with the signal on must be smaller
+  // than with it off.
+  auto run = [](bool use_delay) {
+    TwoHostNet h(net::make_dctcp_factory(2000, 1900));  // marks ~never
+    sim::Rng rng(13);
+    core::HWatchConfig hw;
+    hw.probe_span = sim::microseconds(20);
+    hw.round_interval = sim::microseconds(100);
+    // Deferred setup batches pushed out of the horizon so the SYN-ACK
+    // grant is what we observe.
+    hw.policy.batch_interval = sim::milliseconds(100);
+    hw.setup_caution_divisor = 1;
+    hw.use_delay_signal = use_delay;
+    hw.delay_drain_rate = sim::DataRate::gbps(10);
+    auto shim_a = install_hwatch(h.net, *h.a, hw, rng.fork());
+    auto shim_b = install_hwatch(h.net, *h.b, hw, rng.fork());
+
+    // Calibration: an earlier flow's probes teach the receiving
+    // hypervisor the empty-path baseline delay.
+    tcp::TcpConnection calib(h.net, *h.a, *h.b, 800, 60,
+                             tcp::Transport::kNewReno, guest_cfg());
+    calib.start(1'000);
+    h.net.scheduler().run_until(sim::milliseconds(2));
+
+    // Bulk flow builds a standing queue (mark-free region): its own
+    // shim allowance re-opens one MSS per clean round, so after ~30 ms
+    // the queue holds hundreds of kilobytes.
+    tcp::TcpConnection bulk(h.net, *h.a, *h.b, 900, 70,
+                            tcp::Transport::kNewReno, guest_cfg());
+    bulk.start(tcp::TcpSender::kUnlimited);
+    h.net.scheduler().run_until(sim::milliseconds(30));
+    EXPECT_GT(h.bottleneck->qdisc().len_bytes(), 100'000u);
+
+    // New flow: capture the SYN-ACK-granted window right after the
+    // handshake, before steady-state rounds adjust it.
+    tcp::TcpConnection probe_flow(h.net, *h.a, *h.b, 1000, 80,
+                                  tcp::Transport::kNewReno, guest_cfg());
+    probe_flow.start(500'000);
+    while (probe_flow.sender().state() != tcp::SenderState::kEstablished) {
+      h.net.scheduler().run_until(h.net.scheduler().now() +
+                                  sim::microseconds(50));
+    }
+    return probe_flow.sender().peer_rwnd_bytes();
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  // Without the signal: clean probes, full 10-segment grant.
+  EXPECT_GE(without, 9u * 1442u);
+  // With it: the standing queue reclassifies probes, halving the grant.
+  EXPECT_LT(with, without);
+  EXPECT_LE(with, 6u * 1442u);
+}
+
+TEST(DelaySignalTest, CleanPathUnaffected) {
+  // No background load: inflation ~ 0, the signal must not throttle.
+  auto run = [](bool use_delay) {
+    TwoHostNet h;
+    sim::Rng rng(13);
+    core::HWatchConfig hw;
+    hw.probe_span = sim::microseconds(20);
+    hw.round_interval = sim::milliseconds(100);
+    hw.policy.batch_interval = sim::milliseconds(100);
+    hw.setup_caution_divisor = 1;
+    hw.use_delay_signal = use_delay;
+    auto shim_a = install_hwatch(h.net, *h.a, hw, rng.fork());
+    auto shim_b = install_hwatch(h.net, *h.b, hw, rng.fork());
+    tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                            tcp::Transport::kNewReno, guest_cfg());
+    conn.start(500'000);
+    h.net.scheduler().run_until(sim::milliseconds(1));
+    return conn.sender().peer_rwnd_bytes();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(DelaySignalTest, OffByDefault) {
+  EXPECT_FALSE(HWatchConfig{}.use_delay_signal);
+}
+
+}  // namespace
+}  // namespace hwatch::core

@@ -1,0 +1,130 @@
+// SYN-ACK admission pacing (the paper's token-bucket batch pacing).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hwatch/shim.hpp"
+#include "tcp/tcp_test_util.hpp"
+#include "tcp/connection.hpp"
+
+namespace hwatch::core {
+namespace {
+
+using tcp::testutil::TwoHostNet;
+
+tcp::TcpConfig guest_cfg() {
+  tcp::TcpConfig c;
+  c.min_rto = sim::milliseconds(50);
+  c.initial_rto = sim::milliseconds(50);
+  c.ecn = tcp::EcnMode::kNone;
+  return c;
+}
+
+HWatchConfig pacing_cfg(std::uint32_t batch, sim::TimePs interval) {
+  HWatchConfig c;
+  c.probe_count = 0;  // isolate pacing from probing
+  c.pace_synacks = true;
+  c.synack_batch_size = batch;
+  c.synack_batch_interval = interval;
+  return c;
+}
+
+struct PacingHarness {
+  explicit PacingHarness(HWatchConfig cfg) {
+    sim::Rng rng(31);
+    shim_b = install_hwatch(h.net, *h.b, cfg, rng.fork());
+  }
+
+  /// Opens `n` connections simultaneously; returns their established
+  /// times relative to t0.
+  std::vector<sim::TimePs> open_burst(int n) {
+    std::vector<std::unique_ptr<tcp::TcpConnection>> conns;
+    for (int i = 0; i < n; ++i) {
+      conns.push_back(std::make_unique<tcp::TcpConnection>(
+          h.net, *h.a, *h.b, static_cast<std::uint16_t>(1000 + i),
+          static_cast<std::uint16_t>(80 + i), tcp::Transport::kNewReno,
+          guest_cfg()));
+      conns.back()->start(1000);
+    }
+    h.sched.run_until(sim::seconds(2));
+    std::vector<sim::TimePs> established;
+    for (auto& c : conns) {
+      EXPECT_EQ(c->sender().state(), tcp::SenderState::kClosed);
+      established.push_back(c->sender().stats().established_time);
+    }
+    return established;
+  }
+
+  TwoHostNet h;
+  std::unique_ptr<HypervisorShim> shim_b;
+};
+
+TEST(PacingTest, BurstIsAdmittedInBatches) {
+  PacingHarness ph(pacing_cfg(2, sim::milliseconds(1)));
+  const auto established = ph.open_burst(10);
+  // 10 connections, 2 admitted per 1 ms: establishment spans >= 4 ms.
+  const auto [min_it, max_it] =
+      std::minmax_element(established.begin(), established.end());
+  EXPECT_GE(*max_it - *min_it, sim::microseconds(3500));
+  EXPECT_GE(ph.shim_b->stats().synacks_paced, 8u);
+}
+
+TEST(PacingTest, WithinBudgetPassesImmediately) {
+  PacingHarness ph(pacing_cfg(16, sim::milliseconds(1)));
+  const auto established = ph.open_burst(8);
+  const auto [min_it, max_it] =
+      std::minmax_element(established.begin(), established.end());
+  // All fit one batch: no pacing delay beyond network jitter.
+  EXPECT_LT(*max_it - *min_it, sim::microseconds(100));
+  EXPECT_EQ(ph.shim_b->stats().synacks_paced, 0u);
+}
+
+TEST(PacingTest, AdmissionRateIsRespected) {
+  PacingHarness ph(pacing_cfg(1, sim::milliseconds(2)));
+  auto established = ph.open_burst(5);
+  std::sort(established.begin(), established.end());
+  for (std::size_t i = 1; i < established.size(); ++i) {
+    // Consecutive admissions at least one batch interval apart (minus
+    // tiny propagation noise).
+    EXPECT_GE(established[i] - established[i - 1],
+              sim::milliseconds(2) - sim::microseconds(100));
+  }
+}
+
+TEST(PacingTest, DuplicateSynAcksAreSuppressedWhileQueued) {
+  // Slow admission (500 ms) vs 50 ms SYN-RTO: each sender retransmits
+  // its SYN several times while its SYN-ACK waits in the queue; the
+  // duplicates must be suppressed rather than queued again.
+  PacingHarness ph(pacing_cfg(1, sim::milliseconds(200)));
+  std::vector<std::unique_ptr<tcp::TcpConnection>> conns;
+  for (int i = 0; i < 3; ++i) {
+    conns.push_back(std::make_unique<tcp::TcpConnection>(
+        ph.h.net, *ph.h.a, *ph.h.b, static_cast<std::uint16_t>(1000 + i),
+        static_cast<std::uint16_t>(80 + i), tcp::Transport::kNewReno,
+        guest_cfg()));
+    conns.back()->start(1000);
+  }
+  ph.h.sched.run_until(sim::seconds(3));
+  for (auto& c : conns) {
+    EXPECT_EQ(c->sender().state(), tcp::SenderState::kClosed);
+  }
+  EXPECT_GT(ph.shim_b->stats().synacks_deduplicated, 0u);
+}
+
+TEST(PacingTest, DisabledByDefault) {
+  HWatchConfig cfg;
+  EXPECT_FALSE(cfg.pace_synacks);
+  sim::Rng rng(1);
+  TwoHostNet h;
+  auto shim = install_hwatch(h.net, *h.b, cfg, rng.fork());
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, guest_cfg());
+  conn.start(1000);
+  h.sched.run_until(sim::milliseconds(100));
+  EXPECT_EQ(shim->stats().synacks_paced, 0u);
+  EXPECT_EQ(conn.sender().state(), tcp::SenderState::kClosed);
+}
+
+}  // namespace
+}  // namespace hwatch::core

@@ -1,0 +1,169 @@
+// The Next-Fit window policy is the executable form of the paper's
+// Section IV theorems; these tests pin the batch arithmetic to them.
+#include "hwatch/window_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hwatch::core {
+namespace {
+
+WindowPolicyConfig cfg(BatchMode mode,
+                       sim::TimePs t = sim::microseconds(50)) {
+  WindowPolicyConfig c;
+  c.mode = mode;
+  c.batch_interval = t;
+  c.min_packets = 1;
+  return c;
+}
+
+TEST(WindowPolicyTest, CleanPathGrantsEverythingImmediately) {
+  // Theorem IV.1: X_UM may all go now, in every mode.
+  for (auto mode : {BatchMode::kSingleShot, BatchMode::kCoalesced,
+                    BatchMode::kThreeBatch}) {
+    const BatchPlan plan = plan_window(10, 0, cfg(mode));
+    EXPECT_EQ(plan.immediate_packets, 10u) << to_string(mode);
+    EXPECT_TRUE(plan.deferred.empty()) << to_string(mode);
+  }
+}
+
+TEST(WindowPolicyTest, CoalescedSplitsMarkedIntoTwoBatches) {
+  // Corollary IV.2.2: X_UM + ceil(X_M/2) now, floor(X_M/2) after T.
+  const BatchPlan plan = plan_window(4, 6, cfg(BatchMode::kCoalesced));
+  EXPECT_EQ(plan.immediate_packets, 4u + 3u);
+  ASSERT_EQ(plan.deferred.size(), 1u);
+  EXPECT_EQ(plan.deferred[0].packets, 3u);
+  EXPECT_EQ(plan.deferred[0].delay, sim::microseconds(50));
+}
+
+TEST(WindowPolicyTest, CoalescedOddMarkedRoundsEarly) {
+  const BatchPlan plan = plan_window(0, 7, cfg(BatchMode::kCoalesced));
+  EXPECT_EQ(plan.immediate_packets, 4u);  // ceil(7/2)
+  ASSERT_EQ(plan.deferred.size(), 1u);
+  EXPECT_EQ(plan.deferred[0].packets, 3u);  // floor(7/2)
+}
+
+TEST(WindowPolicyTest, ThreeBatchFollowsTheoremVerbatim) {
+  // Theorem IV.2 + Corollary IV.2.1: X_UM now, X_M/2 at T, X_M/2 at 2T.
+  const BatchPlan plan = plan_window(5, 8, cfg(BatchMode::kThreeBatch));
+  EXPECT_EQ(plan.immediate_packets, 5u);
+  ASSERT_EQ(plan.deferred.size(), 2u);
+  EXPECT_EQ(plan.deferred[0].packets, 4u);
+  EXPECT_EQ(plan.deferred[0].delay, sim::microseconds(50));
+  EXPECT_EQ(plan.deferred[1].packets, 4u);
+  EXPECT_EQ(plan.deferred[1].delay, sim::microseconds(100));
+}
+
+TEST(WindowPolicyTest, SingleShotNeverDefers) {
+  const BatchPlan plan = plan_window(3, 9, cfg(BatchMode::kSingleShot));
+  EXPECT_EQ(plan.immediate_packets, 12u);
+  EXPECT_TRUE(plan.deferred.empty());
+}
+
+TEST(WindowPolicyTest, TotalGrantIsConservedAcrossModes) {
+  // Batching reschedules, it never adds or removes admission quota
+  // (modulo the 1-packet liveness floor when the whole plan is smaller).
+  for (auto mode : {BatchMode::kSingleShot, BatchMode::kCoalesced,
+                    BatchMode::kThreeBatch}) {
+    for (std::uint64_t um = 0; um <= 12; ++um) {
+      for (std::uint64_t m = 0; m <= 12; ++m) {
+        if (um + m == 0) continue;
+        const BatchPlan plan = plan_window(um, m, cfg(mode));
+        EXPECT_EQ(plan.total_packets(), std::max<std::uint64_t>(um + m, 1))
+            << to_string(mode) << " um=" << um << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(WindowPolicyTest, FloorBorrowsFromDeferredNotFreshQuota) {
+  // Three-batch, all marked: immediate would be 0; the floor must pull
+  // one packet forward from batch 2 instead of inventing quota.
+  auto c = cfg(BatchMode::kThreeBatch);
+  c.min_packets = 1;
+  const BatchPlan plan = plan_window(0, 4, c);
+  EXPECT_EQ(plan.immediate_packets, 1u);
+  ASSERT_EQ(plan.deferred.size(), 2u);
+  EXPECT_EQ(plan.deferred[0].packets, 1u);  // 2 - 1 borrowed
+  EXPECT_EQ(plan.deferred[1].packets, 2u);
+  EXPECT_EQ(plan.total_packets(), 4u);
+}
+
+TEST(WindowPolicyTest, MinPacketsFloorsEmptyGrant) {
+  // All-marked round in three-batch mode: immediate would be 0, the
+  // floor keeps the flow alive with one packet.
+  auto c = cfg(BatchMode::kThreeBatch);
+  c.min_packets = 1;
+  const BatchPlan plan = plan_window(0, 4, c);
+  EXPECT_EQ(plan.immediate_packets, 1u);
+}
+
+TEST(WindowPolicyTest, SingleMarkedPacketCoinFlip) {
+  // X_M == 1: the paper places the lone marked packet in either batch
+  // with probability 1/2.  Statistically both outcomes must occur.
+  sim::Rng rng(1234);
+  auto c = cfg(BatchMode::kCoalesced);
+  int early = 0, late = 0;
+  for (int i = 0; i < 200; ++i) {
+    const BatchPlan plan = plan_window(5, 1, c, &rng);
+    if (plan.deferred.empty()) {
+      ++early;
+      EXPECT_EQ(plan.immediate_packets, 6u);
+    } else {
+      ++late;
+      EXPECT_EQ(plan.immediate_packets, 5u);
+      EXPECT_EQ(plan.deferred[0].packets, 1u);
+    }
+  }
+  EXPECT_GT(early, 50);
+  EXPECT_GT(late, 50);
+}
+
+TEST(WindowPolicyTest, NullRngResolvesCoinFlipDeterministically) {
+  const BatchPlan plan = plan_window(5, 1, cfg(BatchMode::kCoalesced));
+  EXPECT_EQ(plan.immediate_packets, 6u);
+  EXPECT_TRUE(plan.deferred.empty());
+}
+
+TEST(WindowPolicyTest, DeferredDelayScalesWithBatchInterval) {
+  const auto t = sim::microseconds(123);
+  const BatchPlan plan = plan_window(0, 10, cfg(BatchMode::kThreeBatch, t));
+  ASSERT_EQ(plan.deferred.size(), 2u);
+  EXPECT_EQ(plan.deferred[0].delay, t);
+  EXPECT_EQ(plan.deferred[1].delay, 2 * t);
+}
+
+// Theorem IV.2's safety argument, checked numerically: with buffer B and
+// threshold K = B/5 (the paper's 20%), admitting X_UM + ceil(X_M/2) on
+// top of a worst-case standing queue of 2K never overflows B, given the
+// counts came from one observed round (X_UM <= K, X_M <= B - K).
+class TheoremSafetyProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TheoremSafetyProperty, ImmediateGrantFitsWorstCaseBuffer) {
+  const auto [buffer, k] = GetParam();
+  for (std::uint64_t um = 0; um <= static_cast<std::uint64_t>(k); ++um) {
+    for (std::uint64_t m = 0; m + k <= static_cast<std::uint64_t>(buffer);
+         ++m) {
+      const BatchPlan plan = plan_window(um, m, cfg(BatchMode::kCoalesced));
+      // Worst-case standing queue from Theorem IV.1 case 3 is ~2K.
+      const std::uint64_t peak = 2 * k + plan.immediate_packets;
+      EXPECT_LE(peak, static_cast<std::uint64_t>(buffer) + 1)
+          << "um=" << um << " m=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperBufferConfigs, TheoremSafetyProperty,
+    ::testing::Values(std::make_tuple(250, 50),    // ns-2 setup, K=20%
+                      std::make_tuple(100, 20),
+                      std::make_tuple(35, 7)));    // shallow commodity
+
+TEST(WindowPolicyTest, BatchModeNames) {
+  EXPECT_STREQ(to_string(BatchMode::kSingleShot), "single-shot");
+  EXPECT_STREQ(to_string(BatchMode::kCoalesced), "coalesced-2batch");
+  EXPECT_STREQ(to_string(BatchMode::kThreeBatch), "three-batch");
+}
+
+}  // namespace
+}  // namespace hwatch::core

@@ -1,0 +1,112 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tcp/tcp_test_util.hpp"
+#include "tcp/connection.hpp"
+
+namespace hwatch::net {
+namespace {
+
+using tcp::testutil::TwoHostNet;
+
+tcp::TcpConfig quick_cfg() {
+  tcp::TcpConfig c;
+  c.min_rto = sim::milliseconds(10);
+  c.initial_rto = sim::milliseconds(10);
+  c.ecn = tcp::EcnMode::kNone;
+  return c;
+}
+
+TEST(TracerTest, RecordsBothDirectionsOfAConnection) {
+  TwoHostNet h;
+  PacketTracer tracer(h.sched);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(3 * 1442);
+  h.sched.run_until(sim::milliseconds(100));
+
+  const auto& c = tracer.counts();
+  EXPECT_EQ(c.syn, 2u);   // SYN out + SYN-ACK in
+  EXPECT_EQ(c.data, 3u);  // three segments out
+  EXPECT_EQ(c.fin, 1u);
+  EXPECT_GE(c.acks, 4u);  // handshake ack + per-segment acks
+  EXPECT_FALSE(tracer.truncated());
+
+  // The first entry is the outbound SYN, timestamped at t=0.
+  ASSERT_FALSE(tracer.entries().empty());
+  EXPECT_TRUE(tracer.entries()[0].outbound);
+  EXPECT_TRUE(tracer.entries()[0].packet.is_syn());
+  EXPECT_EQ(tracer.entries()[0].time, 0);
+}
+
+TEST(TracerTest, PredicateFilters) {
+  TwoHostNet h;
+  TracerConfig cfg;
+  cfg.predicate = [](const Packet& p) { return p.is_data(); };
+  PacketTracer tracer(h.sched, cfg);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(5 * 1442);
+  h.sched.run_until(sim::milliseconds(100));
+  EXPECT_EQ(tracer.total_seen(), 5u);
+  for (const auto& e : tracer.entries()) {
+    EXPECT_TRUE(e.packet.is_data());
+  }
+}
+
+TEST(TracerTest, MaxEntriesTruncatesButKeepsCounting) {
+  TwoHostNet h;
+  TracerConfig cfg;
+  cfg.max_entries = 3;
+  PacketTracer tracer(h.sched, cfg);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(10 * 1442);
+  h.sched.run_until(sim::milliseconds(100));
+  EXPECT_EQ(tracer.entries().size(), 3u);
+  EXPECT_TRUE(tracer.truncated());
+  EXPECT_GT(tracer.total_seen(), 3u);
+}
+
+TEST(TracerTest, DumpFormatsOneLinePerPacket) {
+  TwoHostNet h;
+  PacketTracer tracer(h.sched);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(1442);
+  h.sched.run_until(sim::milliseconds(100));
+  std::ostringstream os;
+  tracer.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("SYN"), std::string::npos);
+  EXPECT_NE(out.find("DATA"), std::string::npos);
+  EXPECT_NE(out.find(" + "), std::string::npos);
+  EXPECT_NE(out.find(" - "), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(out.begin(), out.end(), '\n')),
+            tracer.entries().size());
+}
+
+TEST(TracerTest, ClearResets) {
+  TwoHostNet h;
+  PacketTracer tracer(h.sched);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(1442);
+  h.sched.run_until(sim::milliseconds(100));
+  EXPECT_GT(tracer.total_seen(), 0u);
+  tracer.clear();
+  EXPECT_EQ(tracer.total_seen(), 0u);
+  EXPECT_TRUE(tracer.entries().empty());
+}
+
+}  // namespace
+}  // namespace hwatch::net

@@ -1,0 +1,141 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace hwatch::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng r(5);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.15);
+}
+
+TEST(RngTest, ExponentialTimeNonNegative) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.exponential_time(microseconds(1)), 0);
+  }
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Rng r(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = r.bounded_pareto(1.1, 1.0, 1000.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 1000.0 + 1e-9);
+  }
+}
+
+TEST(RngTest, BoundedParetoIsHeavyTailed) {
+  Rng r(9);
+  int above_100 = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (r.bounded_pareto(1.1, 1.0, 1000.0) > 100.0) ++above_100;
+  }
+  // Tail mass exists but is small.
+  EXPECT_GT(above_100, 10);
+  EXPECT_LT(above_100, kN / 10);
+}
+
+TEST(RngTest, BoundedParetoRejectsBadParameters) {
+  Rng r(1);
+  EXPECT_THROW(r.bounded_pareto(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(r.bounded_pareto(1.0, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(r.bounded_pareto(1.0, 3.0, 2.0), std::invalid_argument);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(4);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng r(4);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(8);
+  Rng child = parent.fork();
+  // The child stream is deterministic given the parent seed...
+  Rng parent2(8);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child.uniform(), child2.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace hwatch::sim

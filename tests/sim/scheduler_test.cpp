@@ -1,0 +1,258 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/timer.hpp"
+
+namespace hwatch::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, ExecutesEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(milliseconds(3), [&] { order.push_back(3); });
+  s.schedule_at(milliseconds(1), [&] { order.push_back(1); });
+  s.schedule_at(milliseconds(2), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(3));
+}
+
+TEST(SchedulerTest, EqualTimestampsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, ScheduleInIsRelativeToNow) {
+  Scheduler s;
+  TimePs fired_at = -1;
+  s.schedule_at(milliseconds(5), [&] {
+    s.schedule_in(milliseconds(2), [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, milliseconds(7));
+}
+
+TEST(SchedulerTest, RejectsPastEvents) {
+  Scheduler s;
+  s.schedule_at(milliseconds(1), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(0, [] {}), std::invalid_argument);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule_at(milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(SchedulerTest, CancelTwiceReturnsFalse) {
+  Scheduler s;
+  EventId id = s.schedule_at(milliseconds(1), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(SchedulerTest, CancelAfterFireReturnsFalse) {
+  Scheduler s;
+  EventId id = s.schedule_at(milliseconds(1), [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(SchedulerTest, CancelInvalidIdReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(EventId{}));
+  EXPECT_FALSE(s.cancel(EventId{999}));
+}
+
+TEST(SchedulerTest, PendingCountTracksCancellations) {
+  Scheduler s;
+  EventId a = s.schedule_at(1, [] {});
+  s.schedule_at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  std::vector<TimePs> fired;
+  s.schedule_at(milliseconds(1), [&] { fired.push_back(s.now()); });
+  s.schedule_at(milliseconds(5), [&] { fired.push_back(s.now()); });
+  s.run_until(milliseconds(3));
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_EQ(s.now(), milliseconds(3));
+  // The ms-5 event survives and runs on the next call.
+  s.run_until(milliseconds(10));
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], milliseconds(5));
+  EXPECT_EQ(s.now(), milliseconds(10));
+}
+
+TEST(SchedulerTest, RunUntilInclusiveOfBoundary) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(milliseconds(3), [&] { fired = true; });
+  s.run_until(milliseconds(3));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_in(milliseconds(1), recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), milliseconds(4));
+}
+
+TEST(SchedulerTest, StopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(i, [&] {
+      if (++count == 3) s.stop();
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending(), 7u);
+  s.run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SchedulerTest, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(1, [&] { ++count; });
+  s.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, CancelledEventsSkippedByRunUntilPeek) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule_at(milliseconds(1), [&] { fired = true; });
+  s.schedule_at(milliseconds(5), [] {});
+  s.cancel(id);
+  s.run_until(milliseconds(2));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, ManyEventsStressOrdering) {
+  Scheduler s;
+  TimePs last = -1;
+  bool monotonic = true;
+  // Deterministic pseudo-random times.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const TimePs t = static_cast<TimePs>(x % 1000000);
+    s.schedule_at(t, [&, t] {
+      if (t < last) monotonic = false;
+      last = t;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(s.executed(), 10000u);
+}
+
+TEST(TimerTest, FiresAfterDelay) {
+  Scheduler s;
+  Timer t(s, [] {});
+  EXPECT_FALSE(t.pending());
+  t.arm(milliseconds(2));
+  EXPECT_TRUE(t.pending());
+  EXPECT_EQ(t.expiry(), milliseconds(2));
+  s.run();
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(TimerTest, RearmReplacesPendingExpiry) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.arm(milliseconds(10));
+  t.arm(milliseconds(1));  // replaces: only one fire, at ms 1
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(s.now(), milliseconds(1));
+}
+
+TEST(TimerTest, CancelStopsFire) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.arm(milliseconds(1));
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(TimerTest, ArmIfIdleKeepsEarlierDeadline) {
+  Scheduler s;
+  Timer t(s, [] {});
+  t.arm(milliseconds(1));
+  t.arm_if_idle(milliseconds(50));
+  EXPECT_EQ(t.expiry(), milliseconds(1));
+}
+
+TEST(TimerTest, CanRearmInsideCallback) {
+  Scheduler s;
+  int fires = 0;
+  Timer* tp = nullptr;
+  Timer t(s, [&] {
+    if (++fires < 3) tp->arm(milliseconds(1));
+  });
+  tp = &t;
+  t.arm(milliseconds(1));
+  s.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(s.now(), milliseconds(3));
+}
+
+TEST(TimerTest, DestructorCancelsPendingEvent) {
+  Scheduler s;
+  int fires = 0;
+  {
+    Timer t(s, [&] { ++fires; });
+    t.arm(milliseconds(1));
+  }
+  s.run();
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace hwatch::sim

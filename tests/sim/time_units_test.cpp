@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace hwatch::sim {
+namespace {
+
+TEST(TimeTest, UnitConversionsAreExact) {
+  EXPECT_EQ(nanoseconds(1), 1000);
+  EXPECT_EQ(microseconds(1), 1'000'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds_i(1), kPsPerSec);
+  EXPECT_EQ(seconds(0.5), kPsPerSec / 2);
+}
+
+TEST(TimeTest, RoundTripToSeconds) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(200)), 200.0);
+  EXPECT_DOUBLE_EQ(to_micros(microseconds(100)), 100.0);
+}
+
+TEST(DataRateTest, NamedConstructors) {
+  EXPECT_EQ(DataRate::bps(7).bits_per_sec(), 7u);
+  EXPECT_EQ(DataRate::kbps(3).bits_per_sec(), 3'000u);
+  EXPECT_EQ(DataRate::mbps(3).bits_per_sec(), 3'000'000u);
+  EXPECT_EQ(DataRate::gbps(10).bits_per_sec(), 10'000'000'000u);
+  EXPECT_DOUBLE_EQ(DataRate::gbps(10).gbits_per_sec(), 10.0);
+}
+
+TEST(DataRateTest, TransmissionTimeExactCases) {
+  // The paper's key sizes: a 1500-byte frame and a 38-byte probe at 10G.
+  EXPECT_EQ(DataRate::gbps(10).transmission_time(1500),
+            nanoseconds(1200));
+  EXPECT_EQ(DataRate::gbps(10).transmission_time(38), picoseconds(30'400));
+  // 1 Gb/s testbed link.
+  EXPECT_EQ(DataRate::gbps(1).transmission_time(1500),
+            microseconds(12));
+}
+
+TEST(DataRateTest, TransmissionTimeRoundsUp) {
+  // 1 byte at 3 bps: 8/3 s -> ceil in picoseconds.
+  const TimePs t = DataRate::bps(3).transmission_time(1);
+  EXPECT_EQ(t, (8 * kPsPerSec + 2) / 3);
+}
+
+TEST(DataRateTest, ZeroRateNeverCompletes) {
+  EXPECT_EQ(DataRate().transmission_time(1), kTimeNever);
+  EXPECT_TRUE(DataRate().is_zero());
+}
+
+TEST(DataRateTest, BytesInInterval) {
+  EXPECT_EQ(DataRate::gbps(10).bytes_in(microseconds(100)), 125'000u);
+  EXPECT_EQ(DataRate::gbps(1).bytes_in(microseconds(200)), 25'000u);
+  EXPECT_EQ(DataRate::gbps(10).bytes_in(0), 0u);
+}
+
+TEST(DataRateTest, BdpMatchesPaperExamples) {
+  // Paper Section IV-E: BDP at 1 Gb/s, RTT 250 us = 31.25 KB.
+  EXPECT_EQ(bdp_bytes(DataRate::gbps(1), microseconds(250)), 31'250u);
+  // 40 Gb/s -> 1.25 MB; 100 Gb/s -> 3.125 MB.
+  EXPECT_EQ(bdp_bytes(DataRate::gbps(40), microseconds(250)), 1'250'000u);
+  EXPECT_EQ(bdp_bytes(DataRate::gbps(100), microseconds(250)), 3'125'000u);
+}
+
+TEST(DataRateTest, TransmissionTimeLargeValuesNoOverflow) {
+  // A 1 GB burst at 1 kb/s: bits * ps/s would overflow 64-bit naively.
+  const TimePs t = DataRate::kbps(1).transmission_time(1'000'000'000);
+  EXPECT_EQ(t, seconds_i(8'000'000));
+}
+
+TEST(DataRateTest, Comparisons) {
+  EXPECT_TRUE(DataRate::mbps(1) < DataRate::gbps(1));
+  EXPECT_TRUE(DataRate::gbps(1) == DataRate::mbps(1000));
+}
+
+}  // namespace
+}  // namespace hwatch::sim

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/timeseries.hpp"
+
+namespace hwatch::stats {
+namespace {
+
+class NullNode final : public net::Node {
+ public:
+  using Node::Node;
+  void handle_packet(net::Packet&&) override {}
+};
+
+TEST(PeriodicSamplerTest, SamplesAtFixedInterval) {
+  sim::Scheduler sched;
+  PeriodicSampler sampler(sched, sim::milliseconds(1), sim::milliseconds(10),
+                          [](sim::TimePs t) { return sim::to_millis(t); });
+  sched.run_until(sim::milliseconds(10));
+  const auto& s = sampler.series();
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_EQ(s[0].time, sim::milliseconds(1));
+  EXPECT_EQ(s[9].time, sim::milliseconds(10));
+  EXPECT_DOUBLE_EQ(s[4].value, 5.0);
+}
+
+TEST(PeriodicSamplerTest, StopsAtDeadline) {
+  sim::Scheduler sched;
+  PeriodicSampler sampler(sched, sim::milliseconds(3), sim::milliseconds(7),
+                          [](sim::TimePs) { return 1.0; });
+  sched.run();  // run to exhaustion: no events past `until`
+  EXPECT_EQ(sampler.series().size(), 2u);  // t=3, t=6
+}
+
+TEST(PeriodicSamplerTest, MeanAndMax) {
+  sim::Scheduler sched;
+  int i = 0;
+  PeriodicSampler sampler(sched, 1000, 5000,
+                          [&i](sim::TimePs) { return double(++i); });
+  sched.run();
+  EXPECT_DOUBLE_EQ(sampler.mean(), 3.0);  // 1..5
+  EXPECT_DOUBLE_EQ(sampler.max(), 5.0);
+}
+
+struct LinkFixture : ::testing::Test {
+  LinkFixture()
+      : dst(0, "dst"),
+        link(sched, "l", sim::DataRate::gbps(10), 0,
+             std::make_unique<net::DropTailQueue>(1000), &dst) {}
+  net::Packet packet() {
+    net::Packet p;
+    p.payload_bytes = 1442;  // 1500 B frame: 1.2 us at 10G
+    return p;
+  }
+  sim::Scheduler sched;
+  NullNode dst;
+  net::Link link;
+};
+
+TEST_F(LinkFixture, QueueSamplerReadsOccupancy) {
+  for (int i = 0; i < 100; ++i) link.transmit(packet());
+  auto sampler = make_queue_sampler(sched, link, sim::microseconds(20),
+                                    sim::microseconds(100));
+  sched.run_until(sim::microseconds(100));
+  const auto& s = sampler.series();
+  ASSERT_EQ(s.size(), 5u);
+  // Queue drains ~16.7 packets per 20 us sample; occupancy decreases.
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LT(s[i].value, s[i - 1].value);
+  }
+}
+
+TEST_F(LinkFixture, UtilizationSamplerFullWhenBusy) {
+  for (int i = 0; i < 1000; ++i) link.transmit(packet());
+  UtilizationSampler sampler(sched, link, sim::microseconds(100),
+                             sim::milliseconds(1));
+  sched.run_until(sim::milliseconds(1));
+  ASSERT_FALSE(sampler.series().empty());
+  // Saturated the whole window: every sample ~1.0.
+  for (const auto& p : sampler.series()) {
+    EXPECT_GT(p.value, 0.99);
+    EXPECT_LE(p.value, 1.0);
+  }
+  EXPECT_GT(sampler.mean(), 0.99);
+}
+
+TEST_F(LinkFixture, UtilizationSamplerZeroWhenIdle) {
+  UtilizationSampler sampler(sched, link, sim::microseconds(100),
+                             sim::milliseconds(1));
+  sched.run_until(sim::milliseconds(1));
+  for (const auto& p : sampler.series()) {
+    EXPECT_DOUBLE_EQ(p.value, 0.0);
+  }
+}
+
+TEST_F(LinkFixture, ThroughputSamplerMatchesLinkRate) {
+  for (int i = 0; i < 2000; ++i) link.transmit(packet());
+  ThroughputSampler sampler(sched, link, sim::microseconds(100),
+                            sim::milliseconds(1));
+  sched.run_until(sim::milliseconds(1));
+  ASSERT_FALSE(sampler.series().empty());
+  // 10 Gb/s link saturated: each window delivers ~10 Gb/s.
+  for (const auto& p : sampler.series()) {
+    EXPECT_NEAR(p.value, 10.0, 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace hwatch::stats

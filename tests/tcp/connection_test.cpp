@@ -1,0 +1,80 @@
+// Connection factory, enum naming and window-encoding coverage.
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_test_util.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/dctcp.hpp"
+
+namespace hwatch::tcp {
+namespace {
+
+using testutil::TwoHostNet;
+
+TEST(ConnectionTest, FactoryBuildsEveryFlavour) {
+  TwoHostNet h;
+  TcpConfig cfg;
+  std::uint16_t port = 1000;
+  for (Transport t :
+       {Transport::kNewReno, Transport::kDctcp, Transport::kCubic}) {
+    auto sender = make_sender(t, h.net, *h.a, port++, h.b->id(), 80, cfg);
+    ASSERT_NE(sender, nullptr) << to_string(t);
+    EXPECT_EQ(sender->transport_name(), to_string(t));
+  }
+}
+
+TEST(ConnectionTest, DctcpConnectionForcesSinkEchoMode) {
+  TwoHostNet h(net::make_dctcp_factory(64, 4));
+  TcpConfig cfg;  // deliberately left at classic echo
+  cfg.min_rto = sim::milliseconds(10);
+  cfg.initial_rto = sim::milliseconds(10);
+  TcpConnection conn(h.net, *h.a, *h.b, 1000, 80, Transport::kDctcp, cfg);
+  conn.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(10));
+  // A DCTCP connection with a latching (classic) sink would mis-echo
+  // every mark; forced per-packet echo keeps alpha meaningful.
+  const auto* dctcp = dynamic_cast<const DctcpSender*>(&conn.sender());
+  ASSERT_NE(dctcp, nullptr);
+  EXPECT_GT(dctcp->alpha(), 0.0);
+  EXPECT_LT(dctcp->alpha(), 1.0);
+}
+
+TEST(ConnectionTest, EnumToStringCoversAll) {
+  EXPECT_EQ(to_string(EcnMode::kNone), "no-ecn");
+  EXPECT_EQ(to_string(EcnMode::kClassic), "classic-ecn");
+  EXPECT_EQ(to_string(EcnMode::kBlind), "ecn-blind");
+  EXPECT_EQ(to_string(EcnMode::kDctcp), "dctcp-ecn");
+}
+
+TEST(WindowEncodingTest, RoundTripAndSaturation) {
+  EXPECT_EQ(encode_window(65535, 0), 0xFFFF);
+  EXPECT_EQ(encode_window(1 << 20, 0), 0xFFFF);  // saturates unscaled
+  EXPECT_EQ(encode_window(1 << 20, 6), (1u << 20) >> 6);
+  EXPECT_EQ(decode_window(encode_window(1 << 20, 6), 6), 1u << 20);
+  // Quantization floor: value rounds down to a multiple of 2^shift.
+  EXPECT_EQ(decode_window(encode_window(1000, 6), 6), 960u);
+  EXPECT_EQ(encode_window(0, 6), 0);
+}
+
+TEST(ConnectionTest, FlowKeyReflectsEndpoints) {
+  TwoHostNet h;
+  TcpConnection conn(h.net, *h.a, *h.b, 1234, 80, Transport::kNewReno,
+                     TcpConfig{});
+  const auto key = conn.sender().flow_key();
+  EXPECT_EQ(key.src, h.a->id());
+  EXPECT_EQ(key.dst, h.b->id());
+  EXPECT_EQ(key.src_port, 1234);
+  EXPECT_EQ(key.dst_port, 80);
+}
+
+TEST(ConnectionTest, SenderPortCollisionThrows) {
+  TwoHostNet h;
+  TcpConnection a(h.net, *h.a, *h.b, 1000, 80, Transport::kNewReno,
+                  TcpConfig{});
+  EXPECT_THROW(TcpConnection(h.net, *h.a, *h.b, 1000, 81,
+                             Transport::kNewReno, TcpConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hwatch::tcp

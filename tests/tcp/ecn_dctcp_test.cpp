@@ -1,0 +1,193 @@
+// ECN behaviour across the three tenant flavours the paper mixes, plus
+// the DCTCP estimator dynamics.
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_test_util.hpp"
+
+#include "net/queue.hpp"
+#include "tcp/dctcp.hpp"
+
+namespace hwatch::tcp {
+namespace {
+
+using testutil::TwoHostNet;
+
+TcpConfig ecn_cfg(EcnMode mode) {
+  TcpConfig c;
+  c.initial_cwnd_segments = 10;
+  c.min_rto = sim::milliseconds(10);
+  c.initial_rto = sim::milliseconds(10);
+  c.ecn = mode;
+  return c;
+}
+
+net::QdiscFactory marking_queue(std::uint64_t k = 10) {
+  return net::make_dctcp_factory(250, k);
+}
+
+TEST(EcnTest, NoEcnSenderEmitsNotEct) {
+  TwoHostNet h;
+  TcpConnection conn(h.net, *h.a, *h.b, 1000, 80, Transport::kNewReno,
+                     ecn_cfg(EcnMode::kNone));
+  conn.start(5 * 1442);
+  h.sched.run_until(sim::milliseconds(50));
+  // A step-marking queue saw nothing to mark: data was Not-ECT.
+  EXPECT_EQ(conn.sink().stats().ce_marked_segments, 0u);
+}
+
+TEST(EcnTest, ClassicSenderReducesOncePerWindowOnEce) {
+  TwoHostNet h(marking_queue(5));
+  TcpConnection conn(h.net, *h.a, *h.b, 1000, 80, Transport::kNewReno,
+                     ecn_cfg(EcnMode::kClassic));
+  conn.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(5));
+  EXPECT_GT(conn.sender().stats().ecn_reductions, 0u);
+  // ECN, not loss, is regulating the flow: queue never overflows.
+  EXPECT_EQ(conn.sender().stats().timeouts, 0u);
+  EXPECT_EQ(h.bottleneck->qdisc().stats().dropped, 0u);
+}
+
+TEST(EcnTest, ClassicEcnKeepsQueueNearThreshold) {
+  TwoHostNet h(marking_queue(20));
+  TcpConnection conn(h.net, *h.a, *h.b, 1000, 80, Transport::kNewReno,
+                     ecn_cfg(EcnMode::kClassic));
+  conn.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(20));
+  // Queue hovers around K = 20, far below the 250 limit.
+  EXPECT_LT(h.bottleneck->qdisc().stats().max_len_pkts, 100u);
+}
+
+TEST(EcnTest, BlindSenderIgnoresEceAndFillsBuffer) {
+  // The "non-responsive" tenant of Figure 2: ECT packets (they get
+  // marked, not dropped) but no window reduction -> bloated queue.
+  TwoHostNet h(marking_queue(5));
+  TcpConnection conn(h.net, *h.a, *h.b, 1000, 80, Transport::kNewReno,
+                     ecn_cfg(EcnMode::kBlind));
+  conn.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(20));
+  EXPECT_EQ(conn.sender().stats().ecn_reductions, 0u);
+  // Blind to marks, the flow grows until the hard buffer bound bites.
+  EXPECT_GT(h.bottleneck->qdisc().stats().max_len_pkts, 100u);
+}
+
+TEST(EcnTest, SinkClassicModeLatchesEceUntilCwr) {
+  TwoHostNet h(marking_queue(1));
+  TcpConnection conn(h.net, *h.a, *h.b, 1000, 80, Transport::kNewReno,
+                     ecn_cfg(EcnMode::kClassic));
+  conn.start(30 * 1442);
+  h.sched.run_until(sim::milliseconds(50));
+  EXPECT_EQ(conn.sender().state(), SenderState::kClosed);
+  EXPECT_GT(conn.sink().stats().ce_marked_segments, 0u);
+  EXPECT_GT(conn.sender().stats().ecn_reductions, 0u);
+}
+
+TEST(DctcpTest, AlphaStartsHighAndDecaysWhenClean) {
+  TwoHostNet h;  // deep droptail: no marks at all
+  DctcpSender sender(h.net, *h.a, 1000, h.b->id(), 80,
+                     ecn_cfg(EcnMode::kDctcp));
+  TcpSink sink(h.net, *h.b, 80, ecn_cfg(EcnMode::kDctcp));
+  EXPECT_DOUBLE_EQ(sender.alpha(), 1.0);
+  sender.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(20));
+  // One estimator round per cwnd of data; ~(1-g)^rounds decay.
+  EXPECT_LT(sender.alpha(), 0.35);
+}
+
+TEST(DctcpTest, AlphaTracksMarkingUnderCongestion) {
+  TwoHostNet h(marking_queue(10));
+  DctcpSender sender(h.net, *h.a, 1000, h.b->id(), 80,
+                     ecn_cfg(EcnMode::kDctcp));
+  TcpSink sink(h.net, *h.b, 80, ecn_cfg(EcnMode::kDctcp));
+  sender.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(20));
+  // A lone DCTCP flow saturating a step-marking queue keeps a nonzero
+  // steady-state alpha.
+  EXPECT_GT(sender.alpha(), 0.01);
+  EXPECT_LT(sender.alpha(), 1.0);
+  EXPECT_GT(sender.stats().ecn_reductions, 0u);
+  EXPECT_EQ(sender.stats().timeouts, 0u);
+}
+
+TEST(DctcpTest, KeepsQueueLowerThanNewRenoLoss) {
+  // DCTCP's whole point: max queue under step marking is near K, far
+  // below what loss-based NewReno (droptail) builds.
+  TwoHostNet h_dctcp(marking_queue(20));
+  DctcpSender dctcp(h_dctcp.net, *h_dctcp.a, 1000, h_dctcp.b->id(), 80,
+                    ecn_cfg(EcnMode::kDctcp));
+  TcpSink sink1(h_dctcp.net, *h_dctcp.b, 80, ecn_cfg(EcnMode::kDctcp));
+  dctcp.start(TcpSender::kUnlimited);
+  h_dctcp.sched.run_until(sim::milliseconds(20));
+
+  TwoHostNet h_reno(net::make_droptail_factory(250));
+  TcpConnection reno(h_reno.net, *h_reno.a, *h_reno.b, 1000, 80,
+                     Transport::kNewReno, ecn_cfg(EcnMode::kNone));
+  reno.start(TcpSender::kUnlimited);
+  h_reno.sched.run_until(sim::milliseconds(20));
+
+  EXPECT_LT(h_dctcp.bottleneck->qdisc().stats().max_len_pkts,
+            h_reno.bottleneck->qdisc().stats().max_len_pkts);
+}
+
+TEST(DctcpTest, ProportionalCutGentlerThanHalving) {
+  // At low marking fractions DCTCP cuts less than classic ECN; its
+  // average cwnd under identical marking must therefore be larger.
+  TwoHostNet h1(marking_queue(30));
+  DctcpSender dctcp(h1.net, *h1.a, 1000, h1.b->id(), 80,
+                    ecn_cfg(EcnMode::kDctcp));
+  TcpSink sink1(h1.net, *h1.b, 80, ecn_cfg(EcnMode::kDctcp));
+  dctcp.start(TcpSender::kUnlimited);
+  h1.sched.run_until(sim::milliseconds(30));
+
+  TwoHostNet h2(marking_queue(30));
+  TcpConnection reno(h2.net, *h2.a, *h2.b, 1000, 80, Transport::kNewReno,
+                     ecn_cfg(EcnMode::kClassic));
+  reno.start(TcpSender::kUnlimited);
+  h2.sched.run_until(sim::milliseconds(30));
+
+  // Queue dynamics differ: the DCTCP sender holds the queue near K while
+  // classic ECN oscillates deeply below it.  Compare delivered bytes.
+  EXPECT_GT(dctcp.stats().bytes_acked, reno.sender().stats().bytes_acked);
+}
+
+TEST(DctcpTest, SinkEchoesPerPacketCeState) {
+  // DCTCP-mode sink: ECE mirrors each segment's CE bit rather than
+  // latching.  With a K=0 queue everything is marked; with droptail
+  // nothing is.
+  TwoHostNet h(marking_queue(0));
+  DctcpSender sender(h.net, *h.a, 1000, h.b->id(), 80,
+                     ecn_cfg(EcnMode::kDctcp));
+  TcpSink sink(h.net, *h.b, 80, ecn_cfg(EcnMode::kDctcp));
+  sender.start(20 * 1442);
+  h.sched.run_until(sim::milliseconds(50));
+  EXPECT_EQ(sink.stats().ce_marked_segments, sink.stats().segments_received);
+  // Every mark echoed: alpha driven to ~1, deep reductions happened.
+  EXPECT_GT(sender.alpha(), 0.5);
+}
+
+TEST(DctcpTest, TransportNameAndForcedMode) {
+  TwoHostNet h;
+  auto cfg = ecn_cfg(EcnMode::kNone);  // DctcpSender must override this
+  DctcpSender sender(h.net, *h.a, 1000, h.b->id(), 80, cfg);
+  EXPECT_EQ(sender.transport_name(), "dctcp");
+  EXPECT_EQ(sender.config().ecn, EcnMode::kDctcp);
+}
+
+TEST(EcnTest, CoexistenceUnfairness) {
+  // Figure 2's phenomenon in miniature: a DCTCP flow and a classic-ECN
+  // NewReno flow share one marking bottleneck; DCTCP's proportional
+  // response out-competes the halving response.
+  TwoHostNet h(marking_queue(20));
+  DctcpSender dctcp(h.net, *h.a, 1000, h.b->id(), 80,
+                    ecn_cfg(EcnMode::kDctcp));
+  TcpSink sink1(h.net, *h.b, 80, ecn_cfg(EcnMode::kDctcp));
+  TcpConnection reno(h.net, *h.a, *h.b, 1001, 81, Transport::kNewReno,
+                     ecn_cfg(EcnMode::kClassic));
+  dctcp.start(TcpSender::kUnlimited);
+  reno.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(40));
+  EXPECT_GT(dctcp.stats().bytes_acked,
+            2 * reno.sender().stats().bytes_acked);
+}
+
+}  // namespace
+}  // namespace hwatch::tcp

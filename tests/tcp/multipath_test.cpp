@@ -1,0 +1,152 @@
+// Multipath TCP extension: striping, completion semantics, ECMP path
+// diversity, and transparent interoperation with the HWatch shim (the
+// paper's Section IV-F claim).
+#include "tcp/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwatch/shim.hpp"
+#include "tcp/tcp_test_util.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace hwatch::tcp {
+namespace {
+
+using testutil::TwoHostNet;
+
+TcpConfig quick_cfg() {
+  TcpConfig c;
+  c.min_rto = sim::milliseconds(10);
+  c.initial_rto = sim::milliseconds(10);
+  c.ecn = EcnMode::kNone;
+  return c;
+}
+
+MultipathConfig mp_cfg(std::uint32_t subflows) {
+  MultipathConfig m;
+  m.subflows = subflows;
+  m.tcp = quick_cfg();
+  return m;
+}
+
+TEST(MultipathTest, RejectsZeroSubflows) {
+  TwoHostNet h;
+  EXPECT_THROW(MultipathConnection(h.net, *h.a, *h.b, 1000, 80, mp_cfg(0)),
+               std::invalid_argument);
+}
+
+TEST(MultipathTest, StripesBytesAndCompletes) {
+  TwoHostNet h;
+  MultipathConnection mp(h.net, *h.a, *h.b, 1000, 80, mp_cfg(4));
+  bool done = false;
+  mp.set_on_complete([&](const MultipathConnection& m) {
+    done = true;
+    EXPECT_EQ(m.bytes_acked(), 100'000u);
+  });
+  mp.start(100'000);
+  h.sched.run_until(sim::milliseconds(100));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(mp.complete());
+  // Equal stripe: 100000 / 4 each.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(mp.subflow(i).sender().stats().bytes_acked, 25'000u);
+  }
+}
+
+TEST(MultipathTest, RemainderGoesToFirstSubflow) {
+  TwoHostNet h;
+  MultipathConnection mp(h.net, *h.a, *h.b, 1000, 80, mp_cfg(3));
+  mp.start(10'001);
+  h.sched.run_until(sim::milliseconds(100));
+  EXPECT_EQ(mp.subflow(0).sender().stats().bytes_acked,
+            10'001u / 3 + 10'001u % 3);
+  EXPECT_EQ(mp.bytes_acked(), 10'001u);
+}
+
+TEST(MultipathTest, FctIsTheLastSubflowsCompletion) {
+  TwoHostNet h;
+  MultipathConnection mp(h.net, *h.a, *h.b, 1000, 80, mp_cfg(2));
+  EXPECT_EQ(mp.fct(), sim::kTimeNever);
+  mp.start(50'000);
+  h.sched.run_until(sim::milliseconds(100));
+  ASSERT_TRUE(mp.complete());
+  sim::TimePs slowest = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    slowest = std::max(slowest, mp.subflow(i).sender().fct());
+  }
+  EXPECT_EQ(mp.fct(), slowest);
+}
+
+TEST(MultipathTest, SubflowsUseDistinctPorts) {
+  TwoHostNet h;
+  MultipathConnection mp(h.net, *h.a, *h.b, 1000, 80, mp_cfg(3));
+  const auto k0 = mp.subflow(0).sender().flow_key();
+  const auto k1 = mp.subflow(1).sender().flow_key();
+  const auto k2 = mp.subflow(2).sender().flow_key();
+  EXPECT_NE(k0.src_port, k1.src_port);
+  EXPECT_NE(k1.src_port, k2.src_port);
+  EXPECT_NE(k0.dst_port, k1.dst_port);
+}
+
+TEST(MultipathTest, UnlimitedModeAggregatesGoodput) {
+  TwoHostNet h;
+  MultipathConnection mp(h.net, *h.a, *h.b, 1000, 80, mp_cfg(2));
+  mp.start(TcpSender::kUnlimited);
+  h.sched.run_until(sim::milliseconds(20));
+  EXPECT_FALSE(mp.complete());
+  EXPECT_GT(mp.aggregate_goodput_bps(), 1e9);
+}
+
+TEST(MultipathTest, DoubleStartThrows) {
+  TwoHostNet h;
+  MultipathConnection mp(h.net, *h.a, *h.b, 1000, 80, mp_cfg(2));
+  mp.start(1000);
+  EXPECT_THROW(mp.start(1000), std::logic_error);
+}
+
+TEST(MultipathTest, EcmpSpreadsSubflowsOverFatTreeCores) {
+  sim::Scheduler sched;
+  net::Network network(sched);
+  topo::FatTreeConfig ft;
+  ft.k = 4;
+  ft.qdisc = net::make_droptail_factory(512);
+  topo::FatTree tree = topo::build_fat_tree(network, ft);
+
+  // 8 subflows pod 0 -> pod 3: with high probability at least two of
+  // the four cores carry traffic.
+  MultipathConfig cfg = mp_cfg(8);
+  MultipathConnection mp(network, *tree.hosts.front(), *tree.hosts.back(),
+                         1000, 80, cfg);
+  mp.start(800'000);
+  sched.run_until(sim::milliseconds(200));
+  EXPECT_TRUE(mp.complete());
+  int cores_used = 0;
+  for (auto* core : tree.cores) {
+    if (core->forwarded() > 0) ++cores_used;
+  }
+  EXPECT_GE(cores_used, 2);
+}
+
+TEST(MultipathTest, HWatchShimsApplyPerSubflow) {
+  // Section IV-F: every subflow handshake passes the shim, so each gets
+  // its own probe train and flow-table entry — no MPTCP-specific code.
+  TwoHostNet h;
+  sim::Rng rng(5);
+  core::HWatchConfig hw;
+  hw.probe_count = 10;
+  hw.probe_span = sim::microseconds(20);
+  auto shim_a = core::install_hwatch(h.net, *h.a, hw, rng.fork());
+  auto shim_b = core::install_hwatch(h.net, *h.b, hw, rng.fork());
+
+  MultipathConnection mp(h.net, *h.a, *h.b, 1000, 80, mp_cfg(3));
+  mp.start(30'000);
+  h.sched.run_until(sim::milliseconds(200));
+  EXPECT_TRUE(mp.complete());
+  EXPECT_EQ(shim_a->stats().probes_injected, 3u * 10u);
+  EXPECT_EQ(shim_a->stats().syns_held, 3u);
+  EXPECT_EQ(shim_b->stats().synacks_rewritten, 3u);
+  EXPECT_EQ(shim_b->flow_table().created(), 3u);
+}
+
+}  // namespace
+}  // namespace hwatch::tcp

@@ -1,0 +1,96 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hwatch::tcp {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+RttEstimator make(sim::TimePs min_rto = milliseconds(200)) {
+  return RttEstimator(milliseconds(200), min_rto, sim::seconds_i(60));
+}
+
+TEST(RttEstimatorTest, InitialRtoBeforeAnySample) {
+  auto e = make();
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto(), milliseconds(200));
+}
+
+TEST(RttEstimatorTest, FirstSampleInitializesSrttAndVar) {
+  auto e = make();
+  e.add_sample(microseconds(100));
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.srtt(), microseconds(100));
+  EXPECT_EQ(e.rttvar(), microseconds(50));
+}
+
+TEST(RttEstimatorTest, MinRtoFloorsDatacenterRtts) {
+  // The paper's core pathology: a 100 us RTT network still gets a 200 ms
+  // timeout because of the Linux minRTO floor.
+  auto e = make(milliseconds(200));
+  for (int i = 0; i < 50; ++i) e.add_sample(microseconds(100));
+  EXPECT_EQ(e.rto(), milliseconds(200));
+}
+
+TEST(RttEstimatorTest, SmallMinRtoTracksRtt) {
+  auto e = make(milliseconds(4));
+  for (int i = 0; i < 50; ++i) e.add_sample(microseconds(100));
+  EXPECT_EQ(e.rto(), milliseconds(4));  // srtt + 4*var << 4 ms floor
+}
+
+TEST(RttEstimatorTest, EwmaConvergesToStableRtt) {
+  auto e = make(microseconds(1));
+  for (int i = 0; i < 100; ++i) e.add_sample(microseconds(500));
+  EXPECT_NEAR(static_cast<double>(e.srtt()),
+              static_cast<double>(microseconds(500)), 1e6);
+  // Variance decays towards 0 with constant samples.
+  EXPECT_LT(e.rttvar(), microseconds(50));
+}
+
+TEST(RttEstimatorTest, VarianceGrowsWithJitter) {
+  auto low = make(microseconds(1));
+  auto high = make(microseconds(1));
+  for (int i = 0; i < 100; ++i) {
+    low.add_sample(microseconds(500));
+    high.add_sample(i % 2 == 0 ? microseconds(100) : microseconds(900));
+  }
+  EXPECT_GT(high.rttvar(), low.rttvar());
+  EXPECT_GT(high.rto(), low.rto());
+}
+
+TEST(RttEstimatorTest, BackoffDoublesAndCaps) {
+  RttEstimator e(milliseconds(200), milliseconds(200), milliseconds(1000));
+  e.backoff();
+  EXPECT_EQ(e.rto(), milliseconds(400));
+  e.backoff();
+  EXPECT_EQ(e.rto(), milliseconds(800));
+  e.backoff();
+  EXPECT_EQ(e.rto(), milliseconds(1000));  // capped
+  e.backoff();
+  EXPECT_EQ(e.rto(), milliseconds(1000));
+}
+
+TEST(RttEstimatorTest, SampleAfterBackoffRecomputes) {
+  auto e = make(milliseconds(4));
+  e.add_sample(microseconds(100));
+  e.backoff();
+  e.backoff();
+  EXPECT_GT(e.rto(), milliseconds(4));
+  e.add_sample(microseconds(100));
+  EXPECT_EQ(e.rto(), milliseconds(4));
+}
+
+TEST(RttEstimatorTest, RtoAlwaysAboveSrtt) {
+  auto e = make(microseconds(1));
+  std::uint64_t x = 99;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    e.add_sample(microseconds(50 + static_cast<sim::TimePs>(x % 500)));
+    EXPECT_GT(e.rto(), e.srtt());
+  }
+}
+
+}  // namespace
+}  // namespace hwatch::tcp

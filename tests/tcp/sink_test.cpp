@@ -1,0 +1,257 @@
+// TcpSink unit behaviour: reassembly, ACK generation, window encoding.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/checksum.hpp"
+#include "net/network.hpp"
+#include "tcp/sink.hpp"
+
+namespace hwatch::tcp {
+namespace {
+
+/// Harness with a sink on host B and a hand-driven "sender": the test
+/// injects crafted segments into the host and records the ACKs the sink
+/// pushes to its NIC by replacing the peer node with a recorder.
+class SinkHarness {
+ public:
+  SinkHarness() : network(sched) {
+    sender_host = &network.add_host("sender");
+    sink_host = &network.add_host("sink");
+    sw = &network.add_switch("sw");
+    auto q = net::make_droptail_factory(1000);
+    network.connect(*sender_host, *sw, sim::DataRate::gbps(10), 0, q);
+    network.connect(*sink_host, *sw, sim::DataRate::gbps(10), 0, q);
+    network.compute_routes();
+    sender_host->bind(1000, [this](net::Packet&& p) {
+      acks.push_back(std::move(p));
+    });
+  }
+
+  net::Packet segment(std::uint64_t seq, std::uint32_t len,
+                      net::Ecn ecn = net::Ecn::kEct0) {
+    net::Packet p;
+    p.uid = network.next_packet_uid();
+    p.ip.src = sender_host->id();
+    p.ip.dst = sink_host->id();
+    p.ip.ecn = ecn;
+    p.tcp.src_port = 1000;
+    p.tcp.dst_port = 80;
+    p.tcp.seq = seq;
+    p.tcp.ack_flag = true;
+    p.tcp.ack = 1;
+    p.payload_bytes = len;
+    net::stamp_checksum(p);
+    return p;
+  }
+
+  net::Packet syn(std::uint8_t wscale = 6) {
+    net::Packet p = segment(0, 0);
+    p.tcp.ack_flag = false;
+    p.tcp.syn = true;
+    p.tcp.wscale = wscale;
+    net::stamp_checksum(p);
+    return p;
+  }
+
+  void deliver(net::Packet&& p) {
+    sink_host->handle_packet(std::move(p));
+    sched.run();
+  }
+
+  sim::Scheduler sched;
+  net::Network network;
+  net::Host* sender_host;
+  net::Host* sink_host;
+  net::Switch* sw;
+  std::vector<net::Packet> acks;
+};
+
+TcpConfig sink_cfg(EcnMode mode = EcnMode::kNone) {
+  TcpConfig c;
+  c.ecn = mode;
+  c.advertised_window_bytes = 1u << 20;
+  c.window_scale = 6;
+  return c;
+}
+
+TEST(SinkTest, SynElicitsSynAckWithScaleAndUnscaledWindow) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn(7));
+  ASSERT_EQ(h.acks.size(), 1u);
+  const auto& sa = h.acks[0];
+  EXPECT_TRUE(sa.tcp.syn);
+  EXPECT_TRUE(sa.tcp.ack_flag);
+  EXPECT_EQ(sa.tcp.ack, 1u);
+  EXPECT_EQ(sa.tcp.wscale, 6);  // own scale announced
+  // RFC 7323: SYN-ACK window unscaled, saturating the 16-bit field.
+  EXPECT_EQ(sa.tcp.rwnd_raw, 0xFFFF);
+  EXPECT_EQ(sink.peer_wscale(), 7);
+  EXPECT_TRUE(sink.connected());
+}
+
+TEST(SinkTest, RetransmittedSynGetsAnotherSynAck) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.syn());
+  EXPECT_EQ(h.acks.size(), 2u);
+  EXPECT_EQ(sink.rcv_nxt(), 1u);  // not advanced twice
+}
+
+TEST(SinkTest, InOrderDataAdvancesCumulativeAck) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 100));
+  h.deliver(h.segment(101, 100));
+  ASSERT_EQ(h.acks.size(), 3u);
+  EXPECT_EQ(h.acks[1].tcp.ack, 101u);
+  EXPECT_EQ(h.acks[2].tcp.ack, 201u);
+  EXPECT_EQ(sink.stats().bytes_received, 200u);
+}
+
+TEST(SinkTest, EstablishedAckCarriesScaledWindow) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 100));
+  // 1 MiB advertised at shift 6 = 16384 raw.
+  EXPECT_EQ(h.acks[1].tcp.rwnd_raw, (1u << 20) >> 6);
+}
+
+TEST(SinkTest, OutOfOrderGeneratesDupAcksThenJumps) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.segment(101, 100));  // hole at [1,101)
+  h.deliver(h.segment(201, 100));
+  h.deliver(h.segment(301, 100));
+  ASSERT_EQ(h.acks.size(), 4u);
+  EXPECT_EQ(h.acks[1].tcp.ack, 1u);  // dupacks
+  EXPECT_EQ(h.acks[2].tcp.ack, 1u);
+  EXPECT_EQ(h.acks[3].tcp.ack, 1u);
+  h.deliver(h.segment(1, 100));  // fill the hole
+  EXPECT_EQ(h.acks[4].tcp.ack, 401u);  // cumulative jump
+  EXPECT_EQ(sink.stats().bytes_received, 400u);
+}
+
+TEST(SinkTest, OverlappingSegmentsCountBytesOnce) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 200));
+  h.deliver(h.segment(101, 200));  // overlaps [101,201), new [201,301)
+  EXPECT_EQ(sink.stats().bytes_received, 300u);
+  EXPECT_EQ(sink.rcv_nxt(), 301u);
+}
+
+TEST(SinkTest, FullyDuplicateSegmentCounted) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 100));
+  h.deliver(h.segment(1, 100));
+  EXPECT_EQ(sink.stats().duplicate_segments, 1u);
+  EXPECT_EQ(sink.stats().bytes_received, 100u);
+  // Still acked (dupack lets the sender detect loss of later data).
+  EXPECT_EQ(h.acks.size(), 3u);
+}
+
+TEST(SinkTest, FinAcceptedOnlyInOrder) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  // FIN at seq 201 while [1,201) is missing: not accepted yet.
+  net::Packet early_fin = h.segment(201, 0);
+  early_fin.tcp.fin = true;
+  net::stamp_checksum(early_fin);
+  h.deliver(std::move(early_fin));
+  EXPECT_FALSE(sink.fin_received());
+  h.deliver(h.segment(1, 200));
+  net::Packet fin = h.segment(201, 0);
+  fin.tcp.fin = true;
+  net::stamp_checksum(fin);
+  h.deliver(std::move(fin));
+  EXPECT_TRUE(sink.fin_received());
+  EXPECT_EQ(sink.rcv_nxt(), 202u);  // FIN consumed a sequence slot
+}
+
+TEST(SinkTest, ClassicEceLatchedAcrossAcksUntilCwr) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg(EcnMode::kClassic));
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 100, net::Ecn::kCe));
+  h.deliver(h.segment(101, 100, net::Ecn::kEct0));  // no CE, still latched
+  EXPECT_TRUE(h.acks[1].tcp.ece);
+  EXPECT_TRUE(h.acks[2].tcp.ece);
+  net::Packet cwr_seg = h.segment(201, 100, net::Ecn::kEct0);
+  cwr_seg.tcp.cwr = true;
+  net::stamp_checksum(cwr_seg);
+  h.deliver(std::move(cwr_seg));
+  EXPECT_FALSE(h.acks[3].tcp.ece);  // CWR cleared the latch
+}
+
+TEST(SinkTest, DctcpEceMirrorsPerSegment) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg(EcnMode::kDctcp));
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 100, net::Ecn::kCe));
+  h.deliver(h.segment(101, 100, net::Ecn::kEct0));
+  h.deliver(h.segment(201, 100, net::Ecn::kCe));
+  EXPECT_TRUE(h.acks[1].tcp.ece);
+  EXPECT_FALSE(h.acks[2].tcp.ece);
+  EXPECT_TRUE(h.acks[3].tcp.ece);
+  EXPECT_EQ(sink.stats().ce_marked_segments, 2u);
+}
+
+TEST(SinkTest, NoEcnModeNeverSetsEce) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg(EcnMode::kNone));
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 100, net::Ecn::kCe));
+  EXPECT_FALSE(h.acks[1].tcp.ece);
+}
+
+TEST(SinkTest, AcksCarryValidChecksums) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 100));
+  for (const auto& ack : h.acks) {
+    EXPECT_TRUE(net::verify_checksum(ack));
+  }
+}
+
+TEST(SinkTest, GoodputComputedOverDataSpan) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.syn());
+  h.deliver(h.segment(1, 1000));
+  EXPECT_DOUBLE_EQ(sink.goodput_bps(), 0.0);  // single instant: no span
+  h.sched.run_until(sim::milliseconds(1));
+  h.deliver(h.segment(1001, 1000));
+  // 2000 B over 1 ms = 16 Mb/s.
+  EXPECT_NEAR(sink.goodput_bps(), 16e6, 1e5);
+}
+
+TEST(SinkTest, UnbindsPortOnDestruction) {
+  SinkHarness h;
+  {
+    TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+    EXPECT_TRUE(h.sink_host->is_bound(80));
+  }
+  EXPECT_FALSE(h.sink_host->is_bound(80));
+}
+
+TEST(SinkTest, StraySegmentBeforeSynIgnored) {
+  SinkHarness h;
+  TcpSink sink(h.network, *h.sink_host, 80, sink_cfg());
+  h.deliver(h.segment(1, 100));
+  EXPECT_TRUE(h.acks.empty());
+  EXPECT_FALSE(sink.connected());
+}
+
+}  // namespace
+}  // namespace hwatch::tcp

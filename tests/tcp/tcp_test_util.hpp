@@ -1,0 +1,43 @@
+// Shared harness for transport tests: two hosts joined by one switch,
+// with a configurable (usually small) bottleneck queue to provoke drops
+// and marks deterministically.
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/connection.hpp"
+
+namespace hwatch::tcp::testutil {
+
+struct TwoHostNet {
+  /// The edge (a -> sw) runs 4x faster than the bottleneck (sw -> b) so
+  /// bursts actually queue at the switch, as they do behind a
+  /// shared core link.
+  explicit TwoHostNet(net::QdiscFactory bottleneck_qdisc =
+                          net::make_droptail_factory(1000),
+                      sim::DataRate bottleneck_rate = sim::DataRate::gbps(10),
+                      sim::TimePs link_delay = sim::microseconds(10))
+      : net(sched) {
+    a = &net.add_host("a");
+    b = &net.add_host("b");
+    sw = &net.add_switch("sw");
+    const sim::DataRate edge_rate(4 * bottleneck_rate.bits_per_sec());
+    net.connect(*a, *sw, edge_rate, link_delay,
+                net::make_droptail_factory(1000));
+    auto duplex =
+        net.connect(*sw, *b, bottleneck_rate, link_delay, bottleneck_qdisc);
+    bottleneck = duplex.forward;
+    net.compute_routes();
+  }
+
+  sim::Scheduler sched;
+  net::Network net;
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  net::Switch* sw = nullptr;
+  net::Link* bottleneck = nullptr;  // sw -> b
+};
+
+}  // namespace hwatch::tcp::testutil

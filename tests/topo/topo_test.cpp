@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/dumbbell.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/leaf_spine.hpp"
+
+namespace hwatch::topo {
+namespace {
+
+net::QdiscFactory q() { return net::make_droptail_factory(256); }
+
+/// Sends one packet host-to-host and reports whether it arrived.
+bool reachable(sim::Scheduler& sched, net::Host& src, net::Host& dst) {
+  bool arrived = false;
+  const std::uint16_t port = 60000;
+  dst.bind(port, [&](net::Packet&&) { arrived = true; });
+  net::Packet p;
+  p.ip.src = src.id();
+  p.ip.dst = dst.id();
+  p.tcp.dst_port = port;
+  src.send(std::move(p));
+  sched.run();
+  dst.unbind(port);
+  return arrived;
+}
+
+TEST(DumbbellTest, StructureMatchesConfig) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  DumbbellConfig cfg;
+  cfg.pairs = 5;
+  cfg.edge_qdisc = q();
+  cfg.bottleneck_qdisc = q();
+  Dumbbell d = build_dumbbell(net, cfg);
+  EXPECT_EQ(d.left.size(), 5u);
+  EXPECT_EQ(d.right.size(), 5u);
+  EXPECT_NE(d.bottleneck, nullptr);
+  EXPECT_EQ(net.hosts().size(), 10u);
+  EXPECT_EQ(net.switches().size(), 2u);
+  // Bottleneck connects the two switches.
+  EXPECT_EQ(d.bottleneck->destination(), d.switch_right);
+  EXPECT_EQ(d.bottleneck_reverse->destination(), d.switch_left);
+}
+
+TEST(DumbbellTest, AllPairsReachable) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  DumbbellConfig cfg;
+  cfg.pairs = 3;
+  cfg.edge_qdisc = q();
+  cfg.bottleneck_qdisc = q();
+  Dumbbell d = build_dumbbell(net, cfg);
+  for (auto* l : d.left) {
+    for (auto* r : d.right) {
+      EXPECT_TRUE(reachable(sched, *l, *r)) << l->name() << "->" << r->name();
+      EXPECT_TRUE(reachable(sched, *r, *l)) << r->name() << "->" << l->name();
+    }
+  }
+}
+
+TEST(DumbbellTest, RttMatchesTarget) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  DumbbellConfig cfg;
+  cfg.pairs = 1;
+  cfg.base_rtt = sim::microseconds(100);
+  cfg.edge_qdisc = q();
+  cfg.bottleneck_qdisc = q();
+  Dumbbell d = build_dumbbell(net, cfg);
+
+  // One-way propagation = 3 links; measure an empty-network ping.
+  sim::TimePs arrival = 0;
+  d.right[0]->bind(60000, [&](net::Packet&&) { arrival = sched.now(); });
+  net::Packet p;
+  p.ip.src = d.left[0]->id();
+  p.ip.dst = d.right[0]->id();
+  p.tcp.dst_port = 60000;
+  p.payload_bytes = 0;
+  d.left[0]->send(std::move(p));
+  sched.run();
+  // One way: ~50 us propagation plus tiny serialization.
+  EXPECT_GE(arrival, sim::microseconds(48));
+  EXPECT_LE(arrival, sim::microseconds(52));
+}
+
+TEST(DumbbellTest, ValidatesConfig) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  DumbbellConfig cfg;  // missing qdiscs
+  cfg.pairs = 1;
+  EXPECT_THROW(build_dumbbell(net, cfg), std::invalid_argument);
+  cfg.edge_qdisc = q();
+  cfg.bottleneck_qdisc = q();
+  cfg.pairs = 0;
+  EXPECT_THROW(build_dumbbell(net, cfg), std::invalid_argument);
+}
+
+TEST(LeafSpineTest, StructureMatchesTestbed) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  LeafSpineConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 21;
+  cfg.edge_qdisc = q();
+  cfg.fabric_qdisc = q();
+  LeafSpine t = build_leaf_spine(net, cfg);
+  EXPECT_EQ(t.hosts.size(), 4u);
+  EXPECT_EQ(t.hosts[0].size(), 21u);
+  EXPECT_EQ(net.hosts().size(), 84u);  // the testbed's 84 servers
+  EXPECT_EQ(t.leaves.size(), 4u);
+  EXPECT_EQ(t.spines.size(), 1u);
+  EXPECT_EQ(t.downlinks.size(), 4u);
+  for (auto* link : t.downlinks) EXPECT_NE(link, nullptr);
+}
+
+TEST(LeafSpineTest, CrossRackReachability) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  LeafSpineConfig cfg;
+  cfg.racks = 3;
+  cfg.hosts_per_rack = 2;
+  cfg.edge_qdisc = q();
+  cfg.fabric_qdisc = q();
+  LeafSpine t = build_leaf_spine(net, cfg);
+  EXPECT_TRUE(reachable(sched, *t.hosts[0][0], *t.hosts[2][1]));
+  EXPECT_TRUE(reachable(sched, *t.hosts[1][1], *t.hosts[0][0]));
+  // Intra-rack stays within the leaf.
+  EXPECT_TRUE(reachable(sched, *t.hosts[0][0], *t.hosts[0][1]));
+}
+
+TEST(LeafSpineTest, IntraRackTrafficAvoidsSpine) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  LeafSpineConfig cfg;
+  cfg.racks = 2;
+  cfg.hosts_per_rack = 2;
+  cfg.edge_qdisc = q();
+  cfg.fabric_qdisc = q();
+  LeafSpine t = build_leaf_spine(net, cfg);
+  reachable(sched, *t.hosts[0][0], *t.hosts[0][1]);
+  for (auto* link : t.downlinks) {
+    EXPECT_EQ(link->packets_delivered(), 0u);
+  }
+}
+
+TEST(FatTreeTest, K4Counts) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.qdisc = q();
+  FatTree t = build_fat_tree(net, cfg);
+  EXPECT_EQ(t.hosts.size(), 16u);   // k^3/4
+  EXPECT_EQ(t.cores.size(), 4u);    // (k/2)^2
+  EXPECT_EQ(t.aggregations.size(), 8u);
+  EXPECT_EQ(t.edges.size(), 8u);
+  EXPECT_EQ(t.hosts_per_pod(), 4u);
+}
+
+TEST(FatTreeTest, CrossPodReachabilityEverywhere) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.qdisc = q();
+  FatTree t = build_fat_tree(net, cfg);
+  // Sample pairs across every pod boundary.
+  for (std::size_t i = 0; i < t.hosts.size(); i += 3) {
+    for (std::size_t j = 1; j < t.hosts.size(); j += 5) {
+      if (i == j) continue;
+      EXPECT_TRUE(reachable(sched, *t.hosts[i], *t.hosts[j]))
+          << t.hosts[i]->name() << "->" << t.hosts[j]->name();
+    }
+  }
+}
+
+TEST(FatTreeTest, EcmpSpreadsFlowsAcrossCores) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.qdisc = q();
+  FatTree t = build_fat_tree(net, cfg);
+  // Many flows from pod 0 to pod 3; count cores that carried traffic.
+  net::Host& dst = *t.hosts.back();
+  dst.bind(60000, [](net::Packet&&) {});
+  for (std::uint16_t sp = 1000; sp < 1200; ++sp) {
+    net::Packet p;
+    p.ip.src = t.hosts[0]->id();
+    p.ip.dst = dst.id();
+    p.tcp.src_port = sp;
+    p.tcp.dst_port = 60000;
+    t.hosts[0]->send(std::move(p));
+  }
+  sched.run();
+  int cores_used = 0;
+  for (auto* core : t.cores) {
+    if (core->forwarded() > 0) ++cores_used;
+  }
+  EXPECT_GE(cores_used, 2);  // hash spreads across equal-cost cores
+}
+
+TEST(FatTreeTest, RejectsOddK) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  FatTreeConfig cfg;
+  cfg.k = 3;
+  cfg.qdisc = q();
+  EXPECT_THROW(build_fat_tree(net, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hwatch::topo

@@ -1,0 +1,144 @@
+// Closed-loop request generator: sequential fetches per slot, load
+// self-regulation, think times.
+#include <gtest/gtest.h>
+
+#include "topo/dumbbell.hpp"
+#include "workload/traffic.hpp"
+
+namespace hwatch::workload {
+namespace {
+
+struct ClosedLoopFixture : ::testing::Test {
+  ClosedLoopFixture() : network(sched) {
+    topo::DumbbellConfig cfg;
+    cfg.pairs = 4;
+    cfg.edge_qdisc = net::make_droptail_factory(512);
+    cfg.bottleneck_qdisc = net::make_droptail_factory(512);
+    d = topo::build_dumbbell(network, cfg);
+  }
+  tcp::TcpConfig quick() {
+    tcp::TcpConfig t;
+    t.min_rto = sim::milliseconds(10);
+    t.initial_rto = sim::milliseconds(10);
+    t.ecn = tcp::EcnMode::kNone;
+    return t;
+  }
+  sim::Scheduler sched;
+  net::Network network;
+  topo::Dumbbell d;
+};
+
+TEST_F(ClosedLoopFixture, IssuesExactlyRequestsPerSlot) {
+  TrafficManager tm(network);
+  sim::Rng rng(1);
+  ClosedLoopConfig cfg;
+  cfg.slots_per_pair = 3;
+  cfg.requests_per_slot = 4;
+  cfg.object_bytes = 5'000;
+  cfg.start = sim::milliseconds(1);
+  cfg.start_spread = sim::milliseconds(1);
+  add_closed_loop_web(tm, {d.left[0]}, {d.right[0]},
+                      tcp::Transport::kNewReno, quick(), cfg, rng);
+  sched.run_until(sim::seconds(1));
+  // 1 pair x 3 slots x 4 requests.
+  EXPECT_EQ(tm.flow_count(), 12u);
+  EXPECT_EQ(tm.completed_count(), 12u);
+}
+
+TEST_F(ClosedLoopFixture, RequestsOfASlotAreSequential) {
+  TrafficManager tm(network);
+  sim::Rng rng(2);
+  ClosedLoopConfig cfg;
+  cfg.slots_per_pair = 1;
+  cfg.requests_per_slot = 5;
+  cfg.object_bytes = 10'000;
+  cfg.start = sim::milliseconds(1);
+  cfg.start_spread = 0;
+  add_closed_loop_web(tm, {d.left[0]}, {d.right[0]},
+                      tcp::Transport::kNewReno, quick(), cfg, rng);
+  sched.run_until(sim::seconds(1));
+  const auto records = tm.collect_records();
+  ASSERT_EQ(records.size(), 5u);
+  // Epoch carries the request index; request i+1 starts after request i
+  // completed (start_{i+1} >= start_i + fct_i).
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].epoch, records[i - 1].epoch + 1);
+    EXPECT_GE(records[i].start_time,
+              records[i - 1].start_time + records[i - 1].fct);
+  }
+}
+
+TEST_F(ClosedLoopFixture, ThinkTimeSpacesRequests) {
+  TrafficManager tm(network);
+  sim::Rng rng(3);
+  ClosedLoopConfig cfg;
+  cfg.slots_per_pair = 1;
+  cfg.requests_per_slot = 10;
+  cfg.object_bytes = 1'000;
+  cfg.start = 0;
+  cfg.start_spread = 0;
+  cfg.think_time_mean = sim::milliseconds(5);
+  add_closed_loop_web(tm, {d.left[0]}, {d.right[0]},
+                      tcp::Transport::kNewReno, quick(), cfg, rng);
+  sched.run_until(sim::seconds(5));
+  const auto records = tm.collect_records();
+  ASSERT_EQ(records.size(), 10u);
+  double total_gap_ms = 0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    total_gap_ms += sim::to_millis(records[i].start_time -
+                                   (records[i - 1].start_time +
+                                    records[i - 1].fct));
+  }
+  // 9 gaps with mean 5 ms: expect a clearly nonzero total.
+  EXPECT_GT(total_gap_ms, 5.0);
+}
+
+TEST_F(ClosedLoopFixture, MultiplePairsRunIndependently) {
+  TrafficManager tm(network);
+  sim::Rng rng(4);
+  ClosedLoopConfig cfg;
+  cfg.slots_per_pair = 2;
+  cfg.requests_per_slot = 3;
+  cfg.object_bytes = 2'000;
+  cfg.start = sim::milliseconds(1);
+  cfg.start_spread = sim::milliseconds(2);
+  add_closed_loop_web(tm, {d.left[0], d.left[1]}, {d.right[0], d.right[1]},
+                      tcp::Transport::kNewReno, quick(), cfg, rng);
+  sched.run_until(sim::seconds(1));
+  // 2 servers x 2 clients x 2 slots x 3 requests.
+  EXPECT_EQ(tm.flow_count(), 24u);
+  EXPECT_EQ(tm.completed_count(), 24u);
+}
+
+TEST_F(ClosedLoopFixture, SelfRegulatesUnderTinyBottleneck) {
+  // With a 1-packet bottleneck queue the open-loop equivalent would
+  // pile up; the closed loop never has more than slots_per_pair flows
+  // outstanding, so everything still completes.
+  sim::Scheduler sched2;
+  net::Network net2(sched2);
+  topo::DumbbellConfig tcfg;
+  tcfg.pairs = 1;
+  tcfg.edge_qdisc = net::make_droptail_factory(512);
+  tcfg.bottleneck_qdisc = net::make_droptail_factory(8);
+  topo::Dumbbell d2 = topo::build_dumbbell(net2, tcfg);
+
+  TrafficManager tm(net2);
+  sim::Rng rng(5);
+  ClosedLoopConfig cfg;
+  cfg.slots_per_pair = 2;
+  cfg.requests_per_slot = 10;
+  cfg.object_bytes = 20'000;
+  cfg.start = 0;
+  cfg.start_spread = sim::milliseconds(1);
+  tcp::TcpConfig t;
+  t.min_rto = sim::milliseconds(10);
+  t.initial_rto = sim::milliseconds(10);
+  t.ecn = tcp::EcnMode::kNone;
+  add_closed_loop_web(tm, {d2.left[0]}, {d2.right[0]},
+                      tcp::Transport::kNewReno, t, cfg, rng);
+  sched2.run_until(sim::seconds(5));
+  EXPECT_EQ(tm.completed_count(), 20u);
+}
+
+}  // namespace
+}  // namespace hwatch::workload

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/dumbbell.hpp"
+#include "workload/traffic.hpp"
+
+namespace hwatch::workload {
+namespace {
+
+struct WorkloadFixture : ::testing::Test {
+  WorkloadFixture() : network(sched) {
+    topo::DumbbellConfig cfg;
+    cfg.pairs = 8;
+    cfg.edge_qdisc = net::make_droptail_factory(512);
+    cfg.bottleneck_qdisc = net::make_droptail_factory(512);
+    d = topo::build_dumbbell(network, cfg);
+  }
+  tcp::TcpConfig quick() {
+    tcp::TcpConfig t;
+    t.min_rto = sim::milliseconds(10);
+    t.initial_rto = sim::milliseconds(10);
+    t.ecn = tcp::EcnMode::kNone;
+    return t;
+  }
+  sim::Scheduler sched;
+  net::Network network;
+  topo::Dumbbell d;
+};
+
+TEST_F(WorkloadFixture, AddFlowTransfersAndRecords) {
+  TrafficManager tm(network);
+  FlowSpec spec;
+  spec.src = d.left[0];
+  spec.dst = d.right[0];
+  spec.tcp = quick();
+  spec.bytes = 50'000;
+  spec.start = sim::milliseconds(1);
+  spec.klass = stats::FlowClass::kShort;
+  spec.epoch = 3;
+  tm.add_flow(spec);
+  sched.run_until(sim::milliseconds(200));
+
+  EXPECT_EQ(tm.completed_count(), 1u);
+  const auto records = tm.collect_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(records[0].bytes, 50'000u);
+  EXPECT_EQ(records[0].epoch, 3u);
+  EXPECT_EQ(records[0].start_time, sim::milliseconds(1));
+  EXPECT_EQ(records[0].transport, "newreno");
+  EXPECT_LT(records[0].fct, sim::milliseconds(5));
+}
+
+TEST_F(WorkloadFixture, FlowDoesNotStartBeforeScheduledTime) {
+  TrafficManager tm(network);
+  FlowSpec spec;
+  spec.src = d.left[0];
+  spec.dst = d.right[0];
+  spec.tcp = quick();
+  spec.bytes = 1000;
+  spec.start = sim::milliseconds(50);
+  tm.add_flow(spec);
+  sched.run_until(sim::milliseconds(40));
+  EXPECT_EQ(tm.completed_count(), 0u);
+  sched.run_until(sim::milliseconds(100));
+  EXPECT_EQ(tm.completed_count(), 1u);
+}
+
+TEST_F(WorkloadFixture, PortsAreUniquePerHost) {
+  TrafficManager tm(network);
+  std::set<std::uint16_t> ports;
+  for (int i = 0; i < 100; ++i) {
+    ports.insert(tm.next_port(*d.left[0]));
+  }
+  EXPECT_EQ(ports.size(), 100u);
+  // Different hosts have independent spaces.
+  EXPECT_EQ(tm.next_port(*d.left[1]), 1024);
+}
+
+TEST_F(WorkloadFixture, RejectsNullEndpoints) {
+  TrafficManager tm(network);
+  FlowSpec spec;
+  EXPECT_THROW(tm.add_flow(spec), std::invalid_argument);
+}
+
+TEST_F(WorkloadFixture, BulkFlowsRunForever) {
+  TrafficManager tm(network);
+  sim::Rng rng(1);
+  SenderGroup g{tcp::Transport::kNewReno, quick(), 4, "bulk"};
+  add_bulk_flows(tm, {d.left.begin(), d.left.begin() + 4},
+                 {d.right.begin(), d.right.begin() + 4}, {g}, 0,
+                 sim::microseconds(100), rng);
+  sched.run_until(sim::milliseconds(20));
+  EXPECT_EQ(tm.flow_count(), 4u);
+  EXPECT_EQ(tm.completed_count(), 0u);  // unlimited flows never complete
+  const auto records = tm.collect_records();
+  for (const auto& r : records) {
+    EXPECT_EQ(r.klass, stats::FlowClass::kLong);
+    EXPECT_GT(r.goodput_bps, 0.0);
+  }
+}
+
+TEST_F(WorkloadFixture, BulkValidatesSourceCount) {
+  TrafficManager tm(network);
+  sim::Rng rng(1);
+  SenderGroup g{tcp::Transport::kNewReno, quick(), 5, "bulk"};
+  std::vector<net::Host*> three(d.left.begin(), d.left.begin() + 3);
+  EXPECT_THROW(
+      add_bulk_flows(tm, three, {d.right[0]}, {g}, 0, 0, rng),
+      std::invalid_argument);
+}
+
+TEST_F(WorkloadFixture, IncastEpochsLaunchEveryFlowEveryEpoch) {
+  TrafficManager tm(network);
+  sim::Rng rng(2);
+  SenderGroup g{tcp::Transport::kNewReno, quick(), 6, "incast"};
+  IncastConfig cfg;
+  cfg.epochs = 4;
+  cfg.first_epoch = sim::milliseconds(5);
+  cfg.epoch_interval = sim::milliseconds(20);
+  cfg.flow_bytes = 10'000;
+  add_incast_epochs(tm, {d.left.begin(), d.left.begin() + 6},
+                    {d.right.begin(), d.right.begin() + 6}, {g}, cfg, rng);
+  EXPECT_EQ(tm.flow_count(), 24u);  // 6 flows x 4 epochs
+  sched.run_until(sim::milliseconds(200));
+  EXPECT_EQ(tm.completed_count(), 24u);
+  const auto records = tm.collect_records();
+  std::set<std::uint32_t> epochs;
+  for (const auto& r : records) {
+    epochs.insert(r.epoch);
+    EXPECT_EQ(r.bytes, 10'000u);
+    EXPECT_EQ(r.klass, stats::FlowClass::kShort);
+  }
+  EXPECT_EQ(epochs.size(), 4u);
+}
+
+TEST_F(WorkloadFixture, IncastStartTimesAreInsideTheirEpochWindow) {
+  TrafficManager tm(network);
+  sim::Rng rng(2);
+  SenderGroup g{tcp::Transport::kNewReno, quick(), 6, "incast"};
+  IncastConfig cfg;
+  cfg.epochs = 2;
+  cfg.first_epoch = sim::milliseconds(5);
+  cfg.epoch_interval = sim::milliseconds(50);
+  cfg.mean_interarrival = sim::microseconds(1);
+  add_incast_epochs(tm, {d.left.begin(), d.left.begin() + 6},
+                    {d.right.begin(), d.right.begin() + 6}, {g}, cfg, rng);
+  for (const auto& r : tm.collect_records()) {
+    const sim::TimePs epoch_start =
+        cfg.first_epoch + r.epoch * cfg.epoch_interval;
+    EXPECT_GE(r.start_time, epoch_start);
+    // Correlated arrivals: the whole epoch starts within a tight window.
+    EXPECT_LT(r.start_time, epoch_start + sim::microseconds(100));
+  }
+}
+
+TEST_F(WorkloadFixture, WebWavesCountMatchesTestbedArithmetic) {
+  TrafficManager tm(network);
+  sim::Rng rng(4);
+  WebWaveConfig cfg;
+  cfg.waves = 5;
+  cfg.connections_per_pair = 10;
+  std::vector<net::Host*> servers(d.left.begin(), d.left.begin() + 3);
+  std::vector<net::Host*> clients(d.right.begin(), d.right.begin() + 2);
+  add_web_waves(tm, servers, clients, tcp::Transport::kNewReno, quick(),
+                cfg, rng);
+  // 3 servers x 2 clients x 10 connections x 5 waves.
+  EXPECT_EQ(tm.flow_count(), 300u);
+}
+
+TEST_F(WorkloadFixture, TotalsAggregateAcrossFlows) {
+  TrafficManager tm(network);
+  FlowSpec spec;
+  spec.src = d.left[0];
+  spec.dst = d.right[0];
+  spec.tcp = quick();
+  spec.bytes = 2000;
+  tm.add_flow(spec);
+  spec.src = d.left[1];
+  spec.dst = d.right[1];
+  tm.add_flow(spec);
+  sched.run_until(sim::milliseconds(100));
+  EXPECT_EQ(tm.total_retransmits(), 0u);
+  EXPECT_EQ(tm.total_timeouts(), 0u);
+}
+
+}  // namespace
+}  // namespace hwatch::workload
