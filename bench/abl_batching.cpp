@@ -17,8 +17,8 @@ using namespace hwatch;
 
 namespace {
 
-api::ScenarioResults run_mode(core::BatchMode mode,
-                              std::uint32_t caution_divisor) {
+api::DumbbellScenarioConfig mode_config(core::BatchMode mode,
+                                        std::uint32_t caution_divisor) {
   api::DumbbellScenarioConfig cfg = bench::paper_dumbbell_base();
   cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
   cfg.edge_aqm = cfg.core_aqm;
@@ -29,7 +29,7 @@ api::ScenarioResults run_mode(core::BatchMode mode,
   cfg.hwatch = bench::paper_hwatch(cfg.base_rtt);
   cfg.hwatch.policy.mode = mode;
   cfg.hwatch.setup_caution_divisor = caution_divisor;
-  return api::run_dumbbell(cfg);
+  return cfg;
 }
 
 }  // namespace
@@ -38,27 +38,42 @@ int main() {
   bench::print_header("Ablation A3",
                       "batching rule x setup caution on the fig8 scenario");
 
+  struct Point {
+    core::BatchMode mode;
+    std::uint32_t div;
+  };
+  std::vector<Point> grid;
+  std::vector<bench::DumbbellPoint> points;
+  for (auto mode : {core::BatchMode::kSingleShot, core::BatchMode::kCoalesced,
+                    core::BatchMode::kThreeBatch}) {
+    for (std::uint32_t div : {1u, 2u}) {
+      grid.push_back({mode, div});
+      points.push_back({std::string(core::to_string(mode)) +
+                            (div == 1 ? "_trusting" : ""),
+                        mode_config(mode, div)});
+    }
+  }
+  std::vector<bench::Curve> all = bench::run_sweep(std::move(points));
+
   stats::Table t({"batch mode", "setup caution", "FCT mean(ms)",
                   "FCT p99(ms)", "unfinished", "drops", "timeouts",
                   "goodput(Gb/s)"});
   std::vector<bench::Curve> curves;
-  for (auto mode : {core::BatchMode::kSingleShot, core::BatchMode::kCoalesced,
-                    core::BatchMode::kThreeBatch}) {
-    for (std::uint32_t div : {1u, 2u}) {
-      api::ScenarioResults res = run_mode(mode, div);
-      const auto fct = res.short_fct_cdf_ms().summarize();
-      const auto gp = res.long_goodput_cdf_gbps().summarize();
-      t.add_row({core::to_string(mode), div == 1 ? "off" : "1/2",
-                 stats::Table::num(fct.mean, 3),
-                 stats::Table::num(fct.p99, 3),
-                 std::to_string(res.incomplete_short_flows()),
-                 std::to_string(res.fabric_drops),
-                 std::to_string(res.timeouts),
-                 stats::Table::num(gp.mean, 3)});
-      if (div == 2) {
-        curves.push_back({std::string(core::to_string(mode)),
-                          std::move(res)});
-      }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    api::ScenarioResults& res = all[i].results;
+    const auto fct = res.short_fct_cdf_ms().summarize();
+    const auto gp = res.long_goodput_cdf_gbps().summarize();
+    t.add_row({core::to_string(grid[i].mode),
+               grid[i].div == 1 ? "off" : "1/2",
+               stats::Table::num(fct.mean, 3),
+               stats::Table::num(fct.p99, 3),
+               std::to_string(res.incomplete_short_flows()),
+               std::to_string(res.fabric_drops),
+               std::to_string(res.timeouts),
+               stats::Table::num(gp.mean, 3)});
+    if (grid[i].div == 2) {
+      curves.push_back({std::string(core::to_string(grid[i].mode)),
+                        std::move(res)});
     }
   }
   t.print(std::cout);

@@ -15,7 +15,8 @@ using namespace hwatch;
 
 namespace {
 
-api::ScenarioResults run(std::uint64_t k_frames, bool delay_signal) {
+api::DumbbellScenarioConfig point_config(std::uint64_t k_frames,
+                                         bool delay_signal) {
   api::DumbbellScenarioConfig cfg = bench::paper_dumbbell_base();
   cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
   cfg.core_aqm.mark_threshold_packets = k_frames;
@@ -27,7 +28,7 @@ api::ScenarioResults run(std::uint64_t k_frames, bool delay_signal) {
   cfg.hwatch = bench::paper_hwatch(cfg.base_rtt);
   cfg.hwatch.use_delay_signal = delay_signal;
   cfg.hwatch.delay_drain_rate = cfg.bottleneck_rate;
-  return api::run_dumbbell(cfg);
+  return cfg;
 }
 
 }  // namespace
@@ -37,21 +38,36 @@ int main() {
                       "ECN-only vs ECN+delay congestion watching as the "
                       "marking threshold K degrades");
 
-  stats::Table t({"K(frames)", "signal", "FCT mean(ms)", "FCT p99(ms)",
-                  "unfinished", "drops", "timeouts", "goodput(Gb/s)"});
+  struct Point {
+    std::uint64_t k;
+    bool delay;
+  };
+  std::vector<Point> grid;
+  std::vector<bench::DumbbellPoint> points;
   for (std::uint64_t k : {50ull, 100ull, 150ull, 200ull}) {
     for (bool delay : {false, true}) {
-      const api::ScenarioResults res = run(k, delay);
-      const auto fct = res.short_fct_cdf_ms().summarize();
-      t.add_row({std::to_string(k), delay ? "ecn+delay" : "ecn-only",
-                 stats::Table::num(fct.mean, 3),
-                 stats::Table::num(fct.p99, 3),
-                 std::to_string(res.incomplete_short_flows()),
-                 std::to_string(res.fabric_drops),
-                 std::to_string(res.timeouts),
-                 stats::Table::num(
-                     res.long_goodput_cdf_gbps().summarize().mean, 3)});
+      grid.push_back({k, delay});
+      points.push_back({"K=" + std::to_string(k) +
+                            (delay ? "_ecn+delay" : "_ecn-only"),
+                        point_config(k, delay)});
     }
+  }
+  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+
+  stats::Table t({"K(frames)", "signal", "FCT mean(ms)", "FCT p99(ms)",
+                  "unfinished", "drops", "timeouts", "goodput(Gb/s)"});
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const api::ScenarioResults& res = curves[i].results;
+    const auto fct = res.short_fct_cdf_ms().summarize();
+    t.add_row({std::to_string(grid[i].k),
+               grid[i].delay ? "ecn+delay" : "ecn-only",
+               stats::Table::num(fct.mean, 3),
+               stats::Table::num(fct.p99, 3),
+               std::to_string(res.incomplete_short_flows()),
+               std::to_string(res.fabric_drops),
+               std::to_string(res.timeouts),
+               stats::Table::num(
+                   res.long_goodput_cdf_gbps().summarize().mean, 3)});
   }
   t.print(std::cout);
   std::cout << "\nWith a well-set K the signals agree; as K degrades the "

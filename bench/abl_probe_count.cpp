@@ -16,11 +16,9 @@ int main() {
   bench::print_header("Ablation A1",
                       "HWatch probe-train length on the fig8 scenario");
 
-  std::vector<bench::Curve> curves;
-  stats::Table t({"probes", "FCT mean(ms)", "FCT p99(ms)", "unfinished",
-                  "drops", "timeouts", "goodput(Gb/s)", "probe bytes",
-                  "handshake delay"});
-  for (std::uint32_t probes : {0u, 2u, 5u, 10u, 20u}) {
+  const std::vector<std::uint32_t> probe_counts = {0u, 2u, 5u, 10u, 20u};
+  std::vector<bench::DumbbellPoint> points;
+  for (std::uint32_t probes : probe_counts) {
     api::DumbbellScenarioConfig cfg = bench::paper_dumbbell_base();
     cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
     cfg.edge_aqm = cfg.core_aqm;
@@ -30,8 +28,16 @@ int main() {
     cfg.hwatch_enabled = true;
     cfg.hwatch = bench::paper_hwatch(cfg.base_rtt);
     cfg.hwatch.probe_count = probes;
+    points.push_back({"probes=" + std::to_string(probes), cfg});
+  }
+  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
 
-    api::ScenarioResults res = api::run_dumbbell(cfg);
+  stats::Table t({"probes", "FCT mean(ms)", "FCT p99(ms)", "unfinished",
+                  "drops", "timeouts", "goodput(Gb/s)", "probe bytes",
+                  "handshake delay"});
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const std::uint32_t probes = probe_counts[i];
+    const api::ScenarioResults& res = curves[i].results;
     const auto fct = res.short_fct_cdf_ms().summarize();
     const auto gp = res.long_goodput_cdf_gbps().summarize();
     t.add_row({std::to_string(probes), stats::Table::num(fct.mean, 3),
@@ -41,7 +47,6 @@ int main() {
                std::to_string(res.timeouts), stats::Table::num(gp.mean, 3),
                std::to_string(res.shim.probe_bytes_injected),
                probes == 0 ? "none" : "<= probe span"});
-    curves.push_back({"probes=" + std::to_string(probes), std::move(res)});
   }
   t.print(std::cout);
   std::cout << "\n";

@@ -13,8 +13,9 @@ using namespace hwatch;
 
 namespace {
 
-api::ScenarioResults run(bool hwatch_on, bool closed_loop,
-                         sim::TimePs admit_interval = sim::milliseconds(1)) {
+api::LeafSpineScenarioConfig point_config(
+    bool hwatch_on, bool closed_loop,
+    sim::TimePs admit_interval = sim::milliseconds(1)) {
   api::LeafSpineScenarioConfig cfg;
   cfg.racks = 4;
   cfg.hosts_per_rack = 21;
@@ -66,7 +67,7 @@ api::ScenarioResults run(bool hwatch_on, bool closed_loop,
   cfg.duration = sim::seconds(2.5);
   cfg.sample_interval = sim::milliseconds(5);
   cfg.seed = 11;
-  return api::run_leaf_spine(cfg);
+  return cfg;
 }
 
 }  // namespace
@@ -76,12 +77,28 @@ int main() {
                       "open-loop waves vs closed-loop requests on the "
                       "testbed scenario");
 
+  std::vector<bench::LeafSpinePoint> points;
+  for (int closed = 0; closed <= 1; ++closed) {
+    for (int hw = 0; hw <= 1; ++hw) {
+      points.push_back({std::string(closed ? "closed-loop" : "open-loop") +
+                            (hw ? "/TCP-HWatch" : "/TCP"),
+                        point_config(hw != 0, closed != 0)});
+    }
+  }
+  // The admission-rate knob under closed loop: 1 ms/admission protects
+  // the tail, 0.5 ms/admission optimizes the mean at some tail cost.
+  points.push_back(
+      {"closed-loop/TCP-HWatch (0.5ms admit)",
+       point_config(true, /*closed_loop=*/true, sim::microseconds(500))});
+  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+
   stats::Table t({"pattern", "scheme", "flows done", "FCT mean(ms)",
                   "FCT p99(ms)", "drops", "timeouts"});
   double mean[2][2] = {};
   for (int closed = 0; closed <= 1; ++closed) {
     for (int hw = 0; hw <= 1; ++hw) {
-      const api::ScenarioResults res = run(hw != 0, closed != 0);
+      const api::ScenarioResults& res =
+          curves[static_cast<std::size_t>(closed * 2 + hw)].results;
       const auto fct = res.short_fct_cdf_ms().summarize();
       mean[closed][hw] = fct.mean;
       t.add_row({closed ? "closed-loop" : "open-loop",
@@ -92,11 +109,8 @@ int main() {
                  std::to_string(res.timeouts)});
     }
   }
-  // The admission-rate knob under closed loop: 1 ms/admission protects
-  // the tail, 0.5 ms/admission optimizes the mean at some tail cost.
   {
-    const api::ScenarioResults fast =
-        run(true, /*closed_loop=*/true, sim::microseconds(500));
+    const api::ScenarioResults& fast = curves.back().results;
     const auto fct = fast.short_fct_cdf_ms().summarize();
     t.add_row({"closed-loop", "TCP-HWatch (0.5ms admit)",
                std::to_string(fct.count), stats::Table::num(fct.mean, 3),

@@ -5,12 +5,15 @@
 // the binary (./bench_out/).
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/scenario.hpp"
+#include "api/sweep.hpp"
 #include "stats/table.hpp"
 
 namespace hwatch::bench {
@@ -82,6 +85,43 @@ struct Curve {
   std::string name;
   api::ScenarioResults results;
 };
+
+/// Thread count for bench sweeps: HWATCH_SWEEP_THREADS overrides, 0
+/// falls through to hardware concurrency (SweepRunner's default).
+/// Set HWATCH_SWEEP_THREADS=1 to force the serial baseline.
+inline unsigned sweep_threads() {
+  if (const char* env = std::getenv("HWATCH_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
+/// A named sweep point.  Benches build a vector of these, run_sweep
+/// executes them across the thread pool, and the returned curves keep
+/// the input order (results are independent of the thread count).
+template <typename Config>
+struct NamedPoint {
+  std::string name;
+  Config cfg;
+};
+using DumbbellPoint = NamedPoint<api::DumbbellScenarioConfig>;
+using LeafSpinePoint = NamedPoint<api::LeafSpineScenarioConfig>;
+
+template <typename Config>
+std::vector<Curve> run_sweep(std::vector<NamedPoint<Config>> points) {
+  api::SweepRunner runner(sweep_threads());
+  std::vector<Config> cfgs;
+  cfgs.reserve(points.size());
+  for (const auto& p : points) cfgs.push_back(p.cfg);
+  std::vector<api::ScenarioResults> results = runner.run(cfgs);
+  std::vector<Curve> curves;
+  curves.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    curves.push_back({std::move(points[i].name), std::move(results[i])});
+  }
+  return curves;
+}
 
 inline void print_header(const std::string& figure,
                          const std::string& description) {

@@ -27,8 +27,9 @@ struct RunResult {
 };
 
 RunResult run(std::uint32_t subflows, bool hwatch_on) {
-  sim::Scheduler sched;
-  net::Network network(sched);
+  sim::SimContext ctx(17);
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network network(ctx);
   topo::FatTreeConfig ft;
   ft.k = 4;
   ft.link_rate = sim::DataRate::gbps(10);
@@ -39,7 +40,7 @@ RunResult run(std::uint32_t subflows, bool hwatch_on) {
   };
   topo::FatTree tree = topo::build_fat_tree(network, ft);
 
-  sim::Rng rng(17);
+  sim::Rng& rng = ctx.rng();
   std::vector<std::unique_ptr<core::HypervisorShim>> shims;
   if (hwatch_on) {
     core::HWatchConfig hw;

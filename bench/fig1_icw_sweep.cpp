@@ -19,11 +19,11 @@ int main() {
   bench::print_header("Figure 1",
                       "DCTCP performance vs initial congestion window");
 
-  std::vector<bench::Curve> curves;
-  stats::Table drop_table(
-      {"ICWND", "drops", "marks", "timeouts", "retx", "queue max(pkts)"});
-
-  for (std::uint32_t icw : {1u, 5u, 10u, 15u, 20u}) {
+  // Build every sweep point up front and fan them out across the
+  // SweepRunner pool; per-point results are identical to a serial run.
+  std::vector<bench::DumbbellPoint> points;
+  std::vector<std::uint32_t> icws = {1u, 5u, 10u, 15u, 20u};
+  for (std::uint32_t icw : icws) {
     api::DumbbellScenarioConfig cfg = bench::paper_dumbbell_base();
     cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
     cfg.edge_aqm.kind = api::AqmKind::kDctcpStep;
@@ -38,14 +38,20 @@ int main() {
     workload::SenderGroup shorts = longs;
     cfg.long_groups = {longs};
     cfg.short_groups = {shorts};
+    points.push_back({"ICWND=" + std::to_string(icw), cfg});
+  }
 
-    api::ScenarioResults res = api::run_dumbbell(cfg);
+  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+
+  stats::Table drop_table(
+      {"ICWND", "drops", "marks", "timeouts", "retx", "queue max(pkts)"});
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const api::ScenarioResults& res = curves[i].results;
     drop_table.add_row(
-        {std::to_string(icw), std::to_string(res.fabric_drops),
+        {std::to_string(icws[i]), std::to_string(res.fabric_drops),
          std::to_string(res.bottleneck_queue.ecn_marked),
          std::to_string(res.timeouts), std::to_string(res.retransmits),
          std::to_string(res.bottleneck_queue.max_len_pkts)});
-    curves.push_back({"ICWND=" + std::to_string(icw), std::move(res)});
   }
 
   bench::print_fct_panel(curves);

@@ -72,7 +72,7 @@ int main() {
   std::cout << "\nPer-flavour long-flow goodput in the MIX run\n";
   stats::Table fair({"flavour", "flows", "goodput mean(Gb/s)",
                      "goodput min", "goodput max"});
-  for (const std::string& flavour : {"dctcp", "newreno"}) {
+  for (const char* flavour : {"dctcp", "newreno"}) {
     stats::Cdf cdf;
     for (const auto& r : curves[1].results.long_flows()) {
       if (r.transport == flavour) cdf.add(r.goodput_bps / 1e9);

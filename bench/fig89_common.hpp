@@ -27,9 +27,10 @@ inline const char* scheme_name(Scheme s) {
   return "?";
 }
 
-/// One curve of the figure: `sources` senders split 1:1 long:short.
-inline api::ScenarioResults run_scheme(Scheme scheme,
-                                       std::uint32_t sources) {
+/// Config for one curve of the figure: `sources` senders split 1:1
+/// long:short under the given scheme.
+inline api::DumbbellScenarioConfig scheme_config(Scheme scheme,
+                                                 std::uint32_t sources) {
   api::DumbbellScenarioConfig cfg = paper_dumbbell_base();
   cfg.pairs = sources;
   const std::uint32_t longs = sources / 2;
@@ -66,19 +67,28 @@ inline api::ScenarioResults run_scheme(Scheme scheme,
 
   cfg.long_groups = {{transport, t, longs, scheme_name(scheme)}};
   cfg.short_groups = {{transport, t, shorts, scheme_name(scheme)}};
-  return api::run_dumbbell(cfg);
+  return cfg;
+}
+
+inline api::ScenarioResults run_scheme(Scheme scheme,
+                                       std::uint32_t sources) {
+  return api::run_dumbbell(scheme_config(scheme, sources));
 }
 
 inline void run_figure(const std::string& figure, std::uint32_t sources) {
   print_header(figure, std::to_string(sources) +
                            " sources (1:1 long:short), four schemes");
-  std::vector<Curve> curves;
+  std::vector<DumbbellPoint> points;
   for (Scheme s : {Scheme::kTcpDropTail, Scheme::kTcpRed,
                    Scheme::kTcpHWatch, Scheme::kDctcp}) {
-    curves.push_back({scheme_name(s), run_scheme(s, sources)});
-    const auto& res = curves.back().results;
+    points.push_back({scheme_name(s), scheme_config(s, sources)});
+  }
+  std::vector<Curve> curves = run_sweep(std::move(points));
+  for (const Curve& c : curves) {
+    const auto& res = c.results;
+    const char* name = c.name.c_str();
     if (res.shim.probes_injected > 0) {
-      std::cout << "  [" << scheme_name(s) << "] hwatch: probes="
+      std::cout << "  [" << name << "] hwatch: probes="
                 << res.shim.probes_injected
                 << " synack-rewrites=" << res.shim.synacks_rewritten
                 << " ack-rewrites=" << res.shim.acks_rewritten

@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include "api/scenario.hpp"
+#include "api/sweep.hpp"
 #include "net/checksum.hpp"
 #include "net/queue.hpp"
+#include "sim/context.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/connection.hpp"
 #include "topo/dumbbell.hpp"
@@ -47,6 +49,54 @@ void BM_SchedulerCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerCancel);
+
+/// Timer-wheel style churn: a rolling window of pending timers where
+/// most are cancelled (rescheduled) before firing — the retransmission
+/// and delayed-ack pattern that dominates TCP-heavy scenarios.  Stresses
+/// slot recycling and stale-entry compaction rather than pure heap push.
+void BM_SchedulerScheduleCancelChurn(benchmark::State& state) {
+  constexpr int kWindow = 256;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::EventId window[kWindow] = {};
+    std::uint64_t x = 99;
+    for (int i = 0; i < 100'000; ++i) {
+      x = x * 6364136223846793005ull + 1;
+      const int slot = i % kWindow;
+      if (window[slot].valid()) sched.cancel(window[slot]);
+      window[slot] =
+          sched.schedule_at(sched.now() + 1 + (x % 10'000), [] {});
+      // Occasionally let time advance so due events actually fire.
+      if (slot == 0) sched.run_until(sched.now() + 500);
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SchedulerScheduleCancelChurn);
+
+/// Many independent SimContexts driven in sequence — the per-point cost
+/// the SweepRunner pays; also proves context construction is cheap and
+/// contexts don't interfere.
+void BM_MultiContextSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (std::uint64_t p = 0; p < 8; ++p) {
+      sim::SimContext ctx(api::derive_point_seed(42, p));
+      std::uint64_t fired = 0;
+      for (int i = 0; i < 1'000; ++i) {
+        ctx.scheduler().schedule_at(
+            static_cast<sim::TimePs>(ctx.rng().uniform_int(0, 999'999)),
+            [&fired] { ++fired; });
+      }
+      ctx.scheduler().run();
+      total += fired + ctx.next_packet_uid();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 1'000);
+}
+BENCHMARK(BM_MultiContextSweep);
 
 net::Packet bench_packet() {
   net::Packet p;

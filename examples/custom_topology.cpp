@@ -44,8 +44,9 @@ class CeTelemetry final : public net::PacketFilter {
 }  // namespace
 
 int main() {
-  sim::Scheduler sched;
-  net::Network network(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network network(ctx);
 
   // k=4 fat-tree: 16 hosts, 20 switches, ECMP across 4 core switches.
   topo::FatTreeConfig ft;

@@ -25,8 +25,9 @@ struct Trace {
 
 Trace run(tcp::Transport transport, tcp::EcnMode ecn,
           const std::string& name) {
-  sim::Scheduler sched;
-  net::Network network(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network network(ctx);
   net::Host& src = network.add_host("src");
   net::Host& dst = network.add_host("dst");
   net::Switch& sw = network.add_switch("sw");

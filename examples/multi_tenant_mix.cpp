@@ -67,7 +67,7 @@ void report(const std::string& name, const api::ScenarioResults& res) {
   stats::Table t({"tenant flavour", "long flows", "goodput mean(Gb/s)",
                   "goodput max/min", "short FCT mean(ms)",
                   "short FCT p99(ms)"});
-  for (const std::string& flavour : {"dctcp", "newreno", "cubic"}) {
+  for (const char* flavour : {"dctcp", "newreno", "cubic"}) {
     stats::Cdf goodput;
     stats::Cdf fct;
     for (const auto& r : res.records) {

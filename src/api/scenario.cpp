@@ -5,7 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
-#include "sim/scheduler.hpp"
+#include "sim/context.hpp"
 
 namespace hwatch::api {
 
@@ -154,9 +154,10 @@ ShimAggregate aggregate_shims(
 }  // namespace
 
 ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
-  sim::Scheduler sched;
-  net::Network net(sched);
-  sim::Rng rng(cfg.seed);
+  sim::SimContext ctx(cfg.seed);
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
+  sim::Rng& rng = ctx.rng();
 
   topo::DumbbellConfig topo_cfg;
   topo_cfg.pairs = cfg.pairs;
@@ -228,9 +229,10 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
 }
 
 ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
-  sim::Scheduler sched;
-  net::Network net(sched);
-  sim::Rng rng(cfg.seed);
+  sim::SimContext ctx(cfg.seed);
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
+  sim::Rng& rng = ctx.rng();
 
   topo::LeafSpineConfig topo_cfg;
   topo_cfg.racks = cfg.racks;

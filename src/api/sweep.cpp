@@ -1,0 +1,72 @@
+#include "api/sweep.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace hwatch::api {
+
+std::uint64_t derive_point_seed(std::uint64_t base_seed,
+                                std::uint64_t index) {
+  // splitmix64: mix the pair into a well-distributed 64-bit seed.  The
+  // +1 keeps point 0 of base 0 away from the all-zero fixed point.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+void SweepRunner::dispatch(
+    std::size_t n, const std::function<void(std::size_t)>& task) const {
+  if (n == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ScenarioResults> SweepRunner::run(
+    const std::vector<DumbbellScenarioConfig>& points) const {
+  return map<ScenarioResults>(points.size(), [&](std::size_t i) {
+    return run_dumbbell(points[i]);
+  });
+}
+
+std::vector<ScenarioResults> SweepRunner::run(
+    const std::vector<LeafSpineScenarioConfig>& points) const {
+  return map<ScenarioResults>(points.size(), [&](std::size_t i) {
+    return run_leaf_spine(points[i]);
+  });
+}
+
+}  // namespace hwatch::api

@@ -12,10 +12,10 @@ namespace hwatch::core {
 HypervisorShim::HypervisorShim(net::Network& net, net::Host& host,
                                HWatchConfig config, sim::Rng rng)
     : net_(net),
+      ctx_(net.ctx()),
       host_(host),
       cfg_(config),
-      rng_(rng),
-      sched_(net.scheduler()) {}
+      rng_(rng) {}
 
 net::FilterVerdict HypervisorShim::on_outbound(net::Packet& p) {
   if (p.kind != net::PacketKind::kTcp) return net::FilterVerdict::kPass;
@@ -120,12 +120,12 @@ net::FilterVerdict HypervisorShim::hold_syn_and_probe(net::Packet& syn) {
                       static_cast<double>(cfg_.probe_count + 1);
     const auto at = static_cast<sim::TimePs>(
         slot * (static_cast<double>(i) + rng_.uniform()));
-    sched_.schedule_in(at, [this, key, train] { inject_probe(key, train); });
+    ctx_.scheduler().schedule_in(at, [this, key, train] { inject_probe(key, train); });
   }
 
   // Release the held SYN after the train (bounded handshake delay).
   auto held = std::make_shared<net::Packet>(syn);
-  sched_.schedule_in(span, [this, held] {
+  ctx_.scheduler().schedule_in(span, [this, held] {
     host_.send_raw(std::move(*held));
   });
   return net::FilterVerdict::kConsume;
@@ -134,7 +134,7 @@ net::FilterVerdict HypervisorShim::hold_syn_and_probe(net::Packet& syn) {
 void HypervisorShim::inject_probe(const net::FlowKey& key,
                                   std::uint32_t train_id) {
   net::Packet probe;
-  probe.uid = net_.next_packet_uid();
+  probe.uid = ctx_.next_packet_uid();
   probe.kind = net::PacketKind::kProbe;
   probe.ip.src = key.src;
   probe.ip.dst = key.dst;
@@ -143,7 +143,7 @@ void HypervisorShim::inject_probe(const net::FlowKey& key,
   probe.tcp.dst_port = key.dst_port;
   probe.payload_bytes = cfg_.probe_payload_bytes;
   probe.probe_train_id = train_id;
-  probe.sent_time = sched_.now();
+  probe.sent_time = ctx_.now();
   ++stats_.probes_injected;
   stats_.probe_bytes_injected += probe.size_bytes();
   host_.send_raw(std::move(probe));
@@ -162,7 +162,7 @@ void HypervisorShim::absorb_probe(const net::Packet& p) {
   }
   auto [it, inserted] =
       path_delay_.try_emplace(p.ip.src, cfg_.delay_drain_rate);
-  it->second.add_sample(sched_.now() - p.sent_time);
+  it->second.add_sample(ctx_.now() - p.sent_time);
 }
 
 void HypervisorShim::note_inbound_syn(const net::Packet& p) {
@@ -170,7 +170,7 @@ void HypervisorShim::note_inbound_syn(const net::Packet& p) {
   e.sender_wscale = p.tcp.wscale;
   e.guest_ecn_capable = p.tcp.ece && p.tcp.cwr;
   e.syn_seen = true;
-  e.round_start = sched_.now();
+  e.round_start = ctx_.now();
 }
 
 void HypervisorShim::note_inbound_data(net::Packet& p) {
@@ -191,7 +191,7 @@ void HypervisorShim::note_inbound_data(net::Packet& p) {
 void HypervisorShim::rewrite_synack(net::Packet& p, FlowEntry& e) {
   e.receiver_wscale = p.tcp.wscale;
   e.synack_seen = true;
-  e.round_start = sched_.now();
+  e.round_start = ctx_.now();
 
   if (e.probe_unmarked + e.probe_marked > 0) {
     std::uint64_t unmarked = e.probe_unmarked;
@@ -230,7 +230,7 @@ void HypervisorShim::rewrite_synack(net::Packet& p, FlowEntry& e) {
     e.allowance_bytes = immediate;
     for (const DeferredGrant& g : plan.deferred) {
       e.pending_grants.push_back(FlowEntry::PendingGrant{
-          sched_.now() + g.delay, g.packets * cfg_.mss});
+          ctx_.now() + g.delay, g.packets * cfg_.mss});
     }
     e.probe_unmarked = 0;
     e.probe_marked = 0;
@@ -242,7 +242,7 @@ void HypervisorShim::rewrite_synack(net::Packet& p, FlowEntry& e) {
 
 net::FilterVerdict HypervisorShim::pace_synack(net::Packet& p,
                                                FlowEntry& e) {
-  const sim::TimePs now = sched_.now();
+  const sim::TimePs now = ctx_.now();
   if (now >= slot_start_ + cfg_.synack_batch_interval) {
     slot_start_ = now;
     slot_used_ = 0;
@@ -263,7 +263,7 @@ net::FilterVerdict HypervisorShim::pace_synack(net::Packet& p,
   if (!drain_scheduled_) {
     drain_scheduled_ = true;
     const sim::TimePs next_slot = slot_start_ + cfg_.synack_batch_interval;
-    sched_.schedule_at(std::max(next_slot, now),
+    ctx_.scheduler().schedule_at(std::max(next_slot, now),
                        [this] { drain_synack_queue(); });
   }
   return net::FilterVerdict::kConsume;
@@ -271,7 +271,7 @@ net::FilterVerdict HypervisorShim::pace_synack(net::Packet& p,
 
 void HypervisorShim::drain_synack_queue() {
   drain_scheduled_ = false;
-  const sim::TimePs now = sched_.now();
+  const sim::TimePs now = ctx_.now();
   if (now >= slot_start_ + cfg_.synack_batch_interval) {
     slot_start_ = now;
     slot_used_ = 0;
@@ -286,13 +286,13 @@ void HypervisorShim::drain_synack_queue() {
   }
   if (!synack_queue_.empty()) {
     drain_scheduled_ = true;
-    sched_.schedule_at(slot_start_ + cfg_.synack_batch_interval,
+    ctx_.scheduler().schedule_at(slot_start_ + cfg_.synack_batch_interval,
                        [this] { drain_synack_queue(); });
   }
 }
 
 void HypervisorShim::rewrite_ack(net::Packet& p, FlowEntry& e) {
-  const sim::TimePs now = sched_.now();
+  const sim::TimePs now = ctx_.now();
   e.apply_due_grants(now);
   if (now - e.round_start >= cfg_.round_interval) {
     run_round_decision(e);
@@ -304,7 +304,7 @@ void HypervisorShim::rewrite_ack(net::Packet& p, FlowEntry& e) {
 
 void HypervisorShim::run_round_decision(FlowEntry& e) {
   const std::uint64_t seen = e.marked + e.unmarked;
-  e.round_start = sched_.now();
+  e.round_start = ctx_.now();
   if (seen == 0) return;  // idle round: nothing learned
   ++stats_.window_decisions;
 
@@ -326,7 +326,7 @@ void HypervisorShim::run_round_decision(FlowEntry& e) {
         cfg_.max_window_bytes);
     for (const DeferredGrant& g : plan.deferred) {
       e.pending_grants.push_back(FlowEntry::PendingGrant{
-          sched_.now() + g.delay, g.packets * cfg_.mss});
+          ctx_.now() + g.delay, g.packets * cfg_.mss});
     }
   }
   e.marked = 0;
@@ -355,7 +355,7 @@ void HypervisorShim::apply_window(net::Packet& p, FlowEntry& e,
 }
 
 void HypervisorShim::schedule_cleanup(const net::FlowKey& key) {
-  sched_.schedule_in(cfg_.flow_cleanup_delay, [this, key] {
+  ctx_.scheduler().schedule_in(cfg_.flow_cleanup_delay, [this, key] {
     if (flows_.erase(key)) ++stats_.flows_cleaned;
   });
 }

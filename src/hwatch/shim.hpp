@@ -29,8 +29,8 @@
 #include "net/filter.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "sim/context.hpp"
 #include "sim/random.hpp"
-#include "sim/scheduler.hpp"
 
 namespace hwatch::core {
 
@@ -155,10 +155,10 @@ class HypervisorShim final : public net::PacketFilter {
   void schedule_cleanup(const net::FlowKey& key);
 
   net::Network& net_;
+  sim::SimContext& ctx_;
   net::Host& host_;
   HWatchConfig cfg_;
   sim::Rng rng_;
-  sim::Scheduler& sched_;
   FlowTable flows_;
   ShimStats stats_;
   std::uint32_t next_train_id_ = 1;

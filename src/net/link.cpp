@@ -7,10 +7,10 @@
 
 namespace hwatch::net {
 
-Link::Link(sim::Scheduler& sched, std::string name, sim::DataRate rate,
+Link::Link(sim::SimContext& ctx, std::string name, sim::DataRate rate,
            sim::TimePs prop_delay, std::unique_ptr<QueueDiscipline> qdisc,
            Node* dst)
-    : sched_(sched),
+    : ctx_(ctx),
       name_(std::move(name)),
       rate_(rate),
       prop_delay_(prop_delay),
@@ -21,7 +21,7 @@ Link::Link(sim::Scheduler& sched, std::string name, sim::DataRate rate,
 }
 
 EnqueueOutcome Link::transmit(Packet&& p) {
-  const EnqueueOutcome outcome = qdisc_->enqueue(std::move(p), sched_.now());
+  const EnqueueOutcome outcome = qdisc_->enqueue(std::move(p), ctx_.now());
   if (outcome != EnqueueOutcome::kDropped && !transmitting_) {
     start_transmission();
   }
@@ -29,7 +29,7 @@ EnqueueOutcome Link::transmit(Packet&& p) {
 }
 
 void Link::start_transmission() {
-  std::optional<Packet> next = qdisc_->dequeue(sched_.now());
+  std::optional<Packet> next = qdisc_->dequeue(ctx_.now());
   if (!next) return;
   transmitting_ = true;
   const sim::TimePs tx = rate_.transmission_time(next->size_bytes());
@@ -37,7 +37,7 @@ void Link::start_transmission() {
   // Move the packet into the completion event.  std::function requires
   // copyable callables, so park the packet in a shared_ptr.
   auto holder = std::make_shared<Packet>(std::move(*next));
-  sched_.schedule_in(tx, [this, holder] {
+  ctx_.scheduler().schedule_in(tx, [this, holder] {
     on_transmission_complete(std::move(*holder));
   });
 }
@@ -49,7 +49,7 @@ void Link::on_transmission_complete(Packet&& p) {
   // Propagation: the receiver sees the packet prop_delay later.  The
   // transmitter is free immediately (pipelining).
   auto holder = std::make_shared<Packet>(std::move(p));
-  sched_.schedule_in(prop_delay_, [this, holder] {
+  ctx_.scheduler().schedule_in(prop_delay_, [this, holder] {
     dst_->handle_packet(std::move(*holder));
   });
   start_transmission();

@@ -11,7 +11,7 @@
 #include <string>
 
 #include "net/queue.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/context.hpp"
 #include "sim/units.hpp"
 
 namespace hwatch::net {
@@ -20,7 +20,7 @@ class Node;
 
 class Link {
  public:
-  Link(sim::Scheduler& sched, std::string name, sim::DataRate rate,
+  Link(sim::SimContext& ctx, std::string name, sim::DataRate rate,
        sim::TimePs prop_delay, std::unique_ptr<QueueDiscipline> qdisc,
        Node* dst);
 
@@ -51,7 +51,7 @@ class Link {
   void start_transmission();
   void on_transmission_complete(Packet&& p);
 
-  sim::Scheduler& sched_;
+  sim::SimContext& ctx_;
   std::string name_;
   sim::DataRate rate_;
   sim::TimePs prop_delay_;

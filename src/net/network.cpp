@@ -29,9 +29,9 @@ Switch& Network::add_switch(const std::string& name) {
 Network::DuplexLink Network::connect(Node& a, Node& b, sim::DataRate rate,
                                      sim::TimePs prop_delay,
                                      const QdiscFactory& make_qdisc) {
-  auto fwd = std::make_unique<Link>(sched_, a.name() + "->" + b.name(), rate,
+  auto fwd = std::make_unique<Link>(ctx_, a.name() + "->" + b.name(), rate,
                                     prop_delay, make_qdisc(), &b);
-  auto bwd = std::make_unique<Link>(sched_, b.name() + "->" + a.name(), rate,
+  auto bwd = std::make_unique<Link>(ctx_, b.name() + "->" + a.name(), rate,
                                     prop_delay, make_qdisc(), &a);
   Link* f = fwd.get();
   Link* w = bwd.get();

@@ -11,14 +11,14 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/queue.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/context.hpp"
 #include "sim/units.hpp"
 
 namespace hwatch::net {
 
 class Network {
  public:
-  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+  explicit Network(sim::SimContext& ctx) : ctx_(ctx) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -54,10 +54,13 @@ class Network {
   /// The unidirectional link from `a` to `b`, or nullptr.
   Link* link_between(NodeId a, NodeId b) const;
 
-  /// Fresh unique packet uid (trace identity).
-  std::uint64_t next_packet_uid() { return ++packet_uid_; }
+  /// Fresh unique packet uid (trace identity); delegates to the context.
+  std::uint64_t next_packet_uid() { return ctx_.next_packet_uid(); }
 
-  sim::Scheduler& scheduler() { return sched_; }
+  /// The simulation instance this network belongs to.
+  sim::SimContext& ctx() { return ctx_; }
+
+  sim::Scheduler& scheduler() { return ctx_.scheduler(); }
 
   /// Aggregate drop count across every queue in the fabric.
   std::uint64_t total_queue_drops() const;
@@ -68,13 +71,12 @@ class Network {
     Link* link;  // this-node -> peer
   };
 
-  sim::Scheduler& sched_;
+  sim::SimContext& ctx_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Host*> hosts_;
   std::vector<Switch*> switches_;
   std::vector<std::vector<Edge>> adjacency_;
-  std::uint64_t packet_uid_ = 0;
 };
 
 }  // namespace hwatch::net

@@ -20,7 +20,7 @@ void PacketTracer::record(const Packet& p, bool outbound) {
   }
   if (p.ip.ecn == Ecn::kCe) ++counts_.ce_marked;
   if (entries_.size() < cfg_.max_entries) {
-    entries_.push_back(TraceEntry{sched_.now(), outbound, p});
+    entries_.push_back(TraceEntry{ctx_.now(), outbound, p});
   }
 }
 

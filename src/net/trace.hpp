@@ -14,7 +14,7 @@
 
 #include "net/filter.hpp"
 #include "net/packet.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/context.hpp"
 
 namespace hwatch::net {
 
@@ -34,8 +34,8 @@ struct TracerConfig {
 
 class PacketTracer final : public PacketFilter {
  public:
-  explicit PacketTracer(sim::Scheduler& sched, TracerConfig config = {})
-      : sched_(sched), cfg_(std::move(config)) {}
+  explicit PacketTracer(sim::SimContext& ctx, TracerConfig config = {})
+      : ctx_(ctx), cfg_(std::move(config)) {}
 
   FilterVerdict on_outbound(Packet& p) override {
     record(p, /*outbound=*/true);
@@ -73,7 +73,7 @@ class PacketTracer final : public PacketFilter {
  private:
   void record(const Packet& p, bool outbound);
 
-  sim::Scheduler& sched_;
+  sim::SimContext& ctx_;
   TracerConfig cfg_;
   std::vector<TraceEntry> entries_;
   std::uint64_t seen_ = 0;

@@ -1,0 +1,62 @@
+// SimContext — everything one simulation instance owns.
+//
+// A SimContext bundles the mutable engine state that used to be plumbed
+// ad hoc through the layers: the event scheduler, the root RNG, the
+// packet-UID counter (trace identity), and the log sink.  Every object
+// of a scenario (Network, links, hosts, transports, the HWatch shim,
+// samplers) hangs off exactly one context, so two contexts share zero
+// mutable state and whole simulations can run concurrently on different
+// threads — the property SweepRunner builds on.
+//
+// Determinism contract: a (scenario config, seed) pair fully determines
+// the event trace.  All randomness flows from rng() / fork_rng(), event
+// ordering is FIFO at equal timestamps, and packet UIDs are allocated
+// from the per-context counter — nothing reads global mutable state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hwatch::sim {
+
+class SimContext {
+ public:
+  explicit SimContext(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  Scheduler& scheduler() { return sched_; }
+  const Scheduler& scheduler() const { return sched_; }
+
+  /// Current simulated time (convenience for sched().now()).
+  TimePs now() const { return sched_.now(); }
+
+  /// Root random stream; components fork independent children from it
+  /// in a deterministic order.
+  Rng& rng() { return rng_; }
+  Rng fork_rng() { return rng_.fork(); }
+
+  /// The seed this context was created with.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fresh unique packet uid (trace identity), scoped to this context.
+  std::uint64_t next_packet_uid() { return ++packet_uid_; }
+  std::uint64_t packet_uids_issued() const { return packet_uid_; }
+
+  /// Per-context log configuration (level + sink).
+  SimLog& log() { return log_; }
+  const SimLog& log() const { return log_; }
+
+ private:
+  Scheduler sched_;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t packet_uid_ = 0;
+  SimLog log_;
+};
+
+}  // namespace hwatch::sim

@@ -37,4 +37,10 @@ void log_line(LogLevel level, const std::string& msg) {
   os << "[" << level_name(level) << "] " << msg << '\n';
 }
 
+void SimLog::line(LogLevel l, const std::string& msg) const {
+  if (!enabled(l)) return;
+  std::ostream& os = sink_ ? *sink_ : (g_sink ? *g_sink : std::clog);
+  os << "[" << level_name(l) << "] " << msg << '\n';
+}
+
 }  // namespace hwatch::sim

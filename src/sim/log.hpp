@@ -45,4 +45,40 @@ void log_msg(LogLevel level, const Args&... args) {
   log_line(level, os.str());
 }
 
+/// Per-instance log configuration: one SimLog per SimContext, so
+/// concurrent simulations can log at different levels into different
+/// sinks without sharing any mutable state.  A null sink falls back to
+/// the process-wide sink (std::clog by default) — writes through the
+/// fallback are only safe when at most one context logs at a time, so
+/// parallel sweeps leave per-context logging off (kOff is cheap: the
+/// level check is one branch).
+class SimLog {
+ public:
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  std::ostream* sink() const { return sink_; }
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  bool enabled(LogLevel l) const {
+    return static_cast<int>(l) >= static_cast<int>(level_);
+  }
+
+  /// Emits one log line through this instance's sink (appends '\n').
+  void line(LogLevel l, const std::string& msg) const;
+
+  /// msg(LogLevel::kInfo, "flow ", id, " done in ", ms, " ms")
+  template <typename... Args>
+  void msg(LogLevel l, const Args&... args) const {
+    if (!enabled(l)) return;
+    std::ostringstream os;
+    detail::append(os, args...);
+    line(l, os.str());
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;  // nullptr = process-wide sink
+};
+
 }  // namespace hwatch::sim

@@ -1,5 +1,6 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -9,41 +10,73 @@ EventId Scheduler::schedule_at(TimePs t, Callback cb) {
   if (t < now_) {
     throw std::invalid_argument("Scheduler: event scheduled in the past");
   }
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id, std::move(cb)});
-  pending_ids_.insert(id);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(gens_.size());
+    gens_.push_back(0);
+  }
+  const std::uint32_t gen = gens_[slot];
+  heap_.push_back(Entry{t, next_seq_++, slot, gen, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
-  return EventId{id};
+  return EventId{pack(slot, gen)};
+}
+
+void Scheduler::retire(const Entry& e) {
+  ++gens_[e.slot];
+  free_slots_.push_back(e.slot);
 }
 
 bool Scheduler::cancel(EventId id) {
-  // Only ids that are still pending may be cancelled; fired, cancelled or
-  // invalid ids are rejected so live_count_ stays accurate.
-  if (!id.valid() || pending_ids_.erase(id.value) == 0) return false;
-  // The heap entry cannot be removed directly; remember the id and skip
-  // the entry when it surfaces.
-  cancelled_.insert(id.value);
+  if (!id.valid()) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>((id.value >> 32) - 1);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value);
+  // Only ids whose generation is still current may be cancelled; fired,
+  // cancelled or invalid ids are rejected so live_count_ stays accurate.
+  if (slot >= gens_.size() || gens_[slot] != gen) return false;
+  // The heap entry cannot be removed directly; bumping the generation
+  // marks it stale, and it is skipped (or compacted) later.
+  ++gens_[slot];
+  free_slots_.push_back(slot);
   --live_count_;
+  ++stale_;
+  maybe_compact();
   return true;
 }
 
-bool Scheduler::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; move via const_cast is the standard
-    // idiom to avoid copying the std::function payload.
-    Entry& top = const_cast<Entry&>(queue_.top());
-    Entry e = std::move(top);
-    queue_.pop();
-    auto it = cancelled_.find(e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    pending_ids_.erase(e.id);
-    out = std::move(e);
-    return true;
+void Scheduler::maybe_compact() {
+  // Rebuild the heap once stale entries dominate; amortized O(1) and
+  // keeps heap memory proportional to live events.
+  if (stale_ < 64 || stale_ * 2 < heap_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !is_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  stale_ = 0;
+}
+
+void Scheduler::drop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+const Scheduler::Entry* Scheduler::peek_next() {
+  while (!heap_.empty()) {
+    if (is_live(heap_.front())) return &heap_.front();
+    drop_top();
+    --stale_;
   }
-  return false;
+  return nullptr;
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  if (peek_next() == nullptr) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  out = std::move(heap_.back());
+  heap_.pop_back();
+  retire(out);
+  return true;
 }
 
 bool Scheduler::step() {
@@ -66,22 +99,11 @@ void Scheduler::run() {
 void Scheduler::run_until(TimePs t) {
   stopped_ = false;
   while (!stopped_) {
-    if (queue_.empty()) break;
-    // Peek through cancelled entries to find the next live event time.
-    Entry e;
-    if (!pop_next(e)) break;
-    if (e.time > t) {
-      // Not due yet: push it back.  pop_next() removed the id from the
-      // pending set but did not touch live_count_, so only the id is
-      // restored (seq is preserved, keeping FIFO order stable).
-      pending_ids_.insert(e.id);
-      queue_.push(std::move(e));
-      break;
-    }
-    now_ = e.time;
-    --live_count_;
-    ++executed_;
-    e.cb();
+    // Peek through cancelled entries to find the next live event; leave
+    // it in place when not yet due so its EventId stays valid.
+    const Entry* next = peek_next();
+    if (next == nullptr || next->time > t) break;
+    step();
   }
   if (now_ < t) now_ = t;
 }

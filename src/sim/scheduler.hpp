@@ -4,12 +4,18 @@
 // keyed by (time, insertion sequence).  The sequence number makes event
 // ordering at equal timestamps FIFO and therefore fully deterministic,
 // which the reproducibility tests rely on.
+//
+// Cancellation is O(1) per event via generation-tagged slots: an EventId
+// packs a slot index and the slot's generation at scheduling time;
+// cancelling (or executing) an event bumps the generation, so stale heap
+// entries are recognised and skipped when they surface.  Slots are
+// recycled through a free list, keeping bookkeeping memory proportional
+// to the number of *live* events, not the events ever scheduled.  Stale
+// heap entries are compacted away once they outnumber live ones.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -69,11 +75,20 @@ class Scheduler {
   /// Total number of events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
+  // --- bookkeeping introspection (memory regression tests) -----------
+  /// Generation slots ever allocated; bounded by the peak number of
+  /// simultaneously live events, NOT by the events scheduled over time.
+  std::size_t bookkeeping_slots() const { return gens_.size(); }
+  /// Heap entries currently held, including not-yet-compacted stale
+  /// (cancelled) ones.
+  std::size_t heap_entries() const { return heap_.size(); }
+
  private:
   struct Entry {
     TimePs time;
     std::uint64_t seq;  // tie-breaker: FIFO at equal time
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     Callback cb;
   };
   struct Later {
@@ -83,15 +98,26 @@ class Scheduler {
     }
   };
 
-  // Pops the next non-cancelled entry, or returns false.
-  bool pop_next(Entry& out);
+  static constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
+    return ((static_cast<std::uint64_t>(slot) + 1) << 32) | gen;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  bool is_live(const Entry& e) const { return gens_[e.slot] == e.gen; }
+  void retire(const Entry& e);  // bump generation, recycle the slot
+
+  // Pops the next live entry, discarding stale ones; false when empty.
+  bool pop_next(Entry& out);
+  // Drops stale entries off the top; points at the next live entry.
+  const Entry* peek_next();
+  void drop_top();
+  void maybe_compact();
+
+  std::vector<Entry> heap_;  // min-heap via std::*_heap with Later
+  std::vector<std::uint32_t> gens_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t stale_ = 0;  // cancelled entries still parked in heap_
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
   bool stopped_ = false;

@@ -9,7 +9,7 @@ MultipathConnection::MultipathConnection(net::Network& net, net::Host& src,
                                          std::uint16_t base_src_port,
                                          std::uint16_t base_dst_port,
                                          const MultipathConfig& config)
-    : sched_(&net.scheduler()) {
+    : ctx_(&net.ctx()) {
   if (config.subflows == 0) {
     throw std::invalid_argument("multipath: need at least one subflow");
   }
@@ -22,7 +22,7 @@ MultipathConnection::MultipathConnection(net::Network& net, net::Host& src,
     conn->sender().set_on_complete([this](const TcpSender&) {
       ++completed_;
       if (completed_ == subflows_.size()) {
-        complete_time_ = sched_->now();
+        complete_time_ = ctx_->now();
         if (on_complete_) on_complete_(*this);
       }
     });
@@ -33,7 +33,7 @@ MultipathConnection::MultipathConnection(net::Network& net, net::Host& src,
 void MultipathConnection::start(std::uint64_t total_bytes) {
   if (started_) throw std::logic_error("multipath: start() called twice");
   started_ = true;
-  start_time_ = sched_->now();
+  start_time_ = ctx_->now();
   if (total_bytes >= TcpSender::kUnlimited) {
     for (auto& sf : subflows_) sf->start(TcpSender::kUnlimited);
     return;

@@ -73,7 +73,7 @@ class MultipathConnection {
   sim::TimePs start_time_ = sim::kTimeNever;
   sim::TimePs complete_time_ = sim::kTimeNever;
   CompletionCallback on_complete_;
-  sim::Scheduler* sched_ = nullptr;
+  sim::SimContext* ctx_ = nullptr;
   bool started_ = false;
 };
 

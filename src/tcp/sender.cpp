@@ -12,13 +12,14 @@ TcpSender::TcpSender(net::Network& net, net::Host& host, std::uint16_t port,
                      net::NodeId dst_node, std::uint16_t dst_port,
                      TcpConfig config)
     : net_(net),
+      ctx_(net.ctx()),
       host_(host),
       port_(port),
       dst_node_(dst_node),
       dst_port_(dst_port),
       cfg_(config),
       rtt_(config.initial_rto, config.min_rto, config.max_rto),
-      rto_timer_(net.scheduler(), [this] { on_rto(); }) {
+      rto_timer_(ctx_.scheduler(), [this] { on_rto(); }) {
   cwnd_ = static_cast<double>(cfg_.initial_cwnd_segments) * cfg_.mss;
   ssthresh_ = cfg_.initial_ssthresh_bytes;
   host_.bind(port_, [this](net::Packet&& p) { on_packet(std::move(p)); });
@@ -29,14 +30,14 @@ TcpSender::~TcpSender() { host_.unbind(port_); }
 void TcpSender::start(std::uint64_t total_bytes) {
   assert(state_ == SenderState::kIdle && "start() called twice");
   total_bytes_ = total_bytes;
-  stats_.start_time = net_.scheduler().now();
+  stats_.start_time = ctx_.now();
   state_ = SenderState::kSynSent;
   send_syn();
 }
 
 void TcpSender::send_syn() {
   net::Packet syn;
-  syn.uid = net_.next_packet_uid();
+  syn.uid = ctx_.next_packet_uid();
   syn.ip.src = host_.id();
   syn.ip.dst = dst_node_;
   // SYNs of ECN-capable connections negotiate via ECE+CWR (RFC 3168);
@@ -52,15 +53,15 @@ void TcpSender::send_syn() {
   syn.tcp.sack_permitted = cfg_.sack;
   syn.tcp.rwnd_raw = encode_window(cfg_.advertised_window_bytes, 0);
   net::stamp_checksum(syn);
-  syn.sent_time = net_.scheduler().now();
-  syn_sent_at_ = net_.scheduler().now();
+  syn.sent_time = ctx_.now();
+  syn_sent_at_ = ctx_.now();
   host_.send(std::move(syn));
   arm_rto();
 }
 
 void TcpSender::send_pure_ack() {
   net::Packet ack;
-  ack.uid = net_.next_packet_uid();
+  ack.uid = ctx_.next_packet_uid();
   ack.ip.src = host_.id();
   ack.ip.dst = dst_node_;
   ack.ip.ecn = net::Ecn::kNotEct;
@@ -72,7 +73,7 @@ void TcpSender::send_pure_ack() {
   ack.tcp.rwnd_raw =
       encode_window(cfg_.advertised_window_bytes, cfg_.window_scale);
   net::stamp_checksum(ack);
-  ack.sent_time = net_.scheduler().now();
+  ack.sent_time = ctx_.now();
   host_.send(std::move(ack));
 }
 
@@ -100,9 +101,9 @@ void TcpSender::handle_syn_ack(const net::Packet& p) {
   snd_nxt_ = 1;
   snd_max_ = 1;
   state_ = SenderState::kEstablished;
-  stats_.established_time = net_.scheduler().now();
+  stats_.established_time = ctx_.now();
   if (!syn_retransmitted_) {
-    rtt_.add_sample(net_.scheduler().now() - syn_sent_at_);
+    rtt_.add_sample(ctx_.now() - syn_sent_at_);
   }
   rto_timer_.cancel();
   send_pure_ack();
@@ -147,7 +148,7 @@ void TcpSender::on_new_data_acked(const net::Packet& p, std::uint64_t newly) {
   stats_.bytes_acked += payload_acked;
 
   if (timing_valid_ && snd_una_ >= rtt_seq_) {
-    rtt_.add_sample(net_.scheduler().now() - rtt_sent_at_);
+    rtt_.add_sample(ctx_.now() - rtt_sent_at_);
     timing_valid_ = false;
   }
 
@@ -181,7 +182,7 @@ void TcpSender::on_new_data_acked(const net::Packet& p, std::uint64_t newly) {
   maybe_complete();
 }
 
-sim::TimePs TcpSender::now() const { return net_.scheduler().now(); }
+sim::TimePs TcpSender::now() const { return ctx_.now(); }
 
 std::uint64_t TcpSender::ssthresh_after_loss() {
   return std::max<std::uint64_t>(bytes_in_flight() / 2, 2ull * mss());
@@ -313,7 +314,7 @@ void TcpSender::send_available() {
 
 void TcpSender::emit_segment(std::uint64_t seq, bool retransmission) {
   net::Packet p;
-  p.uid = net_.next_packet_uid();
+  p.uid = ctx_.next_packet_uid();
   p.ip.src = host_.id();
   p.ip.dst = dst_node_;
   p.tcp.src_port = port_;
@@ -346,7 +347,7 @@ void TcpSender::emit_segment(std::uint64_t seq, bool retransmission) {
     }
   }
   net::stamp_checksum(p);
-  p.sent_time = net_.scheduler().now();
+  p.sent_time = ctx_.now();
 
   const std::uint64_t end = seq + (p.tcp.fin ? 1 : p.payload_bytes);
   if (!retransmission) {
@@ -356,7 +357,7 @@ void TcpSender::emit_segment(std::uint64_t seq, bool retransmission) {
     if (!timing_valid_) {
       timing_valid_ = true;
       rtt_seq_ = end;
-      rtt_sent_at_ = net_.scheduler().now();
+      rtt_sent_at_ = ctx_.now();
     }
   } else {
     ++stats_.retransmits;
@@ -380,7 +381,7 @@ void TcpSender::on_rto() {
   }
   if (state_ != SenderState::kEstablished) return;
   ++stats_.timeouts;
-  sim::log_msg(sim::LogLevel::kDebug, "RTO flow ", port_, " snd_una=",
+  ctx_.log().msg(sim::LogLevel::kDebug, "RTO flow ", port_, " snd_una=",
                snd_una_, " snd_nxt=", snd_nxt_);
   ssthresh_ = ssthresh_after_loss();
   cwnd_ = mss();
@@ -405,7 +406,7 @@ void TcpSender::maybe_complete() {
   if (total_bytes_ >= kUnlimited) return;
   if (snd_una_ == fin_seq() + 1) {
     state_ = SenderState::kClosed;
-    stats_.complete_time = net_.scheduler().now();
+    stats_.complete_time = ctx_.now();
     rto_timer_.cancel();
     if (on_complete_) on_complete_(*this);
   }

@@ -140,6 +140,7 @@ class TcpSender {
   std::uint64_t fin_seq() const { return total_bytes_ + 1; }
 
   net::Network& net_;
+  sim::SimContext& ctx_;
   net::Host& host_;
   std::uint16_t port_;
   net::NodeId dst_node_;

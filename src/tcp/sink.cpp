@@ -9,10 +9,11 @@ namespace hwatch::tcp {
 TcpSink::TcpSink(net::Network& net, net::Host& host, std::uint16_t port,
                  TcpConfig config)
     : net_(net),
+      ctx_(net.ctx()),
       host_(host),
       port_(port),
       cfg_(config),
-      delack_timer_(net.scheduler(), [this] {
+      delack_timer_(ctx_.scheduler(), [this] {
         send_ack(/*syn_ack=*/false, /*fin_ack=*/false);
       }) {
   host_.bind(port_, [this](net::Packet&& p) { on_packet(std::move(p)); });
@@ -32,7 +33,7 @@ double TcpSink::goodput_bps() const {
 
 net::Packet TcpSink::make_segment() const {
   net::Packet p;
-  p.uid = net_.next_packet_uid();
+  p.uid = ctx_.next_packet_uid();
   p.ip.src = host_.id();
   p.ip.dst = peer_node_;
   // ACKs from an ECN-capable endpoint are themselves ECT in our model
@@ -41,7 +42,7 @@ net::Packet TcpSink::make_segment() const {
   p.ip.ecn = net::Ecn::kNotEct;
   p.tcp.src_port = port_;
   p.tcp.dst_port = peer_port_;
-  p.sent_time = net_.scheduler().now();
+  p.sent_time = ctx_.now();
   return p;
 }
 
@@ -96,7 +97,7 @@ void TcpSink::handle_data(net::Packet&& p) {
   update_ecn_state(p);
   if (p.payload_bytes > 0) {
     ++stats_.segments_received;
-    const sim::TimePs now = net_.scheduler().now();
+    const sim::TimePs now = ctx_.now();
     if (stats_.first_data_time == sim::kTimeNever) {
       stats_.first_data_time = now;
     }

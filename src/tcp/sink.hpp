@@ -71,6 +71,7 @@ class TcpSink {
   net::Packet make_segment() const;
 
   net::Network& net_;
+  sim::SimContext& ctx_;
   net::Host& host_;
   std::uint16_t port_;
   TcpConfig cfg_;

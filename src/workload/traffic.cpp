@@ -25,7 +25,7 @@ void TrafficManager::add_flow(const FlowSpec& spec) {
   });
   tcp::TcpConnection* raw = conn.get();
   const std::uint64_t bytes = spec.bytes;
-  net_.scheduler().schedule_at(spec.start,
+  net_.ctx().scheduler().schedule_at(spec.start,
                                [raw, bytes] { raw->start(bytes); });
   entries_.push_back(Entry{spec, std::move(conn), false});
 }
@@ -210,7 +210,7 @@ void issue_next_request(const std::shared_ptr<ClosedLoopSlot>& slot) {
   spec.transport = slot->transport;
   spec.tcp = slot->tcp;
   spec.bytes = slot->object_bytes;
-  spec.start = slot->net->scheduler().now();
+  spec.start = slot->net->ctx().now();
   spec.klass = stats::FlowClass::kShort;
   spec.epoch = slot->issued++;
   spec.on_complete = [slot] {
@@ -219,7 +219,7 @@ void issue_next_request(const std::shared_ptr<ClosedLoopSlot>& slot) {
         slot->think_time_mean > 0
             ? slot->rng.exponential_time(slot->think_time_mean)
             : 0;
-    slot->net->scheduler().schedule_in(
+    slot->net->ctx().scheduler().schedule_in(
         think, [slot] { issue_next_request(slot); });
   };
   slot->tm->add_flow(spec);
@@ -244,7 +244,7 @@ void add_closed_loop_web(TrafficManager& tm,
             cfg.start + static_cast<sim::TimePs>(
                             rng.uniform() *
                             static_cast<double>(cfg.start_spread));
-        net.scheduler().schedule_at(at,
+        net.ctx().scheduler().schedule_at(at,
                                     [slot] { issue_next_request(slot); });
       }
     }

@@ -31,9 +31,10 @@ Packet sized_packet(std::uint32_t payload, std::uint64_t uid = 0) {
 }
 
 TEST(LinkTest, DeliversAfterSerializationPlusPropagation) {
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode dst(0, "dst");
-  Link link(sched, "l", sim::DataRate::gbps(10), sim::microseconds(10),
+  Link link(ctx, "l", sim::DataRate::gbps(10), sim::microseconds(10),
             std::make_unique<DropTailQueue>(16), &dst);
   link.transmit(sized_packet(1442));  // 1500 B: 1.2 us at 10G
   sched.run();
@@ -42,9 +43,10 @@ TEST(LinkTest, DeliversAfterSerializationPlusPropagation) {
 }
 
 TEST(LinkTest, SerializesBackToBack) {
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode dst(0, "dst");
-  Link link(sched, "l", sim::DataRate::gbps(10), 0,
+  Link link(ctx, "l", sim::DataRate::gbps(10), 0,
             std::make_unique<DropTailQueue>(16), &dst);
   for (int i = 0; i < 3; ++i) link.transmit(sized_packet(1442, i));
   sched.run();
@@ -58,9 +60,10 @@ TEST(LinkTest, SerializesBackToBack) {
 TEST(LinkTest, PipelinesAcrossPropagation) {
   // With propagation larger than serialization, packets overlap in
   // flight: total time = N*tx + prop, not N*(tx+prop).
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode dst(0, "dst");
-  Link link(sched, "l", sim::DataRate::gbps(10), sim::microseconds(100),
+  Link link(ctx, "l", sim::DataRate::gbps(10), sim::microseconds(100),
             std::make_unique<DropTailQueue>(64), &dst);
   for (int i = 0; i < 10; ++i) link.transmit(sized_packet(1442, i));
   sched.run();
@@ -69,9 +72,10 @@ TEST(LinkTest, PipelinesAcrossPropagation) {
 }
 
 TEST(LinkTest, BusyTimeAccumulatesExactly) {
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode dst(0, "dst");
-  Link link(sched, "l", sim::DataRate::gbps(10), 0,
+  Link link(ctx, "l", sim::DataRate::gbps(10), 0,
             std::make_unique<DropTailQueue>(64), &dst);
   for (int i = 0; i < 5; ++i) link.transmit(sized_packet(1442));
   sched.run();
@@ -81,9 +85,10 @@ TEST(LinkTest, BusyTimeAccumulatesExactly) {
 }
 
 TEST(LinkTest, QueueOverflowDropsAndCountsAreConsistent) {
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode dst(0, "dst");
-  Link link(sched, "l", sim::DataRate::gbps(1), 0,
+  Link link(ctx, "l", sim::DataRate::gbps(1), 0,
             std::make_unique<DropTailQueue>(4), &dst);
   // Burst of 20 into a 4-deep queue; one is in the transmitter.
   int accepted = 0;
@@ -102,12 +107,13 @@ TEST(LinkTest, QueueOverflowDropsAndCountsAreConsistent) {
 }
 
 TEST(SwitchTest, ForwardsByDestination) {
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode a(10, "a"), b(11, "b");
   Switch sw(0, "sw");
-  Link to_a(sched, "sw->a", sim::DataRate::gbps(10), 0,
+  Link to_a(ctx, "sw->a", sim::DataRate::gbps(10), 0,
             std::make_unique<DropTailQueue>(16), &a);
-  Link to_b(sched, "sw->b", sim::DataRate::gbps(10), 0,
+  Link to_b(ctx, "sw->b", sim::DataRate::gbps(10), 0,
             std::make_unique<DropTailQueue>(16), &b);
   sw.add_route(10, &to_a);
   sw.add_route(11, &to_b);
@@ -135,10 +141,11 @@ TEST(SwitchTest, DropsRoutelessPackets) {
 }
 
 TEST(SwitchTest, TtlExpiryDrops) {
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode a(10, "a");
   Switch sw(0, "sw");
-  Link to_a(sched, "sw->a", sim::DataRate::gbps(10), 0,
+  Link to_a(ctx, "sw->a", sim::DataRate::gbps(10), 0,
             std::make_unique<DropTailQueue>(16), &a);
   sw.add_route(10, &to_a);
   Packet p = sized_packet(100);
@@ -151,12 +158,13 @@ TEST(SwitchTest, TtlExpiryDrops) {
 }
 
 TEST(SwitchTest, EcmpKeepsFlowOnOnePath) {
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   SinkNode dst(10, "dst");
   Switch sw(0, "sw");
-  Link path1(sched, "p1", sim::DataRate::gbps(10), 0,
+  Link path1(ctx, "p1", sim::DataRate::gbps(10), 0,
              std::make_unique<DropTailQueue>(64), &dst);
-  Link path2(sched, "p2", sim::DataRate::gbps(10), 0,
+  Link path2(ctx, "p2", sim::DataRate::gbps(10), 0,
              std::make_unique<DropTailQueue>(64), &dst);
   sw.add_route(10, &path1);
   sw.add_route(10, &path2);
@@ -208,11 +216,12 @@ struct HostFixture : ::testing::Test {
   HostFixture()
       : host(1, "h"),
         peer(2, "peer"),
-        nic(sched, "h->peer", sim::DataRate::gbps(10), 0,
+        nic(ctx, "h->peer", sim::DataRate::gbps(10), 0,
             std::make_unique<DropTailQueue>(16), &peer) {
     host.set_nic(&nic);
   }
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   Host host;
   SinkNode peer;
   Link nic;
@@ -306,8 +315,9 @@ TEST_F(HostFixture, FilterChainRunsInOrderAndCanModify) {
 // ------------------------------------------------------------- Network
 
 TEST(NetworkTest, RoutesAcrossDumbbellCore) {
-  sim::Scheduler sched;
-  Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  Network net(ctx);
   Host& a = net.add_host("a");
   Host& b = net.add_host("b");
   Switch& s1 = net.add_switch("s1");
@@ -332,8 +342,9 @@ TEST(NetworkTest, RoutesAcrossDumbbellCore) {
 TEST(NetworkTest, HostsDoNotTransit) {
   // a - h - b in a line: h is a *host* in the middle; routes must not
   // exist through it, so a cannot reach b.
-  sim::Scheduler sched;
-  Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  Network net(ctx);
   Host& a = net.add_host("a");
   Host& middle = net.add_host("middle");
   Host& b = net.add_host("b");
@@ -358,8 +369,8 @@ TEST(NetworkTest, HostsDoNotTransit) {
 }
 
 TEST(NetworkTest, LinkBetweenFindsDirectedLinks) {
-  sim::Scheduler sched;
-  Network net(sched);
+  sim::SimContext ctx;
+  Network net(ctx);
   Host& a = net.add_host("a");
   Switch& s = net.add_switch("s");
   auto duplex =
@@ -370,16 +381,16 @@ TEST(NetworkTest, LinkBetweenFindsDirectedLinks) {
 }
 
 TEST(NetworkTest, PacketUidsAreUnique) {
-  sim::Scheduler sched;
-  Network net(sched);
+  sim::SimContext ctx;
+  Network net(ctx);
   const auto u1 = net.next_packet_uid();
   const auto u2 = net.next_packet_uid();
   EXPECT_NE(u1, u2);
 }
 
 TEST(NetworkTest, NodeLookupAndCounts) {
-  sim::Scheduler sched;
-  Network net(sched);
+  sim::SimContext ctx;
+  Network net(ctx);
   Host& a = net.add_host("a");
   Switch& s = net.add_switch("s");
   EXPECT_EQ(net.node_count(), 2u);

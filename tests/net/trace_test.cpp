@@ -22,7 +22,7 @@ tcp::TcpConfig quick_cfg() {
 
 TEST(TracerTest, RecordsBothDirectionsOfAConnection) {
   TwoHostNet h;
-  PacketTracer tracer(h.sched);
+  PacketTracer tracer(h.ctx);
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -47,7 +47,7 @@ TEST(TracerTest, PredicateFilters) {
   TwoHostNet h;
   TracerConfig cfg;
   cfg.predicate = [](const Packet& p) { return p.is_data(); };
-  PacketTracer tracer(h.sched, cfg);
+  PacketTracer tracer(h.ctx, cfg);
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -63,7 +63,7 @@ TEST(TracerTest, MaxEntriesTruncatesButKeepsCounting) {
   TwoHostNet h;
   TracerConfig cfg;
   cfg.max_entries = 3;
-  PacketTracer tracer(h.sched, cfg);
+  PacketTracer tracer(h.ctx, cfg);
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -76,7 +76,7 @@ TEST(TracerTest, MaxEntriesTruncatesButKeepsCounting) {
 
 TEST(TracerTest, DumpFormatsOneLinePerPacket) {
   TwoHostNet h;
-  PacketTracer tracer(h.sched);
+  PacketTracer tracer(h.ctx);
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -96,7 +96,7 @@ TEST(TracerTest, DumpFormatsOneLinePerPacket) {
 
 TEST(TracerTest, ClearResets) {
   TwoHostNet h;
-  PacketTracer tracer(h.sched);
+  PacketTracer tracer(h.ctx);
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());

@@ -47,14 +47,15 @@ TEST(PeriodicSamplerTest, MeanAndMax) {
 struct LinkFixture : ::testing::Test {
   LinkFixture()
       : dst(0, "dst"),
-        link(sched, "l", sim::DataRate::gbps(10), 0,
+        link(ctx, "l", sim::DataRate::gbps(10), 0,
              std::make_unique<net::DropTailQueue>(1000), &dst) {}
   net::Packet packet() {
     net::Packet p;
     p.payload_bytes = 1442;  // 1500 B frame: 1.2 us at 10G
     return p;
   }
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   NullNode dst;
   net::Link link;
 };

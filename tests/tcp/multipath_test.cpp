@@ -105,8 +105,9 @@ TEST(MultipathTest, DoubleStartThrows) {
 }
 
 TEST(MultipathTest, EcmpSpreadsSubflowsOverFatTreeCores) {
-  sim::Scheduler sched;
-  net::Network network(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network network(ctx);
   topo::FatTreeConfig ft;
   ft.k = 4;
   ft.qdisc = net::make_droptail_factory(512);

@@ -35,7 +35,7 @@ class WireTap final : public net::PacketFilter {
 };
 
 struct SenderHarness {
-  SenderHarness(TcpConfig cfg = default_cfg()) : network(sched) {
+  SenderHarness(TcpConfig cfg = default_cfg()) : network(ctx) {
     host = &network.add_host("src");
     peer = &network.add_host("dst");
     sw = &network.add_switch("sw");
@@ -91,7 +91,8 @@ struct SenderHarness {
     deliver_ack(1, synack_rwnd, peer_wscale, /*syn=*/true);
   }
 
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   net::Network network;
   net::Host* host;
   net::Host* peer;

@@ -15,7 +15,7 @@ namespace {
 /// pushes to its NIC by replacing the peer node with a recorder.
 class SinkHarness {
  public:
-  SinkHarness() : network(sched) {
+  SinkHarness() : network(ctx) {
     sender_host = &network.add_host("sender");
     sink_host = &network.add_host("sink");
     sw = &network.add_switch("sw");
@@ -59,7 +59,8 @@ class SinkHarness {
     sched.run();
   }
 
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   net::Network network;
   net::Host* sender_host;
   net::Host* sink_host;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "net/network.hpp"
+#include "sim/context.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/connection.hpp"
 
@@ -19,7 +20,7 @@ struct TwoHostNet {
                           net::make_droptail_factory(1000),
                       sim::DataRate bottleneck_rate = sim::DataRate::gbps(10),
                       sim::TimePs link_delay = sim::microseconds(10))
-      : net(sched) {
+      : net(ctx) {
     a = &net.add_host("a");
     b = &net.add_host("b");
     sw = &net.add_switch("sw");
@@ -32,7 +33,8 @@ struct TwoHostNet {
     net.compute_routes();
   }
 
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   net::Network net;
   net::Host* a = nullptr;
   net::Host* b = nullptr;

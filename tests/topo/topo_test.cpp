@@ -29,8 +29,8 @@ bool reachable(sim::Scheduler& sched, net::Host& src, net::Host& dst) {
 }
 
 TEST(DumbbellTest, StructureMatchesConfig) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  net::Network net(ctx);
   DumbbellConfig cfg;
   cfg.pairs = 5;
   cfg.edge_qdisc = q();
@@ -47,8 +47,9 @@ TEST(DumbbellTest, StructureMatchesConfig) {
 }
 
 TEST(DumbbellTest, AllPairsReachable) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
   DumbbellConfig cfg;
   cfg.pairs = 3;
   cfg.edge_qdisc = q();
@@ -63,8 +64,9 @@ TEST(DumbbellTest, AllPairsReachable) {
 }
 
 TEST(DumbbellTest, RttMatchesTarget) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
   DumbbellConfig cfg;
   cfg.pairs = 1;
   cfg.base_rtt = sim::microseconds(100);
@@ -88,8 +90,8 @@ TEST(DumbbellTest, RttMatchesTarget) {
 }
 
 TEST(DumbbellTest, ValidatesConfig) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  net::Network net(ctx);
   DumbbellConfig cfg;  // missing qdiscs
   cfg.pairs = 1;
   EXPECT_THROW(build_dumbbell(net, cfg), std::invalid_argument);
@@ -100,8 +102,8 @@ TEST(DumbbellTest, ValidatesConfig) {
 }
 
 TEST(LeafSpineTest, StructureMatchesTestbed) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  net::Network net(ctx);
   LeafSpineConfig cfg;
   cfg.racks = 4;
   cfg.hosts_per_rack = 21;
@@ -118,8 +120,9 @@ TEST(LeafSpineTest, StructureMatchesTestbed) {
 }
 
 TEST(LeafSpineTest, CrossRackReachability) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
   LeafSpineConfig cfg;
   cfg.racks = 3;
   cfg.hosts_per_rack = 2;
@@ -133,8 +136,9 @@ TEST(LeafSpineTest, CrossRackReachability) {
 }
 
 TEST(LeafSpineTest, IntraRackTrafficAvoidsSpine) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
   LeafSpineConfig cfg;
   cfg.racks = 2;
   cfg.hosts_per_rack = 2;
@@ -148,8 +152,8 @@ TEST(LeafSpineTest, IntraRackTrafficAvoidsSpine) {
 }
 
 TEST(FatTreeTest, K4Counts) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  net::Network net(ctx);
   FatTreeConfig cfg;
   cfg.k = 4;
   cfg.qdisc = q();
@@ -162,8 +166,9 @@ TEST(FatTreeTest, K4Counts) {
 }
 
 TEST(FatTreeTest, CrossPodReachabilityEverywhere) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
   FatTreeConfig cfg;
   cfg.k = 4;
   cfg.qdisc = q();
@@ -179,8 +184,9 @@ TEST(FatTreeTest, CrossPodReachabilityEverywhere) {
 }
 
 TEST(FatTreeTest, EcmpSpreadsFlowsAcrossCores) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
+  net::Network net(ctx);
   FatTreeConfig cfg;
   cfg.k = 4;
   cfg.qdisc = q();
@@ -205,8 +211,8 @@ TEST(FatTreeTest, EcmpSpreadsFlowsAcrossCores) {
 }
 
 TEST(FatTreeTest, RejectsOddK) {
-  sim::Scheduler sched;
-  net::Network net(sched);
+  sim::SimContext ctx;
+  net::Network net(ctx);
   FatTreeConfig cfg;
   cfg.k = 3;
   cfg.qdisc = q();

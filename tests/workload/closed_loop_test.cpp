@@ -9,7 +9,7 @@ namespace hwatch::workload {
 namespace {
 
 struct ClosedLoopFixture : ::testing::Test {
-  ClosedLoopFixture() : network(sched) {
+  ClosedLoopFixture() : network(ctx) {
     topo::DumbbellConfig cfg;
     cfg.pairs = 4;
     cfg.edge_qdisc = net::make_droptail_factory(512);
@@ -23,7 +23,8 @@ struct ClosedLoopFixture : ::testing::Test {
     t.ecn = tcp::EcnMode::kNone;
     return t;
   }
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   net::Network network;
   topo::Dumbbell d;
 };
@@ -114,8 +115,9 @@ TEST_F(ClosedLoopFixture, SelfRegulatesUnderTinyBottleneck) {
   // With a 1-packet bottleneck queue the open-loop equivalent would
   // pile up; the closed loop never has more than slots_per_pair flows
   // outstanding, so everything still completes.
-  sim::Scheduler sched2;
-  net::Network net2(sched2);
+  sim::SimContext ctx2;
+  sim::Scheduler& sched2 = ctx2.scheduler();
+  net::Network net2(ctx2);
   topo::DumbbellConfig tcfg;
   tcfg.pairs = 1;
   tcfg.edge_qdisc = net::make_droptail_factory(512);

@@ -9,7 +9,7 @@ namespace hwatch::workload {
 namespace {
 
 struct WorkloadFixture : ::testing::Test {
-  WorkloadFixture() : network(sched) {
+  WorkloadFixture() : network(ctx) {
     topo::DumbbellConfig cfg;
     cfg.pairs = 8;
     cfg.edge_qdisc = net::make_droptail_factory(512);
@@ -23,7 +23,8 @@ struct WorkloadFixture : ::testing::Test {
     t.ecn = tcp::EcnMode::kNone;
     return t;
   }
-  sim::Scheduler sched;
+  sim::SimContext ctx;
+  sim::Scheduler& sched = ctx.scheduler();
   net::Network network;
   topo::Dumbbell d;
 };
