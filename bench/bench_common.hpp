@@ -88,13 +88,16 @@ struct Curve {
 
 /// Thread count for bench sweeps: HWATCH_SWEEP_THREADS overrides, 0
 /// falls through to hardware concurrency (SweepRunner's default).
-/// Set HWATCH_SWEEP_THREADS=1 to force the serial baseline.
+/// Set HWATCH_SWEEP_THREADS=1 to force the serial baseline.  A value
+/// that is not a positive integer aborts the bench with a clear error
+/// instead of silently running on every core.
 inline unsigned sweep_threads() {
-  if (const char* env = std::getenv("HWATCH_SWEEP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
+  try {
+    return api::SweepRunner::threads_from_env();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
   }
-  return 0;
 }
 
 /// A named sweep point.  Benches build a vector of these, run_sweep
@@ -113,7 +116,11 @@ std::vector<Curve> run_sweep(std::vector<NamedPoint<Config>> points) {
   api::SweepRunner runner(sweep_threads());
   std::vector<Config> cfgs;
   cfgs.reserve(points.size());
-  for (const auto& p : points) cfgs.push_back(p.cfg);
+  for (const auto& p : points) {
+    cfgs.push_back(p.cfg);
+    // Manifests written under HWATCH_METRICS_DIR carry the curve name.
+    if (cfgs.back().run_label.empty()) cfgs.back().run_label = p.name;
+  }
   std::vector<api::ScenarioResults> results = runner.run(cfgs);
   std::vector<Curve> curves;
   curves.reserve(points.size());

@@ -170,7 +170,11 @@ void BM_ChecksumIncrementalAdjust(benchmark::State& state) {
 BENCHMARK(BM_ChecksumIncrementalAdjust);
 
 /// Whole-stack event rate: a small dumbbell scenario; reports simulated
-/// events per wall second.
+/// events per wall second.  `collect_metrics` toggles the observability
+/// subsystem, so comparing the two arguments measures the full cost of
+/// metrics collection (registry, gauges, sampler, manifest build) —
+/// and Arg(0) vs the pre-observability baseline bounds the disabled
+/// overhead the acceptance criterion caps at 2%.
 void BM_ScenarioEventRate(benchmark::State& state) {
   std::uint64_t events = 0;
   for (auto _ : state) {
@@ -183,12 +187,70 @@ void BM_ScenarioEventRate(benchmark::State& state) {
     cfg.long_groups = {{tcp::Transport::kDctcp, t, 8, "dctcp"}};
     cfg.incast.epochs = 0;
     cfg.duration = sim::milliseconds(10);
+    cfg.collect_metrics = state.range(0) != 0;
     api::ScenarioResults res = api::run_dumbbell(cfg);
     events += res.events_executed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
-BENCHMARK(BM_ScenarioEventRate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScenarioEventRate)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- observability overhead (disabled path) -------------------------
+//
+// The contract is "one predictable branch per hot-path hit when the
+// registry is disabled".  These benches pin that down at the two
+// granularities that matter: a raw instrument bump, and the queue
+// enqueue/dequeue cycle with a depth histogram attached.
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  sim::MetricsRegistry reg;
+  reg.set_enabled(state.range(0) != 0);
+  sim::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterInc)->Arg(0)->Arg(1);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  sim::MetricsRegistry reg;
+  reg.set_enabled(state.range(0) != 0);
+  sim::Histogram& h = reg.histogram(
+      "bench.hist", sim::Histogram::linear_bounds(0, 10, 26));
+  double v = 0;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 250 ? v + 1 : 0;
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord)->Arg(0)->Arg(1);
+
+/// DropTail churn with a depth histogram attached: Arg(0) = registry
+/// disabled (the branch-only path every default run takes once a
+/// histogram is wired), Arg(1) = enabled (binary search + bump).
+/// Compare against BM_DropTailChurn for the no-histogram baseline.
+void BM_DropTailChurnWithHistogram(benchmark::State& state) {
+  sim::MetricsRegistry reg;
+  reg.set_enabled(state.range(0) != 0);
+  net::DropTailQueue q(250);
+  q.attach_depth_histogram(&reg.histogram(
+      "bench.depth", sim::Histogram::linear_bounds(0, 10, 26)));
+  sim::TimePs now = 0;
+  for (auto _ : state) {
+    now += 1000;
+    q.enqueue(bench_packet(), now);
+    benchmark::DoNotOptimize(q.dequeue(now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailChurnWithHistogram)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -1,8 +1,11 @@
 #include "api/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "sim/context.hpp"
@@ -151,10 +154,170 @@ ShimAggregate aggregate_shims(
   return agg;
 }
 
+// ---- observability wiring -------------------------------------------
+//
+// Everything below runs only when metrics collection is on (config flag
+// or HWATCH_METRICS_DIR); the default path does none of this, so the
+// simulator's hot loop is untouched.
+
+sim::Json aqm_json(const AqmConfig& a) {
+  sim::Json j = sim::Json::object();
+  j.set("kind", to_string(a.kind));
+  j.set("buffer_packets", a.buffer_packets);
+  j.set("mark_threshold_packets", a.mark_threshold_packets);
+  j.set("byte_mode", a.byte_mode);
+  return j;
+}
+
+/// Attaches the bottleneck depth histogram and registers the live
+/// gauges the MetricsSampler snapshots every sample interval.  Gauge
+/// closures reference scenario-scope objects; the sampler only fires
+/// inside run_until, while they are all alive.
+void wire_gauges(
+    sim::SimContext& ctx, net::Link& bottleneck, std::uint64_t buffer_pkts,
+    const net::Network& net, const workload::TrafficManager& tm,
+    const std::vector<std::unique_ptr<core::HypervisorShim>>& shims) {
+  sim::MetricsRegistry& m = ctx.metrics();
+  const double width =
+      std::max(1.0, static_cast<double>(buffer_pkts) / 25.0);
+  bottleneck.qdisc().attach_depth_histogram(&m.histogram(
+      "queue.bottleneck.depth_pkts",
+      sim::Histogram::linear_bounds(0, width, 26)));
+  m.register_gauge("hwatch.flow_table_entries", [&shims] {
+    std::size_t n = 0;
+    for (const auto& s : shims) n += s->flow_table().size();
+    return static_cast<double>(n);
+  });
+  m.register_gauge("net.queued_pkts_total", [&net] {
+    std::size_t n = 0;
+    for (const auto& l : net.links()) n += l->qdisc().len_packets();
+    return static_cast<double>(n);
+  });
+  m.register_gauge("queue.bottleneck.depth_bytes", [&bottleneck] {
+    return static_cast<double>(bottleneck.qdisc().len_bytes());
+  });
+  m.register_gauge("queue.bottleneck.depth_pkts", [&bottleneck] {
+    return static_cast<double>(bottleneck.qdisc().len_packets());
+  });
+  m.register_gauge("tcp.bytes_in_flight", [&tm] {
+    return static_cast<double>(tm.total_bytes_in_flight());
+  });
+}
+
+/// End-of-run harvest: quantities that already have cheap always-on
+/// aggregates (QueueStats, scheduler totals, per-flow records) become
+/// registry counters/histograms here, at zero hot-path cost.
+void harvest_metrics(sim::SimContext& ctx, const ScenarioResults& res) {
+  sim::MetricsRegistry& m = ctx.metrics();
+  const net::QueueStats& q = res.bottleneck_queue;
+  m.counter("queue.bottleneck.enqueued").inc(q.enqueued);
+  m.counter("queue.bottleneck.dequeued").inc(q.dequeued);
+  m.counter("queue.bottleneck.dropped").inc(q.dropped);
+  m.counter("queue.bottleneck.ecn_marked").inc(q.ecn_marked);
+  m.counter("net.fabric_drops").inc(res.fabric_drops);
+  m.counter("tcp.retransmits").inc(res.retransmits);
+  m.counter("tcp.timeouts").inc(res.timeouts);
+  const sim::Scheduler& sched = ctx.scheduler();
+  m.counter("sched.events.executed").inc(sched.executed());
+  m.counter("sched.events.scheduled").inc(sched.scheduled());
+  m.counter("sched.events.cancelled").inc(sched.cancelled());
+  m.counter("sched.heap_peak").inc(sched.heap_peak());
+  sim::Histogram& fct = m.histogram(
+      "tcp.fct_ms", sim::Histogram::exponential_bounds(0.05, 2.0, 18));
+  for (const auto& r : res.records) {
+    if (r.completed) fct.record(r.fct_ms());
+  }
+}
+
+sim::Json results_json(const ScenarioResults& res) {
+  sim::Json j = sim::Json::object();
+  j.set("flows", res.records.size());
+  std::size_t completed = 0;
+  for (const auto& r : res.records) completed += r.completed ? 1 : 0;
+  j.set("completed_flows", completed);
+  j.set("incomplete_short_flows", res.incomplete_short_flows());
+  j.set("fabric_drops", res.fabric_drops);
+  j.set("retransmits", res.retransmits);
+  j.set("timeouts", res.timeouts);
+  j.set("events_executed", res.events_executed);
+  j.set("mean_utilization", res.mean_utilization());
+  sim::Json q = sim::Json::object();
+  q.set("enqueued", res.bottleneck_queue.enqueued);
+  q.set("dequeued", res.bottleneck_queue.dequeued);
+  q.set("dropped", res.bottleneck_queue.dropped);
+  q.set("ecn_marked", res.bottleneck_queue.ecn_marked);
+  q.set("max_len_pkts", res.bottleneck_queue.max_len_pkts);
+  j.set("bottleneck_queue", std::move(q));
+  sim::Json s = sim::Json::object();
+  s.set("probes_injected", res.shim.probes_injected);
+  s.set("probe_bytes_injected", res.shim.probe_bytes_injected);
+  s.set("synacks_rewritten", res.shim.synacks_rewritten);
+  s.set("acks_rewritten", res.shim.acks_rewritten);
+  s.set("window_decisions", res.shim.window_decisions);
+  s.set("flows_tracked", res.shim.flows_tracked);
+  j.set("shim", std::move(s));
+  return j;
+}
+
+sim::Json series_json(const stats::MetricsSampler& sampler) {
+  std::vector<const stats::MetricsSampler::GaugeSeries*> sorted;
+  sorted.reserve(sampler.series().size());
+  for (const auto& g : sampler.series()) sorted.push_back(&g);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->name < b->name; });
+  sim::Json out = sim::Json::object();
+  for (const auto* g : sorted) {
+    sim::Json arr = sim::Json::array();
+    for (const auto& p : g->series) {
+      sim::Json point = sim::Json::array();
+      point.push_back(sim::Json(p.time));
+      point.push_back(sim::Json(p.value));
+      arr.push_back(std::move(point));
+    }
+    out.set(g->name, std::move(arr));
+  }
+  return out;
+}
+
+/// Harvests, snapshots and (when HWATCH_METRICS_DIR is set) writes the
+/// manifest for one finished run.
+void finish_manifest(ScenarioResults& res, sim::SimContext& ctx,
+                     const std::string& label, const char* kind,
+                     std::uint64_t seed, sim::Json config,
+                     const stats::MetricsSampler& sampler,
+                     double wall_ms, const char* metrics_dir) {
+  harvest_metrics(ctx, res);
+  sim::RunManifest& man = res.manifest;
+  man.name = label.empty()
+                 ? std::string(kind) + "-seed" + std::to_string(seed)
+                 : label;
+  man.scenario_kind = kind;
+  man.seed = seed;
+  man.config = std::move(config);
+  man.results = results_json(res);
+  man.metrics = sim::metrics_json(ctx.metrics().snapshot());
+  man.series = series_json(sampler);
+  man.wall_time_ms = wall_ms;
+  res.has_manifest = true;
+  if (metrics_dir != nullptr) man.write_file(metrics_dir);
+}
+
+using WallClock = std::chrono::steady_clock;
+
+double wall_ms_since(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
+  const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
+  const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const WallClock::time_point wall0 = WallClock::now();
+
   sim::SimContext ctx(cfg.seed);
+  if (collect) ctx.metrics().set_enabled(true);
   sim::Scheduler& sched = ctx.scheduler();
   net::Network net(ctx);
   sim::Rng& rng = ctx.rng();
@@ -212,6 +375,13 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
   stats::ThroughputSampler tput_sampler(sched, *d.bottleneck,
                                         cfg.sample_interval, cfg.duration);
 
+  std::optional<stats::MetricsSampler> metrics_sampler;
+  if (collect) {
+    wire_gauges(ctx, *d.bottleneck, cfg.core_aqm.buffer_packets, net, tm,
+                shims);
+    metrics_sampler.emplace(ctx, cfg.sample_interval, cfg.duration);
+  }
+
   sched.run_until(cfg.duration);
 
   ScenarioResults res;
@@ -225,11 +395,34 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
   res.timeouts = tm.total_timeouts();
   res.events_executed = sched.executed();
   res.shim = aggregate_shims(shims);
+
+  if (collect) {
+    sim::Json config = sim::Json::object();
+    config.set("pairs", cfg.pairs);
+    config.set("edge_rate_gbps", cfg.edge_rate.gbits_per_sec());
+    config.set("bottleneck_rate_gbps",
+               cfg.bottleneck_rate.gbits_per_sec());
+    config.set("base_rtt_ps", cfg.base_rtt);
+    config.set("edge_aqm", aqm_json(cfg.edge_aqm));
+    config.set("core_aqm", aqm_json(cfg.core_aqm));
+    config.set("hwatch_enabled", cfg.hwatch_enabled);
+    config.set("duration_ps", cfg.duration);
+    config.set("sample_interval_ps", cfg.sample_interval);
+    config.set("seed", cfg.seed);
+    finish_manifest(res, ctx, cfg.run_label, "dumbbell", cfg.seed,
+                    std::move(config), *metrics_sampler,
+                    wall_ms_since(wall0), metrics_dir);
+  }
   return res;
 }
 
 ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
+  const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
+  const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const WallClock::time_point wall0 = WallClock::now();
+
   sim::SimContext ctx(cfg.seed);
+  if (collect) ctx.metrics().set_enabled(true);
   sim::Scheduler& sched = ctx.scheduler();
   net::Network net(ctx);
   sim::Rng& rng = ctx.rng();
@@ -304,6 +497,13 @@ ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
   stats::ThroughputSampler tput_sampler(sched, *bottleneck,
                                         cfg.sample_interval, cfg.duration);
 
+  std::optional<stats::MetricsSampler> metrics_sampler;
+  if (collect) {
+    wire_gauges(ctx, *bottleneck, cfg.fabric_aqm.buffer_packets, net, tm,
+                shims);
+    metrics_sampler.emplace(ctx, cfg.sample_interval, cfg.duration);
+  }
+
   sched.run_until(cfg.duration);
 
   ScenarioResults res;
@@ -317,6 +517,31 @@ ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
   res.timeouts = tm.total_timeouts();
   res.events_executed = sched.executed();
   res.shim = aggregate_shims(shims);
+
+  if (collect) {
+    sim::Json config = sim::Json::object();
+    config.set("racks", cfg.racks);
+    config.set("hosts_per_rack", cfg.hosts_per_rack);
+    config.set("link_rate_gbps", cfg.link_rate.gbits_per_sec());
+    config.set("base_rtt_ps", cfg.base_rtt);
+    config.set("edge_aqm", aqm_json(cfg.edge_aqm));
+    config.set("fabric_aqm", aqm_json(cfg.fabric_aqm));
+    config.set("bulk_flows", cfg.bulk_flows);
+    config.set("web_servers_per_rack", cfg.web_servers_per_rack);
+    config.set("web_clients", cfg.web_clients);
+    config.set("web_pattern",
+               cfg.web_pattern == LeafSpineScenarioConfig::WebPattern::
+                                      kOpenWaves
+                   ? "open-waves"
+                   : "closed-loop");
+    config.set("hwatch_enabled", cfg.hwatch_enabled);
+    config.set("duration_ps", cfg.duration);
+    config.set("sample_interval_ps", cfg.sample_interval);
+    config.set("seed", cfg.seed);
+    finish_manifest(res, ctx, cfg.run_label, "leaf_spine", cfg.seed,
+                    std::move(config), *metrics_sampler,
+                    wall_ms_since(wall0), metrics_dir);
+  }
   return res;
 }
 

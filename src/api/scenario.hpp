@@ -14,6 +14,7 @@
 #include "hwatch/shim.hpp"
 #include "net/priority_queue.hpp"
 #include "net/queue.hpp"
+#include "sim/manifest.hpp"
 #include "stats/cdf.hpp"
 #include "stats/flow_record.hpp"
 #include "stats/timeseries.hpp"
@@ -78,6 +79,11 @@ struct ScenarioResults {
   std::uint64_t events_executed = 0;
   ShimAggregate shim;
 
+  /// Filled when metrics collection ran (config flag or
+  /// HWATCH_METRICS_DIR); see sim::RunManifest for the schema.
+  sim::RunManifest manifest;
+  bool has_manifest = false;
+
   // ---- convenience views ----
   std::vector<stats::FlowRecord> short_flows() const;
   std::vector<stats::FlowRecord> long_flows() const;
@@ -114,6 +120,14 @@ struct DumbbellScenarioConfig {
   sim::TimePs duration = sim::seconds(1.0);
   sim::TimePs sample_interval = sim::milliseconds(1);
   std::uint64_t seed = 1;
+
+  /// Enables the per-context MetricsRegistry (counters, histograms,
+  /// gauge sampling) and fills results.manifest.  Also forced on when
+  /// the HWATCH_METRICS_DIR environment variable is set, in which case
+  /// the manifest is additionally written to that directory.
+  bool collect_metrics = false;
+  /// Manifest name / output file stem; "" -> "<kind>-seed<seed>".
+  std::string run_label;
 };
 
 ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg);
@@ -154,6 +168,10 @@ struct LeafSpineScenarioConfig {
   sim::TimePs duration = sim::seconds(6.0);
   sim::TimePs sample_interval = sim::milliseconds(5);
   std::uint64_t seed = 1;
+
+  /// Same semantics as DumbbellScenarioConfig::collect_metrics.
+  bool collect_metrics = false;
+  std::string run_label;
 };
 
 ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg);

@@ -1,7 +1,11 @@
 #include "api/sweep.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 namespace hwatch::api {
 
@@ -13,6 +17,31 @@ std::uint64_t derive_point_seed(std::uint64_t base_seed,
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
+}
+
+unsigned SweepRunner::threads_from_env() {
+  const char* raw = std::getenv("HWATCH_SWEEP_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  const std::string value(raw);
+  const auto bad = [&](const char* why) {
+    throw std::invalid_argument(std::string("HWATCH_SWEEP_THREADS=\"") +
+                                value + "\": " + why +
+                                " (expected a positive integer)");
+  };
+  std::size_t pos = 0;
+  unsigned long parsed = 0;
+  try {
+    parsed = std::stoul(value, &pos, 10);
+  } catch (const std::invalid_argument&) {
+    bad("not a number");
+  } catch (const std::out_of_range&) {
+    bad("out of range");
+  }
+  if (pos != value.size()) bad("trailing characters");
+  if (value[0] == '-') bad("negative");
+  if (parsed == 0) bad("zero threads");
+  if (parsed > std::numeric_limits<unsigned>::max()) bad("out of range");
+  return static_cast<unsigned>(parsed);
 }
 
 SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
@@ -58,14 +87,22 @@ void SweepRunner::dispatch(
 std::vector<ScenarioResults> SweepRunner::run(
     const std::vector<DumbbellScenarioConfig>& points) const {
   return map<ScenarioResults>(points.size(), [&](std::size_t i) {
-    return run_dumbbell(points[i]);
+    DumbbellScenarioConfig cfg = points[i];
+    if (cfg.run_label.empty()) cfg.run_label = "point" + std::to_string(i);
+    ScenarioResults res = run_dumbbell(cfg);
+    if (res.has_manifest) res.manifest.sweep_threads = threads_;
+    return res;
   });
 }
 
 std::vector<ScenarioResults> SweepRunner::run(
     const std::vector<LeafSpineScenarioConfig>& points) const {
   return map<ScenarioResults>(points.size(), [&](std::size_t i) {
-    return run_leaf_spine(points[i]);
+    LeafSpineScenarioConfig cfg = points[i];
+    if (cfg.run_label.empty()) cfg.run_label = "point" + std::to_string(i);
+    ScenarioResults res = run_leaf_spine(cfg);
+    if (res.has_manifest) res.manifest.sweep_threads = threads_;
+    return res;
   });
 }
 

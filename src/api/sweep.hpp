@@ -36,6 +36,13 @@ class SweepRunner {
   /// worker that claims it.
   explicit SweepRunner(unsigned threads = 0);
 
+  /// Parses the HWATCH_SWEEP_THREADS environment variable.  Unset or
+  /// empty returns 0 (auto = hardware concurrency); anything that is
+  /// not a positive integer (non-numeric, 0, negative, trailing junk,
+  /// out of range) throws std::invalid_argument with a message naming
+  /// the variable and the offending value.
+  static unsigned threads_from_env();
+
   unsigned threads() const { return threads_; }
 
   /// Runs every configuration; results[i] corresponds to points[i].

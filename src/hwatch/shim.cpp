@@ -15,7 +15,17 @@ HypervisorShim::HypervisorShim(net::Network& net, net::Host& host,
       ctx_(net.ctx()),
       host_(host),
       cfg_(config),
-      rng_(rng) {}
+      rng_(rng),
+      m_rwnd_rewrites_(ctx_.metrics().counter("hwatch.rwnd_rewrites")),
+      m_checksum_recomputes_(
+          ctx_.metrics().counter("hwatch.checksum_recomputes")),
+      m_probe_trains_sent_(
+          ctx_.metrics().counter("hwatch.probe_trains_sent")),
+      m_probe_trains_recv_(
+          ctx_.metrics().counter("hwatch.probe_trains_recv")),
+      m_probes_absorbed_(ctx_.metrics().counter("hwatch.probes_absorbed")),
+      m_window_decisions_(
+          ctx_.metrics().counter("hwatch.window_decisions")) {}
 
 net::FilterVerdict HypervisorShim::on_outbound(net::Packet& p) {
   if (p.kind != net::PacketKind::kTcp) return net::FilterVerdict::kPass;
@@ -108,6 +118,7 @@ net::FilterVerdict HypervisorShim::hold_syn_and_probe(net::Packet& syn) {
   }
   e.syn_held = true;
   ++stats_.syns_held;
+  m_probe_trains_sent_.inc();
   const std::uint32_t train = next_train_id_++;
   e.probes_sent = cfg_.probe_count;
 
@@ -153,7 +164,9 @@ void HypervisorShim::inject_probe(const net::FlowKey& key,
 
 void HypervisorShim::absorb_probe(const net::Packet& p) {
   FlowEntry& e = flows_.upsert(net::flow_key_of(p), FlowRole::kReceiver);
+  if (e.probe_marked + e.probe_unmarked == 0) m_probe_trains_recv_.inc();
   ++stats_.probes_absorbed;
+  m_probes_absorbed_.inc();
   if (p.ip.ecn == net::Ecn::kCe) {
     ++e.probe_marked;
     ++stats_.probes_absorbed_marked;
@@ -235,6 +248,7 @@ void HypervisorShim::rewrite_synack(net::Packet& p, FlowEntry& e) {
     e.probe_unmarked = 0;
     e.probe_marked = 0;
     ++stats_.window_decisions;
+    m_window_decisions_.inc();
     apply_window(p, e, /*synack=*/true);
     ++stats_.synacks_rewritten;
   }
@@ -307,6 +321,7 @@ void HypervisorShim::run_round_decision(FlowEntry& e) {
   e.round_start = ctx_.now();
   if (seen == 0) return;  // idle round: nothing learned
   ++stats_.window_decisions;
+  m_window_decisions_.inc();
 
   if (e.marked == 0) {
     // Clean round: re-open additively (one segment per round, mirroring
@@ -350,7 +365,9 @@ void HypervisorShim::apply_window(net::Packet& p, FlowEntry& e,
   // 16-bit window word and incrementally fix the checksum (RFC 1624).
   p.tcp.checksum =
       net::checksum_adjust(p.tcp.checksum, p.tcp.rwnd_raw, new_raw);
+  m_checksum_recomputes_.inc();
   p.tcp.rwnd_raw = new_raw;
+  m_rwnd_rewrites_.inc();
   if (!synack) ++stats_.acks_rewritten;
 }
 

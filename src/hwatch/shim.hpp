@@ -163,6 +163,15 @@ class HypervisorShim final : public net::PacketFilter {
   ShimStats stats_;
   std::uint32_t next_train_id_ = 1;
 
+  // Per-context observability counters (one branch each when the
+  // registry is disabled); shared across all shims of the context.
+  sim::Counter& m_rwnd_rewrites_;
+  sim::Counter& m_checksum_recomputes_;
+  sim::Counter& m_probe_trains_sent_;
+  sim::Counter& m_probe_trains_recv_;
+  sim::Counter& m_probes_absorbed_;
+  sim::Counter& m_window_decisions_;
+
   /// Per-path (remote sender host) delay statistics: the uncongested
   /// baseline is learned across *all* flows from that host, so a fresh
   /// connection's probes can be judged against history (Section III-D,

@@ -15,7 +15,9 @@ Link::Link(sim::SimContext& ctx, std::string name, sim::DataRate rate,
       rate_(rate),
       prop_delay_(prop_delay),
       qdisc_(std::move(qdisc)),
-      dst_(dst) {
+      dst_(dst),
+      tx_events_(ctx.metrics().counter("sched.events.link_tx")),
+      prop_events_(ctx.metrics().counter("sched.events.link_prop")) {
   assert(qdisc_ != nullptr);
   assert(dst_ != nullptr);
 }
@@ -37,6 +39,7 @@ void Link::start_transmission() {
   // Move the packet into the completion event.  std::function requires
   // copyable callables, so park the packet in a shared_ptr.
   auto holder = std::make_shared<Packet>(std::move(*next));
+  tx_events_.inc();
   ctx_.scheduler().schedule_in(tx, [this, holder] {
     on_transmission_complete(std::move(*holder));
   });
@@ -49,6 +52,7 @@ void Link::on_transmission_complete(Packet&& p) {
   // Propagation: the receiver sees the packet prop_delay later.  The
   // transmitter is free immediately (pipelining).
   auto holder = std::make_shared<Packet>(std::move(p));
+  prop_events_.inc();
   ctx_.scheduler().schedule_in(prop_delay_, [this, holder] {
     dst_->handle_packet(std::move(*holder));
   });

@@ -57,6 +57,9 @@ class Link {
   sim::TimePs prop_delay_;
   std::unique_ptr<QueueDiscipline> qdisc_;
   Node* dst_;
+  // Shared per-context event-type counters (one branch when disabled).
+  sim::Counter& tx_events_;
+  sim::Counter& prop_events_;
   bool transmitting_ = false;
   sim::TimePs busy_time_ = 0;
   std::uint64_t bytes_delivered_ = 0;

@@ -41,6 +41,7 @@ EnqueueOutcome QueueDiscipline::enqueue(Packet&& p, sim::TimePs now) {
   stats_.max_len_pkts = std::max<std::uint64_t>(stats_.max_len_pkts,
                                                 fifo_.size());
   stats_.max_len_bytes = std::max(stats_.max_len_bytes, bytes_);
+  if (depth_hist_) depth_hist_->record(static_cast<double>(fifo_.size()));
   return outcome;
 }
 

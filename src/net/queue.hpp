@@ -16,6 +16,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace hwatch::net {
@@ -76,6 +77,11 @@ class QueueDiscipline {
 
   const QueueStats& stats() const { return stats_; }
 
+  /// Observability hook: when attached, every accepted enqueue records
+  /// the post-enqueue queue length (packets) into `h`.  Unattached (the
+  /// default) the hot path pays a single null check.
+  void attach_depth_histogram(sim::Histogram* h) { depth_hist_ = h; }
+
   const QueueLimits& limits() const { return limits_; }
   /// Hard capacity in packets (kUnlimited when byte-bounded only).
   std::uint64_t capacity_packets() const { return limits_.packets; }
@@ -127,6 +133,7 @@ class QueueDiscipline {
   std::size_t high_count_ = 0;  // packets of class > 0 at the head
   QueueLimits limits_;
   QueueStats stats_;
+  sim::Histogram* depth_hist_ = nullptr;
 };
 
 /// Plain tail-drop FIFO.

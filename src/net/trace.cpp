@@ -19,8 +19,55 @@ void PacketTracer::record(const Packet& p, bool outbound) {
     ++counts_.acks;
   }
   if (p.ip.ecn == Ecn::kCe) ++counts_.ce_marked;
+  if (cfg_.jsonl_sink) {
+    write_jsonl(*cfg_.jsonl_sink, ctx_.now(), outbound, p);
+  }
   if (entries_.size() < cfg_.max_entries) {
     entries_.push_back(TraceEntry{ctx_.now(), outbound, p});
+  }
+}
+
+namespace {
+
+const char* ecn_name(Ecn e) {
+  switch (e) {
+    case Ecn::kNotEct:
+      return "not-ect";
+    case Ecn::kEct1:
+      return "ect1";
+    case Ecn::kEct0:
+      return "ect0";
+    case Ecn::kCe:
+      return "ce";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void PacketTracer::write_jsonl(std::ostream& os, sim::TimePs time,
+                               bool outbound, const Packet& p) {
+  os << "{\"t_ps\":" << time << ",\"dir\":\"" << (outbound ? "out" : "in")
+     << "\",\"uid\":" << p.uid << ",\"kind\":\""
+     << (p.kind == PacketKind::kProbe ? "probe" : "tcp") << "\",\"src\":"
+     << p.ip.src << ",\"dst\":" << p.ip.dst << ",\"sport\":"
+     << p.tcp.src_port << ",\"dport\":" << p.tcp.dst_port << ",\"seq\":"
+     << p.tcp.seq << ",\"ack\":" << p.tcp.ack << ",\"flags\":\"";
+  if (p.tcp.syn) os << 'S';
+  if (p.tcp.ack_flag) os << 'A';
+  if (p.tcp.fin) os << 'F';
+  if (p.tcp.rst) os << 'R';
+  if (p.tcp.ece) os << 'E';
+  if (p.tcp.cwr) os << 'C';
+  os << "\",\"payload\":" << p.payload_bytes << ",\"wire\":"
+     << p.size_bytes() << ",\"ecn\":\"" << ecn_name(p.ip.ecn)
+     << "\",\"rwnd\":" << p.tcp.rwnd_raw << ",\"train\":"
+     << p.probe_train_id << "}\n";
+}
+
+void PacketTracer::dump_jsonl(std::ostream& os) const {
+  for (const TraceEntry& e : entries_) {
+    write_jsonl(os, e.time, e.outbound, e.packet);
   }
 }
 

@@ -30,6 +30,11 @@ struct TracerConfig {
   std::size_t max_entries = 100'000;
   /// Record only packets matching this predicate (default: all).
   std::function<bool(const Packet&)> predicate;
+  /// Structured event-trace mode: when set, every matching packet is
+  /// written immediately as one JSON object per line (JSONL) to this
+  /// stream — unbounded by max_entries, so long runs can stream to a
+  /// file and be analyzed offline with tools/trace_inspect.
+  std::ostream* jsonl_sink = nullptr;
 };
 
 class PacketTracer final : public PacketFilter {
@@ -52,6 +57,7 @@ class PacketTracer final : public PacketFilter {
   void clear() {
     entries_.clear();
     seen_ = 0;
+    counts_ = Counts{};
   }
 
   /// Packets counted per rough category over the whole run.
@@ -69,6 +75,17 @@ class PacketTracer final : public PacketFilter {
   ///   <time_s> <+|-> <describe()>
   /// ('+' = outbound from the traced host, '-' = inbound to it).
   void dump(std::ostream& os) const;
+
+  /// Recorded entries as JSONL (one JSON object per line), the same
+  /// format the streaming `jsonl_sink` mode emits.
+  void dump_jsonl(std::ostream& os) const;
+
+  /// Writes one packet as a single-line JSON object:
+  ///   {"t_ps":..,"dir":"out","uid":..,"kind":"tcp","src":..,"dst":..,
+  ///    "sport":..,"dport":..,"seq":..,"ack":..,"flags":"SA","payload":..,
+  ///    "wire":..,"ecn":"ce","rwnd":..,"train":..}
+  static void write_jsonl(std::ostream& os, sim::TimePs time, bool outbound,
+                          const Packet& p);
 
  private:
   void record(const Packet& p, bool outbound);

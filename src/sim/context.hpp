@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "sim/log.hpp"
+#include "sim/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -51,12 +52,18 @@ class SimContext {
   SimLog& log() { return log_; }
   const SimLog& log() const { return log_; }
 
+  /// Per-context metrics (counters, gauges, histograms).  Disabled by
+  /// default; instruments cost one branch per hit until enabled.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   Scheduler sched_;
   Rng rng_;
   std::uint64_t seed_;
   std::uint64_t packet_uid_ = 0;
   SimLog log_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace hwatch::sim

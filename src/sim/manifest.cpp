@@ -1,0 +1,88 @@
+#include "sim/manifest.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+namespace hwatch::sim {
+
+Json metrics_json(const MetricsSnapshot& snap) {
+  Json m = Json::object();
+  Json counters = Json::object();
+  for (const auto& c : snap.counters) {
+    counters.set(c.name, Json(c.value));
+  }
+  m.set("counters", std::move(counters));
+  Json histograms = Json::object();
+  for (const auto& h : snap.histograms) {
+    Json hj = Json::object();
+    Json bounds = Json::array();
+    for (const double b : h.bounds) bounds.push_back(Json(b));
+    hj.set("bounds", std::move(bounds));
+    Json buckets = Json::array();
+    for (const std::uint64_t c : h.bucket_counts) buckets.push_back(Json(c));
+    hj.set("bucket_counts", std::move(buckets));
+    hj.set("count", Json(h.count));
+    hj.set("sum", Json(h.sum));
+    hj.set("min", Json(h.min));
+    hj.set("max", Json(h.max));
+    histograms.set(h.name, std::move(hj));
+  }
+  m.set("histograms", std::move(histograms));
+  return m;
+}
+
+Json RunManifest::to_json(bool include_environment) const {
+  Json j = Json::object();
+  j.set("schema", Json(kSchemaId));
+  j.set("name", Json(name));
+  j.set("scenario_kind", Json(scenario_kind));
+  j.set("seed", Json(seed));
+  j.set("config", config);
+  j.set("results", results);
+  j.set("metrics", metrics);
+  j.set("series", series);
+  if (include_environment) {
+    Json env = Json::object();
+    env.set("wall_time_ms", Json(wall_time_ms));
+    env.set("sweep_threads", Json(sweep_threads));
+    j.set("environment", std::move(env));
+  }
+  return j;
+}
+
+std::string RunManifest::deterministic_dump() const {
+  return to_json(/*include_environment=*/false).dump(2);
+}
+
+void RunManifest::write(std::ostream& os, bool include_environment) const {
+  to_json(include_environment).dump(os, 2);
+  os << '\n';
+}
+
+std::string RunManifest::sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+std::string RunManifest::write_file(const std::string& dir,
+                                    bool include_environment) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return "";
+  const fs::path path = fs::path(dir) / (sanitize(name) + ".json");
+  std::ofstream os(path);
+  if (!os) return "";
+  write(os, include_environment);
+  return os ? path.string() : "";
+}
+
+}  // namespace hwatch::sim

@@ -1,0 +1,65 @@
+// RunManifest — one JSON document per simulation run.
+//
+// A manifest captures everything needed to interpret (and byte-compare)
+// a run: the scenario configuration and seed, headline results, the
+// full metrics snapshot (counters + histograms) and the sampled gauge
+// time series.  The api layer fills it after every run with metrics
+// collection enabled; SweepRunner/bench write one file per sweep point
+// when HWATCH_METRICS_DIR is set.
+//
+// Determinism contract: everything except the "environment" section is
+// a pure function of (config, seed) — the metrics-determinism tests
+// compare deterministic_dump() byte-for-byte across repeated runs and
+// across sweep thread counts.  Wall time and thread counts live in
+// "environment", which file output includes and deterministic_dump()
+// excludes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/json.hpp"
+#include "sim/metrics.hpp"
+
+namespace hwatch::sim {
+
+struct RunManifest {
+  static constexpr const char* kSchemaId = "hwatch.run_manifest/v1";
+
+  std::string name;           // run label; also the output file stem
+  std::string scenario_kind;  // "dumbbell" | "leaf_spine" | ...
+  std::uint64_t seed = 0;
+  Json config = Json::object();   // scenario configuration
+  Json results = Json::object();  // headline per-run results
+  Json metrics = Json::object();  // counters + histograms (sorted)
+  Json series = Json::object();   // gauge name -> [[t_ps, value], ...]
+
+  // ---- environment (excluded from the deterministic form) ----
+  double wall_time_ms = 0;
+  unsigned sweep_threads = 0;  // 0 = not part of a sweep
+
+  /// Full document; `include_environment` = false drops the
+  /// non-deterministic section.
+  Json to_json(bool include_environment = true) const;
+
+  /// Pretty-printed deterministic form (no environment section).
+  std::string deterministic_dump() const;
+
+  void write(std::ostream& os, bool include_environment = true) const;
+
+  /// Writes <dir>/<sanitized name>.json (creates `dir` if needed).
+  /// Returns the path written, or "" on filesystem error.
+  std::string write_file(const std::string& dir,
+                         bool include_environment = true) const;
+
+  /// Filesystem-safe file stem: [A-Za-z0-9._-], everything else '_'.
+  static std::string sanitize(const std::string& s);
+};
+
+/// Converts a snapshot into the manifest's "metrics" section:
+///   {"counters": {name: value, ...},
+///    "histograms": {name: {bounds, bucket_counts, count, sum, min, max}}}
+Json metrics_json(const MetricsSnapshot& snap);
+
+}  // namespace hwatch::sim

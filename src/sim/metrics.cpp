@@ -1,0 +1,78 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace hwatch::sim {
+
+Histogram::Histogram(std::string name, std::vector<double> bounds,
+                     const bool* enabled)
+    : name_(std::move(name)), bounds_(std::move(bounds)), enabled_(enabled) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t n) {
+  std::vector<double> b;
+  b.reserve(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.push_back(v);
+    v *= factor;
+  }
+  return b;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double width,
+                                             std::size_t n) {
+  std::vector<double> b;
+  b.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.push_back(start + width * static_cast<double>(i));
+  }
+  return b;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return *counters_[it->second];
+  counters_.emplace_back(new Counter(std::string(name), &enabled_));
+  counter_index_.emplace(std::string(name), counters_.size() - 1);
+  return *counters_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return *histograms_[it->second];
+  histograms_.emplace_back(
+      new Histogram(std::string(name), std::move(bounds), &enabled_));
+  histogram_index_.emplace(std::string(name), histograms_.size() - 1);
+  return *histograms_.back();
+}
+
+void MetricsRegistry::register_gauge(std::string name,
+                                     std::function<double()> fn) {
+  gauges_.push_back(Gauge{std::move(name), std::move(fn)});
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    snap.counters.push_back({c->name(), c->value()});
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    snap.histograms.push_back({h->name(), h->bounds(), h->bucket_counts(),
+                               h->count(), h->sum(), h->min(), h->max()});
+  }
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+}  // namespace hwatch::sim

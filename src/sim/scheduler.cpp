@@ -21,6 +21,7 @@ EventId Scheduler::schedule_at(TimePs t, Callback cb) {
   const std::uint32_t gen = gens_[slot];
   heap_.push_back(Entry{t, next_seq_++, slot, gen, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   ++live_count_;
   return EventId{pack(slot, gen)};
 }
@@ -42,6 +43,7 @@ bool Scheduler::cancel(EventId id) {
   ++gens_[slot];
   free_slots_.push_back(slot);
   --live_count_;
+  ++cancelled_;
   ++stale_;
   maybe_compact();
   return true;

@@ -75,6 +75,16 @@ class Scheduler {
   /// Total number of events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
+  /// Total number of events ever scheduled.
+  std::uint64_t scheduled() const { return next_seq_; }
+
+  /// Total number of successful cancellations.
+  std::uint64_t cancelled() const { return cancelled_; }
+
+  /// High-water mark of the heap (pending + stale entries) — the
+  /// scheduler's peak memory footprint in events.
+  std::size_t heap_peak() const { return heap_peak_; }
+
   // --- bookkeeping introspection (memory regression tests) -----------
   /// Generation slots ever allocated; bounded by the peak number of
   /// simultaneously live events, NOT by the events scheduled over time.
@@ -119,6 +129,8 @@ class Scheduler {
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t heap_peak_ = 0;
   std::size_t live_count_ = 0;
   bool stopped_ = false;
 };

@@ -67,6 +67,29 @@ double UtilizationSampler::mean() const {
   return sum / static_cast<double>(series_.size());
 }
 
+MetricsSampler::MetricsSampler(sim::SimContext& ctx, sim::TimePs interval,
+                               sim::TimePs until)
+    : ctx_(ctx), interval_(interval), until_(until) {
+  series_.reserve(ctx_.metrics().gauges().size());
+  for (const auto& g : ctx_.metrics().gauges()) {
+    series_.push_back(GaugeSeries{g.name, {}});
+  }
+  if (!series_.empty()) {
+    ctx_.scheduler().schedule_in(interval_, [this] { tick(); });
+  }
+}
+
+void MetricsSampler::tick() {
+  const sim::TimePs now = ctx_.scheduler().now();
+  const auto& gauges = ctx_.metrics().gauges();
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    series_[i].series.push_back(TimePoint{now, gauges[i].fn()});
+  }
+  if (now + interval_ <= until_) {
+    ctx_.scheduler().schedule_in(interval_, [this] { tick(); });
+  }
+}
+
 ThroughputSampler::ThroughputSampler(sim::Scheduler& sched, net::Link& link,
                                      sim::TimePs interval, sim::TimePs until)
     : sched_(sched), link_(link), interval_(interval), until_(until) {

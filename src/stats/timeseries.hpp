@@ -7,7 +7,10 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
 #include "net/link.hpp"
+#include "sim/context.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -70,6 +73,32 @@ class UtilizationSampler {
   sim::TimePs last_busy_ = 0;
   std::uint64_t last_bytes_ = 0;
   TimeSeries series_;
+};
+
+/// Samples every gauge registered with the context's MetricsRegistry on
+/// one shared tick, producing one named TimeSeries per gauge.  Register
+/// gauges *before* constructing the sampler; gauges added later are not
+/// picked up.  Sampling order (and thus the series vector) follows
+/// registration order; manifest emission sorts by name.
+class MetricsSampler {
+ public:
+  struct GaugeSeries {
+    std::string name;
+    TimeSeries series;
+  };
+
+  MetricsSampler(sim::SimContext& ctx, sim::TimePs interval,
+                 sim::TimePs until);
+
+  const std::vector<GaugeSeries>& series() const { return series_; }
+
+ private:
+  void tick();
+
+  sim::SimContext& ctx_;
+  sim::TimePs interval_;
+  sim::TimePs until_;
+  std::vector<GaugeSeries> series_;
 };
 
 /// Goodput-over-time: bytes delivered by a link per interval, as Gb/s.

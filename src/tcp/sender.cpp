@@ -18,6 +18,9 @@ TcpSender::TcpSender(net::Network& net, net::Host& host, std::uint16_t port,
       dst_node_(dst_node),
       dst_port_(dst_port),
       cfg_(config),
+      cwnd_hist_(net.ctx().metrics().histogram(
+          "tcp.cwnd_bytes",
+          sim::Histogram::exponential_bounds(1500, 2, 14))),
       rtt_(config.initial_rto, config.min_rto, config.max_rto),
       rto_timer_(ctx_.scheduler(), [this] { on_rto(); }) {
   cwnd_ = static_cast<double>(cfg_.initial_cwnd_segments) * cfg_.mss;
@@ -173,6 +176,7 @@ void TcpSender::on_new_data_acked(const net::Packet& p, std::uint64_t newly) {
     dup_acks_ = 0;
     grow_window(newly);
   }
+  cwnd_hist_.record(cwnd_);
 
   if (snd_una_ < snd_nxt_) {
     arm_rto();

@@ -146,6 +146,9 @@ class TcpSender {
   net::NodeId dst_node_;
   std::uint16_t dst_port_;
   TcpConfig cfg_;
+  /// Shared per-context cwnd histogram (one branch when disabled);
+  /// sampled on every ACK that completes window processing.
+  sim::Histogram& cwnd_hist_;
 
   SenderState state_ = SenderState::kIdle;
   std::uint64_t total_bytes_ = 0;

@@ -76,6 +76,15 @@ std::uint64_t TrafficManager::total_timeouts() const {
   return total;
 }
 
+std::uint64_t TrafficManager::total_bytes_in_flight() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) {
+    const tcp::TcpSender& s = e.conn->sender();
+    total += s.snd_nxt() - s.snd_una();
+  }
+  return total;
+}
+
 void add_bulk_flows(TrafficManager& tm,
                     const std::vector<net::Host*>& srcs,
                     const std::vector<net::Host*>& dsts,

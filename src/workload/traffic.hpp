@@ -54,6 +54,10 @@ class TrafficManager {
   std::uint64_t total_retransmits() const;
   std::uint64_t total_timeouts() const;
 
+  /// Unacked bytes currently in flight summed over all senders (a live
+  /// gauge for the metrics sampler).
+  std::uint64_t total_bytes_in_flight() const;
+
   /// Allocates a fresh ephemeral port on a host.
   std::uint16_t next_port(const net::Host& host);
 

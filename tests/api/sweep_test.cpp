@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "api/scenario.hpp"
 
@@ -128,6 +130,100 @@ TEST(SweepRunnerTest, EmptySweepReturnsEmpty) {
   EXPECT_TRUE(SweepRunner(4)
                   .run(std::vector<DumbbellScenarioConfig>{})
                   .empty());
+}
+
+/// RAII helper: sets HWATCH_SWEEP_THREADS for one test and restores the
+/// previous value on exit.
+class ThreadsEnvGuard {
+ public:
+  explicit ThreadsEnvGuard(const char* value) {
+    const char* old = std::getenv(kVar);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(kVar, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+  ~ThreadsEnvGuard() {
+    if (had_) {
+      ::setenv(kVar, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+
+ private:
+  static constexpr const char* kVar = "HWATCH_SWEEP_THREADS";
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ThreadsFromEnvTest, UnsetOrEmptyMeansAuto) {
+  {
+    ThreadsEnvGuard guard(nullptr);
+    EXPECT_EQ(SweepRunner::threads_from_env(), 0u);
+  }
+  {
+    ThreadsEnvGuard guard("");
+    EXPECT_EQ(SweepRunner::threads_from_env(), 0u);
+  }
+}
+
+TEST(ThreadsFromEnvTest, ParsesPositiveIntegers) {
+  {
+    ThreadsEnvGuard guard("1");
+    EXPECT_EQ(SweepRunner::threads_from_env(), 1u);
+  }
+  {
+    ThreadsEnvGuard guard("16");
+    EXPECT_EQ(SweepRunner::threads_from_env(), 16u);
+  }
+}
+
+TEST(ThreadsFromEnvTest, RejectsZero) {
+  ThreadsEnvGuard guard("0");
+  EXPECT_THROW(SweepRunner::threads_from_env(), std::invalid_argument);
+}
+
+TEST(ThreadsFromEnvTest, RejectsNonNumeric) {
+  for (const char* bad : {"four", "x4", "--2", "nan"}) {
+    ThreadsEnvGuard guard(bad);
+    EXPECT_THROW(SweepRunner::threads_from_env(), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(ThreadsFromEnvTest, RejectsNegative) {
+  ThreadsEnvGuard guard("-3");
+  EXPECT_THROW(SweepRunner::threads_from_env(), std::invalid_argument);
+}
+
+TEST(ThreadsFromEnvTest, RejectsTrailingJunk) {
+  for (const char* bad : {"4x", "4 threads", "4.5"}) {
+    ThreadsEnvGuard guard(bad);
+    EXPECT_THROW(SweepRunner::threads_from_env(), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(ThreadsFromEnvTest, RejectsOutOfRange) {
+  ThreadsEnvGuard guard("99999999999999999999");
+  EXPECT_THROW(SweepRunner::threads_from_env(), std::invalid_argument);
+}
+
+TEST(ThreadsFromEnvTest, ErrorMessageNamesVariableAndValue) {
+  ThreadsEnvGuard guard("banana");
+  try {
+    SweepRunner::threads_from_env();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HWATCH_SWEEP_THREADS"), std::string::npos);
+    EXPECT_NE(what.find("banana"), std::string::npos);
+    EXPECT_NE(what.find("positive integer"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
+#include "sim/json.hpp"
 #include "tcp/tcp_test_util.hpp"
 #include "tcp/connection.hpp"
 
@@ -106,6 +108,102 @@ TEST(TracerTest, ClearResets) {
   tracer.clear();
   EXPECT_EQ(tracer.total_seen(), 0u);
   EXPECT_TRUE(tracer.entries().empty());
+}
+
+// Regression: clear() used to reset entries and total_seen but leave
+// the per-kind counts, so a cleared tracer reported stale SYN/data
+// tallies.
+TEST(TracerTest, ClearResetsCounts) {
+  TwoHostNet h;
+  PacketTracer tracer(h.ctx);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(3 * 1442);
+  h.sched.run_until(sim::milliseconds(100));
+  EXPECT_GT(tracer.counts().syn, 0u);
+  EXPECT_GT(tracer.counts().data, 0u);
+  tracer.clear();
+  EXPECT_EQ(tracer.counts().syn, 0u);
+  EXPECT_EQ(tracer.counts().data, 0u);
+  EXPECT_EQ(tracer.counts().acks, 0u);
+  EXPECT_EQ(tracer.counts().fin, 0u);
+  EXPECT_EQ(tracer.counts().probes, 0u);
+  EXPECT_EQ(tracer.counts().ce_marked, 0u);
+}
+
+TEST(TracerTest, JsonlStreamingBypassesMaxEntries) {
+  TwoHostNet h;
+  std::ostringstream jsonl;
+  TracerConfig cfg;
+  cfg.max_entries = 2;  // tiny in-memory cap; the stream sees everything
+  cfg.jsonl_sink = &jsonl;
+  PacketTracer tracer(h.ctx, cfg);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(5 * 1442);
+  h.sched.run_until(sim::milliseconds(100));
+
+  EXPECT_EQ(tracer.entries().size(), 2u);
+  const std::string out = jsonl.str();
+  const auto lines = static_cast<std::uint64_t>(
+      std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(lines, tracer.total_seen());
+}
+
+TEST(TracerTest, JsonlLinesParseAndCarryPacketFields) {
+  TwoHostNet h;
+  std::ostringstream jsonl;
+  TracerConfig cfg;
+  cfg.jsonl_sink = &jsonl;
+  PacketTracer tracer(h.ctx, cfg);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(1442);
+  h.sched.run_until(sim::milliseconds(100));
+
+  std::istringstream in(jsonl.str());
+  std::string line;
+  std::size_t parsed = 0;
+  bool saw_syn = false;
+  while (std::getline(in, line)) {
+    std::string err;
+    const sim::Json j = sim::Json::parse(line, &err);
+    ASSERT_TRUE(err.empty()) << err << " in: " << line;
+    ASSERT_TRUE(j.is_object());
+    for (const char* key :
+         {"t_ps", "dir", "uid", "kind", "src", "dst", "sport", "dport",
+          "seq", "ack", "flags", "payload", "wire", "ecn", "rwnd"}) {
+      EXPECT_NE(j.find(key), nullptr) << "missing " << key;
+    }
+    if (j.find("flags")->as_string().find('S') != std::string::npos) {
+      saw_syn = true;
+      EXPECT_EQ(j.find("kind")->as_string(), "tcp");
+    }
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, tracer.total_seen());
+  EXPECT_TRUE(saw_syn);
+}
+
+// dump_jsonl replays the in-memory entries in the same line format.
+TEST(TracerTest, DumpJsonlMatchesStreamedPrefix) {
+  TwoHostNet h;
+  std::ostringstream streamed;
+  TracerConfig cfg;
+  cfg.jsonl_sink = &streamed;
+  PacketTracer tracer(h.ctx, cfg);
+  h.a->install_filter(&tracer);
+  tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
+                          tcp::Transport::kNewReno, quick_cfg());
+  conn.start(2 * 1442);
+  h.sched.run_until(sim::milliseconds(100));
+
+  std::ostringstream dumped;
+  tracer.dump_jsonl(dumped);
+  EXPECT_EQ(dumped.str(), streamed.str());
 }
 
 }  // namespace

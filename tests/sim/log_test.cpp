@@ -71,5 +71,48 @@ TEST(LogTest, VariadicFormattingIsLazy) {
   EXPECT_EQ(evaluations, 0);
 }
 
+TEST(SimLogTest, NullSinkFallsBackToProcessWideSink) {
+  LogGuard guard;
+  std::ostringstream global;
+  set_log_sink(&global);
+  set_log_level(LogLevel::kTrace);
+
+  SimLog log;  // default sink_ == nullptr
+  log.set_level(LogLevel::kInfo);
+  log.msg(LogLevel::kInfo, "through fallback");
+  EXPECT_NE(global.str().find("through fallback"), std::string::npos);
+}
+
+TEST(SimLogTest, PerInstanceSinkIsolatesFromGlobal) {
+  LogGuard guard;
+  std::ostringstream global;
+  set_log_sink(&global);
+  set_log_level(LogLevel::kTrace);
+
+  SimLog log;
+  std::ostringstream own;
+  log.set_sink(&own);
+  log.set_level(LogLevel::kInfo);
+  log.msg(LogLevel::kInfo, "private line");
+
+  EXPECT_NE(own.str().find("private line"), std::string::npos);
+  EXPECT_TRUE(global.str().empty());
+}
+
+TEST(SimLogTest, InstanceLevelGatesIndependentlyOfGlobalLevel) {
+  LogGuard guard;
+  // Global threshold is permissive; the instance's own level must still
+  // gate its messages.
+  set_log_level(LogLevel::kTrace);
+  SimLog log;
+  std::ostringstream own;
+  log.set_sink(&own);
+  log.set_level(LogLevel::kError);
+  log.msg(LogLevel::kInfo, "filtered");
+  EXPECT_TRUE(own.str().empty());
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+}
+
 }  // namespace
 }  // namespace hwatch::sim

@@ -1,0 +1,144 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/manifest.hpp"
+
+namespace hwatch::sim {
+namespace {
+
+TEST(MetricsRegistry, DisabledByDefaultAndInstrumentsAreNoOps) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.enabled());
+  Counter& c = reg.counter("a");
+  Histogram& h = reg.histogram("b", Histogram::linear_bounds(0, 1, 4));
+  c.inc();
+  c.inc(100);
+  h.record(2.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsRegistry, EnabledInstrumentsAccumulate) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Counter& c = reg.counter("a");
+  c.inc();
+  c.inc(9);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(MetricsRegistry, CounterIsFindOrCreate) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("same");
+  Counter& b = reg.counter("same");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.counter_count(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramFirstBoundsWin) {
+  MetricsRegistry reg;
+  Histogram& a = reg.histogram("h", {1, 2, 3});
+  Histogram& b = reg.histogram("h", {99});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.bounds().size(), 3u);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Histogram& h = reg.histogram("h", {10, 20, 30});
+  h.record(5);    // <= 10
+  h.record(10);   // <= 10 (inclusive upper bound)
+  h.record(15);   // <= 20
+  h.record(30);   // <= 30
+  h.record(1e9);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 5.0);
+  EXPECT_EQ(h.max(), 1e9);
+}
+
+TEST(Histogram, BoundsBuilders) {
+  const auto exp = Histogram::exponential_bounds(1, 2, 4);
+  EXPECT_EQ(exp, (std::vector<double>{1, 2, 4, 8}));
+  const auto lin = Histogram::linear_bounds(0, 10, 3);
+  EXPECT_EQ(lin, (std::vector<double>{0, 10, 20}));
+}
+
+TEST(MetricsRegistry, SnapshotSortedByNameRegardlessOfCreationOrder) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("zz").inc(1);
+  reg.counter("aa").inc(2);
+  reg.histogram("mm", {1}).record(0.5);
+  reg.histogram("bb", {1}).record(0.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "aa");
+  EXPECT_EQ(snap.counters[1].name, "zz");
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].name, "bb");
+  EXPECT_EQ(snap.histograms[1].name, "mm");
+}
+
+TEST(MetricsRegistry, GaugesKeepRegistrationOrder) {
+  MetricsRegistry reg;
+  int calls = 0;
+  reg.register_gauge("g1", [&calls] { return static_cast<double>(++calls); });
+  reg.register_gauge("g0", [] { return 7.0; });
+  ASSERT_EQ(reg.gauges().size(), 2u);
+  EXPECT_EQ(reg.gauges()[0].name, "g1");
+  EXPECT_EQ(reg.gauges()[0].fn(), 1.0);
+  EXPECT_EQ(reg.gauges()[1].fn(), 7.0);
+}
+
+TEST(RunManifest, JsonShapeAndDeterministicDumpExcludesEnvironment) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("c").inc(3);
+  reg.histogram("h", {1, 2}).record(1.5);
+
+  RunManifest man;
+  man.name = "unit";
+  man.scenario_kind = "test";
+  man.seed = 42;
+  man.config.set("k", 1);
+  man.results.set("r", 2);
+  man.metrics = metrics_json(reg.snapshot());
+  man.wall_time_ms = 123.0;
+  man.sweep_threads = 4;
+
+  const Json full = man.to_json(true);
+  EXPECT_EQ(full.find("schema")->as_string(), RunManifest::kSchemaId);
+  EXPECT_EQ(full.find("seed")->as_uint(), 42u);
+  ASSERT_NE(full.find("environment"), nullptr);
+  EXPECT_EQ(
+      full.find("environment")->find("sweep_threads")->as_uint(), 4u);
+
+  const std::string det = man.deterministic_dump();
+  EXPECT_EQ(det.find("environment"), std::string::npos);
+  EXPECT_EQ(det.find("wall_time"), std::string::npos);
+
+  const Json* counters = full.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("c")->as_uint(), 3u);
+  const Json* hist = full.find("metrics")->find("histograms")->find("h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_uint(), 1u);
+  EXPECT_EQ(hist->find("bucket_counts")->size(), 3u);
+}
+
+TEST(RunManifest, SanitizeFilename) {
+  EXPECT_EQ(RunManifest::sanitize("a b/c:d"), "a_b_c_d");
+  EXPECT_EQ(RunManifest::sanitize("ok-1.2_x"), "ok-1.2_x");
+  EXPECT_EQ(RunManifest::sanitize(""), "run");
+}
+
+}  // namespace
+}  // namespace hwatch::sim

@@ -1,0 +1,227 @@
+// trace_inspect — summarize or filter the JSONL packet traces the
+// simulator emits (PacketTracer with a jsonl_sink, or dump_jsonl()).
+//
+// Usage:
+//   trace_inspect [options] [file.jsonl]     (default: stdin)
+//
+// Options:
+//   --summary          aggregate report (default)
+//   --print            re-emit the matching lines verbatim
+//   --kind tcp|probe   keep only one packet kind
+//   --dir in|out       keep only one direction
+//   --src N --dst N    filter by node id
+//   --sport N --dport N filter by port
+//   --since S --until S keep t in [S, U] (seconds, fractional ok)
+//   --ce               keep only CE-marked packets
+//
+// Exit codes: 0 ok, 1 bad usage, 2 malformed input line.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hpp"
+
+namespace {
+
+using hwatch::sim::Json;
+
+struct Options {
+  bool print = false;
+  std::optional<std::string> kind;
+  std::optional<std::string> dir;
+  std::optional<std::uint64_t> src, dst, sport, dport;
+  std::optional<double> since_s, until_s;
+  bool ce_only = false;
+  std::string file;  // empty = stdin
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [trace.jsonl]\n"
+      << "  --summary | --print\n"
+      << "  --kind tcp|probe   --dir in|out   --ce\n"
+      << "  --src N --dst N --sport N --dport N\n"
+      << "  --since SECONDS --until SECONDS\n";
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--summary") {
+      opt.print = false;
+    } else if (a == "--print") {
+      opt.print = true;
+    } else if (a == "--ce") {
+      opt.ce_only = true;
+    } else if (a == "--kind" && (v = need(i))) {
+      opt.kind = v;
+    } else if (a == "--dir" && (v = need(i))) {
+      opt.dir = v;
+    } else if (a == "--src" && (v = need(i))) {
+      opt.src = std::stoull(v);
+    } else if (a == "--dst" && (v = need(i))) {
+      opt.dst = std::stoull(v);
+    } else if (a == "--sport" && (v = need(i))) {
+      opt.sport = std::stoull(v);
+    } else if (a == "--dport" && (v = need(i))) {
+      opt.dport = std::stoull(v);
+    } else if (a == "--since" && (v = need(i))) {
+      opt.since_s = std::stod(v);
+    } else if (a == "--until" && (v = need(i))) {
+      opt.until_s = std::stod(v);
+    } else if (!a.empty() && a[0] != '-') {
+      opt.file = a;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t get_uint(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  return v != nullptr ? v->as_uint() : 0;
+}
+
+std::string get_str(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  return v != nullptr ? v->as_string() : std::string();
+}
+
+bool matches(const Json& j, const Options& opt) {
+  if (opt.kind && get_str(j, "kind") != *opt.kind) return false;
+  if (opt.dir && get_str(j, "dir") != *opt.dir) return false;
+  if (opt.src && get_uint(j, "src") != *opt.src) return false;
+  if (opt.dst && get_uint(j, "dst") != *opt.dst) return false;
+  if (opt.sport && get_uint(j, "sport") != *opt.sport) return false;
+  if (opt.dport && get_uint(j, "dport") != *opt.dport) return false;
+  if (opt.ce_only && get_str(j, "ecn") != "ce") return false;
+  const double t_s = static_cast<double>(get_uint(j, "t_ps")) / 1e12;
+  if (opt.since_s && t_s < *opt.since_s) return false;
+  if (opt.until_s && t_s > *opt.until_s) return false;
+  return true;
+}
+
+struct FlowAgg {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t ce = 0;
+};
+
+struct Summary {
+  std::uint64_t lines = 0;
+  std::uint64_t matched = 0;
+  std::map<std::string, std::uint64_t> by_kind;
+  std::map<std::string, std::uint64_t> by_flag;  // S, F, R presence
+  std::uint64_t ce = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t t_min = UINT64_MAX, t_max = 0;
+  std::map<std::string, FlowAgg> flows;
+};
+
+void accumulate(const Json& j, Summary& s) {
+  ++s.matched;
+  ++s.by_kind[get_str(j, "kind")];
+  const std::string flags = get_str(j, "flags");
+  if (flags.find('S') != std::string::npos) ++s.by_flag["syn"];
+  if (flags.find('F') != std::string::npos) ++s.by_flag["fin"];
+  if (flags.find('R') != std::string::npos) ++s.by_flag["rst"];
+  if (flags.find('E') != std::string::npos) ++s.by_flag["ece"];
+  if (get_str(j, "ecn") == "ce") ++s.ce;
+  s.wire_bytes += get_uint(j, "wire");
+  s.payload_bytes += get_uint(j, "payload");
+  const std::uint64_t t = get_uint(j, "t_ps");
+  if (t < s.t_min) s.t_min = t;
+  if (t > s.t_max) s.t_max = t;
+  std::ostringstream key;
+  key << get_uint(j, "src") << ':' << get_uint(j, "sport") << " -> "
+      << get_uint(j, "dst") << ':' << get_uint(j, "dport");
+  FlowAgg& f = s.flows[key.str()];
+  ++f.packets;
+  f.bytes += get_uint(j, "wire");
+  if (get_str(j, "ecn") == "ce") ++f.ce;
+}
+
+void print_summary(const Summary& s) {
+  std::cout << "lines: " << s.lines << "  matched: " << s.matched << "\n";
+  if (s.matched == 0) return;
+  std::cout << "span: " << static_cast<double>(s.t_min) / 1e12 << "s .. "
+            << static_cast<double>(s.t_max) / 1e12 << "s\n";
+  std::cout << "by kind:";
+  for (const auto& [k, n] : s.by_kind) std::cout << "  " << k << "=" << n;
+  std::cout << "\nflags:";
+  for (const auto& [k, n] : s.by_flag) std::cout << "  " << k << "=" << n;
+  std::cout << "\nce-marked: " << s.ce << " ("
+            << 100.0 * static_cast<double>(s.ce) /
+                   static_cast<double>(s.matched)
+            << "%)\n";
+  std::cout << "bytes: wire=" << s.wire_bytes
+            << " payload=" << s.payload_bytes << "\n";
+
+  std::vector<std::pair<std::string, FlowAgg>> top(s.flows.begin(),
+                                                   s.flows.end());
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    return a.second.packets > b.second.packets;
+  });
+  std::cout << "flows: " << top.size() << " (top 10 by packets)\n";
+  for (std::size_t i = 0; i < top.size() && i < 10; ++i) {
+    std::cout << "  " << top[i].first << "  pkts=" << top[i].second.packets
+              << " bytes=" << top[i].second.bytes
+              << " ce=" << top[i].second.ce << "\n";
+  }
+}
+
+int run(std::istream& in, const Options& opt) {
+  Summary s;
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ++s.lines;
+    std::string err;
+    const Json j = Json::parse(line, &err);
+    if (!err.empty() || !j.is_object()) {
+      std::cerr << "line " << lineno << ": parse error: "
+                << (err.empty() ? "not an object" : err) << "\n";
+      return 2;
+    }
+    if (!matches(j, opt)) continue;
+    if (opt.print) {
+      std::cout << line << "\n";
+      ++s.matched;
+    } else {
+      accumulate(j, s);
+    }
+  }
+  if (!opt.print) print_summary(s);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+  if (opt.file.empty()) return run(std::cin, opt);
+  std::ifstream f(opt.file);
+  if (!f) {
+    std::cerr << "error: cannot open " << opt.file << "\n";
+    return 1;
+  }
+  return run(f, opt);
+}
