@@ -53,7 +53,7 @@ int main() {
                         mode_config(mode, div)});
     }
   }
-  std::vector<bench::Curve> all = bench::run_sweep(std::move(points));
+  std::vector<bench::Curve> all = bench::run_sweep("abl_batching", std::move(points));
 
   stats::Table t({"batch mode", "setup caution", "FCT mean(ms)",
                   "FCT p99(ms)", "unfinished", "drops", "timeouts",

@@ -52,7 +52,7 @@ int main() {
                         point_config(k, delay)});
     }
   }
-  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+  std::vector<bench::Curve> curves = bench::run_sweep("abl_delay_signal", std::move(points));
 
   stats::Table t({"K(frames)", "signal", "FCT mean(ms)", "FCT p99(ms)",
                   "unfinished", "drops", "timeouts", "goodput(Gb/s)"});

@@ -53,7 +53,7 @@ int main() {
                         k_config(hwatch_on, k)});
     }
   }
-  std::vector<bench::Curve> all = bench::run_sweep(std::move(points));
+  std::vector<bench::Curve> all = bench::run_sweep("abl_ecn_threshold", std::move(points));
 
   stats::Table t({"K(frames)", "K(%)", "scheme", "FCT mean(ms)",
                   "FCT p99(ms)", "drops", "timeouts", "goodput(Gb/s)",

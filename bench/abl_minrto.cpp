@@ -45,7 +45,7 @@ int main() {
   // Last point: HWatch with stock 200 ms guests, for comparison.
   points.push_back({"HWatch (stock 200ms)",
                     bench::scheme_config(bench::Scheme::kTcpHWatch, 50)});
-  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+  std::vector<bench::Curve> curves = bench::run_sweep("abl_minrto", std::move(points));
 
   stats::Table t({"remedy", "FCT mean(ms)", "FCT p99(ms)", "unfinished",
                   "drops", "timeouts", "goodput(Gb/s)", "guest change?"});

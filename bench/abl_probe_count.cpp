@@ -30,7 +30,7 @@ int main() {
     cfg.hwatch.probe_count = probes;
     points.push_back({"probes=" + std::to_string(probes), cfg});
   }
-  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+  std::vector<bench::Curve> curves = bench::run_sweep("abl_probe_count", std::move(points));
 
   stats::Table t({"probes", "FCT mean(ms)", "FCT p99(ms)", "unfinished",
                   "drops", "timeouts", "goodput(Gb/s)", "probe bytes",

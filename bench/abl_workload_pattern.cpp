@@ -90,7 +90,7 @@ int main() {
   points.push_back(
       {"closed-loop/TCP-HWatch (0.5ms admit)",
        point_config(true, /*closed_loop=*/true, sim::microseconds(500))});
-  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+  std::vector<bench::Curve> curves = bench::run_sweep("abl_workload_pattern", std::move(points));
 
   stats::Table t({"pattern", "scheme", "flows done", "FCT mean(ms)",
                   "FCT p99(ms)", "drops", "timeouts"});

@@ -5,8 +5,12 @@
 // the binary (./bench_out/).
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -14,6 +18,7 @@
 
 #include "api/scenario.hpp"
 #include "api/sweep.hpp"
+#include "sim/json.hpp"
 #include "stats/table.hpp"
 
 namespace hwatch::bench {
@@ -111,8 +116,61 @@ struct NamedPoint {
 using DumbbellPoint = NamedPoint<api::DumbbellScenarioConfig>;
 using LeafSpinePoint = NamedPoint<api::LeafSpineScenarioConfig>;
 
+/// Peak resident set size of this process, in bytes (Linux ru_maxrss is
+/// in KiB).
+inline std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+/// Machine-readable bench report (`bench_out/BENCH_<name>.json`, schema
+/// hwatch.bench/v1): per-point event counts, total wall time, event
+/// rate, and peak RSS — the perf trajectory tracked across PRs.  CI
+/// uploads these as artifacts.
+inline void write_bench_json(const std::string& name,
+                             const std::vector<Curve>& curves,
+                             double wall_s) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_out", ec);
+  if (ec) {
+    std::cerr << "warning: cannot create bench_out: " << ec.message()
+              << "\n";
+    return;
+  }
+  std::uint64_t events = 0;
+  sim::Json pts = sim::Json::array();
+  for (const Curve& c : curves) {
+    events += c.results.events_executed;
+    sim::Json p = sim::Json::object();
+    p.set("name", sim::Json(c.name));
+    p.set("events",
+          sim::Json(static_cast<std::int64_t>(c.results.events_executed)));
+    pts.push_back(std::move(p));
+  }
+  sim::Json doc = sim::Json::object();
+  doc.set("schema", sim::Json("hwatch.bench/v1"));
+  doc.set("name", sim::Json(name));
+  doc.set("points", std::move(pts));
+  doc.set("wall_s", sim::Json(wall_s));
+  doc.set("events", sim::Json(static_cast<std::int64_t>(events)));
+  doc.set("events_per_s",
+          sim::Json(wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0));
+  doc.set("peak_rss_bytes",
+          sim::Json(static_cast<std::int64_t>(peak_rss_bytes())));
+  doc.set("sweep_threads",
+          sim::Json(static_cast<std::int64_t>(sweep_threads())));
+  const fs::path out = fs::path("bench_out") / ("BENCH_" + name + ".json");
+  std::ofstream os(out);
+  doc.dump(os, 2);
+  os << "\n";
+  std::cout << "(bench report written to " << out.string() << ")\n";
+}
+
 template <typename Config>
-std::vector<Curve> run_sweep(std::vector<NamedPoint<Config>> points) {
+std::vector<Curve> run_sweep(const std::string& bench_name,
+                             std::vector<NamedPoint<Config>> points) {
   api::SweepRunner runner(sweep_threads());
   std::vector<Config> cfgs;
   cfgs.reserve(points.size());
@@ -120,13 +178,23 @@ std::vector<Curve> run_sweep(std::vector<NamedPoint<Config>> points) {
     cfgs.push_back(p.cfg);
     // Manifests written under HWATCH_METRICS_DIR carry the curve name.
     if (cfgs.back().run_label.empty()) cfgs.back().run_label = p.name;
+    // CI smoke knob: scale the simulated duration down so the full
+    // sweep pipeline (and the bench report) runs in seconds.
+    if (const char* ms = std::getenv("HWATCH_BENCH_DURATION_MS")) {
+      cfgs.back().duration = sim::milliseconds(std::atol(ms));
+    }
   }
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<api::ScenarioResults> results = runner.run(cfgs);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   std::vector<Curve> curves;
   curves.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     curves.push_back({std::move(points[i].name), std::move(results[i])});
   }
+  write_bench_json(bench_name, curves, wall_s);
   return curves;
 }
 

@@ -41,7 +41,7 @@ int main() {
     points.push_back({"ICWND=" + std::to_string(icw), cfg});
   }
 
-  std::vector<bench::Curve> curves = bench::run_sweep(std::move(points));
+  std::vector<bench::Curve> curves = bench::run_sweep("fig1", std::move(points));
 
   stats::Table drop_table(
       {"ICWND", "drops", "marks", "timeouts", "retx", "queue max(pkts)"});

@@ -83,7 +83,7 @@ inline void run_figure(const std::string& figure, std::uint32_t sources) {
                    Scheme::kTcpHWatch, Scheme::kDctcp}) {
     points.push_back({scheme_name(s), scheme_config(s, sources)});
   }
-  std::vector<Curve> curves = run_sweep(std::move(points));
+  std::vector<Curve> curves = run_sweep(figure, std::move(points));
   for (const Curve& c : curves) {
     const auto& res = c.results;
     const char* name = c.name.c_str();

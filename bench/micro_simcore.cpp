@@ -98,6 +98,47 @@ void BM_MultiContextSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiContextSweep);
 
+/// Steady-state link-hop cost, end to end: two hosts bounce a packet
+/// over a duplex link, so every item is the full hop pipeline (agent
+/// send -> qdisc enqueue/dequeue -> tx-complete event -> propagation
+/// event -> delivery -> agent handler).  This is the path the
+/// allocation-regression test pins at zero heap allocations; the rate
+/// here is the ceiling on per-hop throughput.
+void BM_LinkHopPingPong(benchmark::State& state) {
+  sim::SimContext ctx(1);
+  net::Network net(ctx);
+  net::Host& a = net.add_host("a");
+  net::Host& b = net.add_host("b");
+  net.connect(a, b, sim::DataRate::gbps(10), sim::microseconds(2),
+              net::make_droptail_factory(64));
+  std::uint64_t hops = 0;
+  auto bounce = [&net, &hops](net::Host& self, net::Packet&& p) {
+    ++hops;
+    std::swap(p.ip.src, p.ip.dst);
+    std::swap(p.tcp.src_port, p.tcp.dst_port);
+    p.uid = net.next_packet_uid();
+    self.send(std::move(p));
+  };
+  a.bind(1, [&a, &bounce](net::Packet&& p) { bounce(a, std::move(p)); });
+  b.bind(2, [&b, &bounce](net::Packet&& p) { bounce(b, std::move(p)); });
+  net::Packet seed;
+  seed.uid = net.next_packet_uid();
+  seed.ip.src = a.id();
+  seed.ip.dst = b.id();
+  seed.tcp.src_port = 1;
+  seed.tcp.dst_port = 2;
+  seed.payload_bytes = 1442;
+  a.send(std::move(seed));
+  sim::Scheduler& sched = ctx.scheduler();
+  sched.run_until(sched.now() + sim::milliseconds(1));  // warm-up
+  const std::uint64_t hops_at_start = hops;
+  for (auto _ : state) {
+    sched.run_until(sched.now() + sim::milliseconds(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops - hops_at_start));
+}
+BENCHMARK(BM_LinkHopPingPong);
+
 net::Packet bench_packet() {
   net::Packet p;
   p.ip.src = 1;

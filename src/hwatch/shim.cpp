@@ -135,8 +135,10 @@ net::FilterVerdict HypervisorShim::hold_syn_and_probe(net::Packet& syn) {
   }
 
   // Release the held SYN after the train (bounded handshake delay).
-  auto held = std::make_shared<net::Packet>(syn);
-  ctx_.scheduler().schedule_in(span, [this, held] {
+  // The SYN lives in a pooled block: SYN holds recur per short flow, so
+  // the pool recycles one block per concurrent held handshake.
+  auto held = ctx_.packet_pool().make<net::Packet>(syn);
+  ctx_.scheduler().schedule_in(span, [this, held = std::move(held)] {
     host_.send_raw(std::move(*held));
   });
   return net::FilterVerdict::kConsume;

@@ -7,6 +7,13 @@
 
 namespace hwatch::net {
 
+// The ISSUE-level sizing contracts live here, where sim-layer constants
+// and net::Packet are both visible without layering sim on net.
+static_assert(sim::kSchedulerCallbackInline >= sizeof(Packet) + sizeof(void*),
+              "scheduler callback SBO must fit a Packet + a this pointer");
+static_assert(sim::SimContext::kPacketBlockBytes >= sizeof(Packet),
+              "packet pool blocks must fit a Packet");
+
 Link::Link(sim::SimContext& ctx, std::string name, sim::DataRate rate,
            sim::TimePs prop_delay, std::unique_ptr<QueueDiscipline> qdisc,
            Node* dst)
@@ -36,13 +43,15 @@ void Link::start_transmission() {
   transmitting_ = true;
   const sim::TimePs tx = rate_.transmission_time(next->size_bytes());
   busy_time_ += tx;
-  // Move the packet into the completion event.  std::function requires
-  // copyable callables, so park the packet in a shared_ptr.
-  auto holder = std::make_shared<Packet>(std::move(*next));
   tx_events_.inc();
-  ctx_.scheduler().schedule_in(tx, [this, holder] {
-    on_transmission_complete(std::move(*holder));
-  });
+  // The packet rides inside the callback by move; the scheduler's
+  // inline buffer must fit it or this hop would hit the allocator.
+  auto complete = [this, p = std::move(*next)]() mutable {
+    on_transmission_complete(std::move(p));
+  };
+  static_assert(sim::Scheduler::Callback::fits_inline<decltype(complete)>(),
+                "tx-complete event must be allocation-free");
+  ctx_.scheduler().schedule_in(tx, std::move(complete));
 }
 
 void Link::on_transmission_complete(Packet&& p) {
@@ -51,11 +60,13 @@ void Link::on_transmission_complete(Packet&& p) {
   ++packets_delivered_;
   // Propagation: the receiver sees the packet prop_delay later.  The
   // transmitter is free immediately (pipelining).
-  auto holder = std::make_shared<Packet>(std::move(p));
   prop_events_.inc();
-  ctx_.scheduler().schedule_in(prop_delay_, [this, holder] {
-    dst_->handle_packet(std::move(*holder));
-  });
+  auto deliver = [dst = dst_, p = std::move(p)]() mutable {
+    dst->handle_packet(std::move(p));
+  };
+  static_assert(sim::Scheduler::Callback::fits_inline<decltype(deliver)>(),
+                "propagation event must be allocation-free");
+  ctx_.scheduler().schedule_in(prop_delay_, std::move(deliver));
   start_transmission();
 }
 

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "net/filter.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "sim/unique_function.hpp"
 
 namespace hwatch::net {
 
@@ -64,7 +64,9 @@ class Host final : public Node {
   using Node::Node;
 
   /// Handler receives packets whose tcp.dst_port matches the bound port.
-  using AgentHandler = std::function<void(Packet&&)>;
+  /// Move-only: handlers are invoked per packet on the delivery hot
+  /// path, so no std::function (and no copyability requirement).
+  using AgentHandler = sim::UniqueFunction<void(Packet&&)>;
 
   void set_nic(Link* uplink) { nic_ = uplink; }
   Link* nic() const { return nic_; }

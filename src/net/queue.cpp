@@ -32,8 +32,7 @@ EnqueueOutcome QueueDiscipline::enqueue(Packet&& p, sim::TimePs now) {
   if (service_class(p) > 0) {
     // Strict priority: behind the queued high-class packets, ahead of
     // every best-effort one.
-    fifo_.insert(fifo_.begin() + static_cast<std::ptrdiff_t>(high_count_),
-                 std::move(p));
+    fifo_.insert(high_count_, std::move(p));
     ++high_count_;
   } else {
     fifo_.push_back(std::move(p));
@@ -47,8 +46,7 @@ EnqueueOutcome QueueDiscipline::enqueue(Packet&& p, sim::TimePs now) {
 
 std::optional<Packet> QueueDiscipline::dequeue(sim::TimePs now) {
   if (fifo_.empty()) return std::nullopt;
-  Packet p = std::move(fifo_.front());
-  fifo_.pop_front();
+  Packet p = fifo_.pop_front();
   if (high_count_ > 0 && service_class(p) > 0) --high_count_;
   bytes_ -= p.size_bytes();
   ++stats_.dequeued;
@@ -57,19 +55,20 @@ std::optional<Packet> QueueDiscipline::dequeue(sim::TimePs now) {
 }
 
 bool QueueDiscipline::evict_best_effort_tail() {
-  for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
-    if (service_class(*it) == 0) {
+  for (std::size_t i = fifo_.size(); i > 0; --i) {
+    const Packet& victim = fifo_.at(i - 1);
+    if (service_class(victim) == 0) {
       ++stats_.dropped;
-      stats_.bytes_dropped += it->size_bytes();
-      if (it->kind == PacketKind::kProbe) {
+      stats_.bytes_dropped += victim.size_bytes();
+      if (victim.kind == PacketKind::kProbe) {
         ++stats_.dropped_probes;
-      } else if (it->is_data()) {
+      } else if (victim.is_data()) {
         ++stats_.dropped_data;
       } else {
         ++stats_.dropped_ctrl;
       }
-      bytes_ -= it->size_bytes();
-      fifo_.erase(std::next(it).base());
+      bytes_ -= victim.size_bytes();
+      fifo_.erase(i - 1);
       return true;
     }
   }

@@ -8,16 +8,17 @@
 //                         (the DCTCP switch configuration)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "net/packet.hpp"
+#include "net/packet_ring.hpp"
 #include "sim/metrics.hpp"
 #include "sim/time.hpp"
+#include "sim/unique_function.hpp"
 
 namespace hwatch::net {
 
@@ -89,9 +90,16 @@ class QueueDiscipline {
   virtual std::string name() const = 0;
 
  protected:
-  explicit QueueDiscipline(QueueLimits limits) : limits_(limits) {}
+  explicit QueueDiscipline(QueueLimits limits) : limits_(limits) {
+    // Packet-bounded queues never reallocate: pre-size the ring to the
+    // hard bound (capped so a pathological bound can't balloon memory).
+    if (limits_.packets != QueueLimits::kUnlimited) {
+      fifo_.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(limits_.packets, 65536)));
+    }
+  }
   explicit QueueDiscipline(std::uint64_t capacity_pkts)
-      : limits_(QueueLimits::in_packets(capacity_pkts)) {}
+      : QueueDiscipline(QueueLimits::in_packets(capacity_pkts)) {}
 
   /// AQM decision for an arriving packet that fits the hard bound.
   virtual EnqueueOutcome classify(const Packet& p, sim::TimePs now) = 0;
@@ -128,7 +136,7 @@ class QueueDiscipline {
   bool evict_best_effort_tail();
 
  private:
-  std::deque<Packet> fifo_;
+  PacketRing fifo_;  // grow-only ring: steady-state churn is alloc-free
   std::uint64_t bytes_ = 0;
   std::size_t high_count_ = 0;  // packets of class > 0 at the head
   QueueLimits limits_;
@@ -221,8 +229,12 @@ class RedQueue final : public QueueDiscipline {
   std::uint64_t prng_state_;
 };
 
-/// Convenience factory type used by topology builders.
-using QdiscFactory = std::function<std::unique_ptr<QueueDiscipline>()>;
+/// Convenience factory type used by topology builders.  Move-only and
+/// const-invocable (builders hold factories by const reference); not a
+/// hot-path call, but std::function would be the last copyable-callable
+/// holdout in the packet path's construction chain.
+using QdiscFactory =
+    sim::UniqueFunction<std::unique_ptr<QueueDiscipline>() const>;
 
 QdiscFactory make_droptail_factory(std::uint64_t capacity_pkts);
 QdiscFactory make_dctcp_factory(std::uint64_t capacity_pkts,

@@ -5,6 +5,7 @@
 namespace hwatch::net {
 
 void PacketTracer::record(const Packet& p, bool outbound) {
+  if (!cfg_.enabled) return;
   if (cfg_.predicate && !cfg_.predicate(p)) return;
   ++seen_;
   if (p.kind == PacketKind::kProbe) {

@@ -8,13 +8,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <iosfwd>
 #include <vector>
 
 #include "net/filter.hpp"
 #include "net/packet.hpp"
 #include "sim/context.hpp"
+#include "sim/unique_function.hpp"
 
 namespace hwatch::net {
 
@@ -25,11 +25,17 @@ struct TraceEntry {
 };
 
 struct TracerConfig {
+  /// Master switch, checked before anything else per packet: a disabled
+  /// tracer costs one branch per hook, never a predicate call.  (The
+  /// tracer is a filter, so removing it from the chain is the other way
+  /// to turn it off; this flag lets owners keep it installed.)
+  bool enabled = true;
   /// Stop recording beyond this many entries (the counters keep
   /// counting); protects long runs from unbounded memory.
   std::size_t max_entries = 100'000;
   /// Record only packets matching this predicate (default: all).
-  std::function<bool(const Packet&)> predicate;
+  /// Move-only, which makes TracerConfig itself move-only.
+  sim::UniqueFunction<bool(const Packet&)> predicate;
   /// Structured event-trace mode: when set, every matching packet is
   /// written immediately as one JSON object per line (JSONL) to this
   /// stream — unbounded by max_entries, so long runs can stream to a

@@ -18,6 +18,7 @@
 
 #include "sim/log.hpp"
 #include "sim/metrics.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -57,7 +58,33 @@ class SimContext {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Block size of packet_pool(): fits a net::Packet (the net layer
+  /// static_asserts this) with headroom so header growth doesn't break
+  /// the pool.
+  static constexpr std::size_t kPacketBlockBytes = 192;
+
+  /// Free-list pool for packet-sized blocks.  Rare paths that must park
+  /// a packet behind a pointer (e.g. the shim holding a SYN) allocate
+  /// here and recycle the block instead of hitting the global allocator.
+  BlockPool& packet_pool() { return packet_pool_; }
+  const BlockPool& packet_pool() const { return packet_pool_; }
+
+  /// Opt-in pool observability: binds the packet pool's hit/miss to
+  /// MetricsRegistry counters ("pool.packet.hit"/"pool.packet.miss"),
+  /// seeded with the totals so far.  Off by default so the manifest
+  /// counter set (and its byte-exact deterministic dump) is unchanged.
+  void publish_pool_metrics() {
+    Counter& hit = metrics_.counter("pool.packet.hit");
+    Counter& miss = metrics_.counter("pool.packet.miss");
+    hit.inc(packet_pool_.stats().hits);
+    miss.inc(packet_pool_.stats().misses);
+    packet_pool_.attach_counters(&hit, &miss);
+  }
+
  private:
+  // Declared before the scheduler: pending callbacks holding PoolPtrs
+  // must be destroyed (returning their blocks) before the pool dies.
+  BlockPool packet_pool_{kPacketBlockBytes};
   Scheduler sched_;
   Rng rng_;
   std::uint64_t seed_;

@@ -1,0 +1,78 @@
+#include "sim/pool.hpp"
+
+#include "sim/unique_function.hpp"
+
+namespace hwatch::sim {
+
+SpillArena::~SpillArena() {
+  for (FreeNode*& head : free_) {
+    while (head != nullptr) {
+      FreeNode* next = head->next;
+      ::operator delete(head);
+      head = next;
+    }
+  }
+}
+
+SpillArena& SpillArena::local() {
+  thread_local SpillArena arena;
+  return arena;
+}
+
+std::size_t SpillArena::class_index(std::size_t bytes) {
+  std::size_t index = 0;
+  std::size_t size = kMinClassBytes;
+  while (size < bytes && index < kClassCount) {
+    size <<= 1;
+    ++index;
+  }
+  return index;
+}
+
+void* SpillArena::allocate(std::size_t bytes) {
+  const std::size_t index = class_index(bytes);
+  if (index >= kClassCount) {
+    ++stats_.bypass;
+    return ::operator new(bytes);
+  }
+  if (free_[index] != nullptr) {
+    FreeNode* node = free_[index];
+    free_[index] = node->next;
+    ++stats_.hits;
+    return node;
+  }
+  ++stats_.misses;
+  return ::operator new(class_bytes(index));
+}
+
+void SpillArena::deallocate(void* p, std::size_t bytes) noexcept {
+  const std::size_t index = class_index(bytes);
+  if (index >= kClassCount) {
+    ::operator delete(p);
+    return;
+  }
+  FreeNode* node = static_cast<FreeNode*>(p);
+  node->next = free_[index];
+  free_[index] = node;
+}
+
+namespace uf_detail {
+
+void* spill_alloc(std::size_t bytes, std::size_t align) {
+  if (align > alignof(std::max_align_t)) {
+    return ::operator new(bytes, std::align_val_t{align});
+  }
+  return SpillArena::local().allocate(bytes);
+}
+
+void spill_free(void* p, std::size_t bytes, std::size_t align) {
+  if (align > alignof(std::max_align_t)) {
+    ::operator delete(p, std::align_val_t{align});
+    return;
+  }
+  SpillArena::local().deallocate(p, bytes);
+}
+
+}  // namespace uf_detail
+
+}  // namespace hwatch::sim

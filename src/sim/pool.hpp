@@ -1,0 +1,224 @@
+// Free-list memory pools for the simulator's rare-but-recurring
+// allocations.
+//
+// Two pieces:
+//   * BlockPool — fixed-block free list.  SimContext owns one sized for
+//     a net::Packet so paths that must park a packet behind a pointer
+//     (e.g. the shim holding a SYN across a probe train) recycle blocks
+//     instead of hitting the global allocator.  PoolPtr is the move-only
+//     RAII handle.
+//   * SpillArena — thread-local size-class free lists backing
+//     UniqueFunction's spill path for callables too large for the
+//     inline buffer.  Thread-local because UniqueFunctions are created
+//     and destroyed on the simulating thread; sweeps run one context
+//     per thread, so there is no cross-thread recycling to coordinate.
+//
+// Neither pool affects determinism: memory reuse changes addresses, not
+// event ordering, and nothing in the simulator keys off addresses.
+//
+// Pool occupancy is tracked in plain counters (hits/misses/outstanding)
+// always; MetricsRegistry exposure is opt-in via attach_counters so the
+// default manifest's counter set — and therefore its byte-exact
+// deterministic dump — is unchanged.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/metrics.hpp"
+
+namespace hwatch::sim {
+
+class BlockPool;
+
+/// Move-only owning handle to a T constructed inside a BlockPool block.
+/// Destroys the object and returns the block to the pool's free list.
+template <typename T>
+class PoolPtr {
+ public:
+  PoolPtr() noexcept = default;
+  PoolPtr(T* obj, BlockPool* pool) noexcept : obj_(obj), pool_(pool) {}
+
+  PoolPtr(PoolPtr&& other) noexcept
+      : obj_(std::exchange(other.obj_, nullptr)),
+        pool_(std::exchange(other.pool_, nullptr)) {}
+  PoolPtr& operator=(PoolPtr&& other) noexcept {
+    if (this != &other) {
+      reset();
+      obj_ = std::exchange(other.obj_, nullptr);
+      pool_ = std::exchange(other.pool_, nullptr);
+    }
+    return *this;
+  }
+  PoolPtr(const PoolPtr&) = delete;
+  PoolPtr& operator=(const PoolPtr&) = delete;
+
+  ~PoolPtr() { reset(); }
+
+  void reset() noexcept;
+
+  T* get() const noexcept { return obj_; }
+  T& operator*() const noexcept { return *obj_; }
+  T* operator->() const noexcept { return obj_; }
+  explicit operator bool() const noexcept { return obj_ != nullptr; }
+
+ private:
+  T* obj_ = nullptr;
+  BlockPool* pool_ = nullptr;
+};
+
+/// Fixed-block free-list pool.  allocate() pops a recycled block (hit)
+/// or falls through to operator new (miss); deallocate() pushes the
+/// block back.  All outstanding blocks must be returned before the pool
+/// is destroyed (SimContext declares its pool ahead of the scheduler so
+/// pending callbacks holding PoolPtrs die first).
+class BlockPool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;       // allocations served from the free list
+    std::uint64_t misses = 0;     // allocations that hit operator new
+    std::uint64_t outstanding = 0;
+    std::uint64_t peak_outstanding = 0;
+  };
+
+  explicit BlockPool(std::size_t block_bytes)
+      : block_bytes_(block_bytes < sizeof(FreeNode) ? sizeof(FreeNode)
+                                                    : block_bytes) {}
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  ~BlockPool() {
+    assert(stats_.outstanding == 0 &&
+           "BlockPool destroyed with blocks still outstanding");
+    while (free_ != nullptr) {
+      FreeNode* next = free_->next;
+      ::operator delete(free_);
+      free_ = next;
+    }
+  }
+
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  void* allocate() {
+    void* block;
+    if (free_ != nullptr) {
+      block = free_;
+      free_ = free_->next;
+      ++stats_.hits;
+      if (hit_counter_ != nullptr) hit_counter_->inc();
+    } else {
+      block = ::operator new(block_bytes_);
+      ++stats_.misses;
+      if (miss_counter_ != nullptr) miss_counter_->inc();
+    }
+    ++stats_.outstanding;
+    if (stats_.outstanding > stats_.peak_outstanding) {
+      stats_.peak_outstanding = stats_.outstanding;
+    }
+    return block;
+  }
+
+  void deallocate(void* block) noexcept {
+    assert(stats_.outstanding > 0);
+    --stats_.outstanding;
+    FreeNode* node = static_cast<FreeNode*>(block);
+    node->next = free_;
+    free_ = node;
+  }
+
+  /// Constructs a T in a pooled block.  T must fit the block size and
+  /// default alignment (operator new guarantees max_align_t).
+  template <typename T, typename... Args>
+  PoolPtr<T> make(Args&&... args) {
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    assert(sizeof(T) <= block_bytes_);
+    void* block = allocate();
+    try {
+      return PoolPtr<T>(::new (block) T(std::forward<Args>(args)...), this);
+    } catch (...) {
+      deallocate(block);
+      throw;
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Opt-in MetricsRegistry exposure: subsequent hits/misses also bump
+  /// these counters.  Not wired by default so the manifest counter set
+  /// (and its deterministic dump) is unchanged unless a run asks for it.
+  void attach_counters(Counter* hit, Counter* miss) {
+    hit_counter_ = hit;
+    miss_counter_ = miss;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  std::size_t block_bytes_;
+  FreeNode* free_ = nullptr;
+  Stats stats_;
+  Counter* hit_counter_ = nullptr;
+  Counter* miss_counter_ = nullptr;
+};
+
+template <typename T>
+void PoolPtr<T>::reset() noexcept {
+  if (obj_ != nullptr) {
+    obj_->~T();
+    pool_->deallocate(obj_);
+    obj_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+/// Thread-local size-class arena for UniqueFunction spills.  Requests
+/// are rounded up to the next power-of-two class (64..2048 bytes);
+/// larger or over-aligned requests bypass the arena entirely.
+class SpillArena {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    // served from a class free list
+    std::uint64_t misses = 0;  // fell through to operator new
+    std::uint64_t bypass = 0;  // too large / over-aligned for the arena
+  };
+
+  SpillArena() = default;
+  SpillArena(const SpillArena&) = delete;
+  SpillArena& operator=(const SpillArena&) = delete;
+  ~SpillArena();
+
+  /// The calling thread's arena (what spill_alloc/spill_free use).
+  static SpillArena& local();
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  const Stats& stats() const { return stats_; }
+
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = 2048;
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static constexpr std::size_t kClassCount = 6;  // 64,128,256,512,1024,2048
+
+  /// Size-class index for `bytes`, or kClassCount when out of range.
+  static std::size_t class_index(std::size_t bytes);
+  static std::size_t class_bytes(std::size_t index) {
+    return kMinClassBytes << index;
+  }
+
+  FreeNode* free_[kClassCount] = {};
+  Stats stats_;
+};
+
+}  // namespace hwatch::sim

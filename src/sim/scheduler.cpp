@@ -14,12 +14,14 @@ EventId Scheduler::schedule_at(TimePs t, Callback cb) {
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
+    cbs_[slot] = std::move(cb);
   } else {
     slot = static_cast<std::uint32_t>(gens_.size());
     gens_.push_back(0);
+    cbs_.push_back(std::move(cb));
   }
   const std::uint32_t gen = gens_[slot];
-  heap_.push_back(Entry{t, next_seq_++, slot, gen, std::move(cb)});
+  heap_.push_back(Entry{t, next_seq_++, slot, gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   ++live_count_;
@@ -39,8 +41,10 @@ bool Scheduler::cancel(EventId id) {
   // cancelled or invalid ids are rejected so live_count_ stays accurate.
   if (slot >= gens_.size() || gens_[slot] != gen) return false;
   // The heap entry cannot be removed directly; bumping the generation
-  // marks it stale, and it is skipped (or compacted) later.
+  // marks it stale, and it is skipped (or compacted) later.  The
+  // callback is destroyed now so captured resources don't linger.
   ++gens_[slot];
+  cbs_[slot].reset();
   free_slots_.push_back(slot);
   --live_count_;
   ++cancelled_;
@@ -72,23 +76,20 @@ const Scheduler::Entry* Scheduler::peek_next() {
   return nullptr;
 }
 
-bool Scheduler::pop_next(Entry& out) {
+bool Scheduler::step() {
   if (peek_next() == nullptr) return false;
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  out = std::move(heap_.back());
+  const Entry e = heap_.back();
   heap_.pop_back();
-  retire(out);
-  return true;
-}
-
-bool Scheduler::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
+  // Move the callback out before recycling the slot: a callback
+  // scheduled from inside cb() may reuse the slot immediately.
+  Callback cb = std::move(cbs_[e.slot]);
+  retire(e);
   assert(e.time >= now_);
   now_ = e.time;
   --live_count_;
   ++executed_;
-  e.cb();
+  cb();
   return true;
 }
 

@@ -12,15 +12,28 @@
 // recycled through a free list, keeping bookkeeping memory proportional
 // to the number of *live* events, not the events ever scheduled.  Stale
 // heap entries are compacted away once they outnumber live ones.
+//
+// Memory model: callbacks are move-only UniqueFunctions with an inline
+// buffer big enough to carry a net::Packet by value, and they live in a
+// slot-indexed side array (`cbs_`), NOT in the heap entries — heap
+// entries stay 24 bytes, so sift-up/down moves small PODs while the fat
+// callback is written exactly once per event.  In steady state (slots
+// and heap at their high-water marks) schedule/cancel/execute touch the
+// allocator zero times; the allocation-regression test enforces this.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/unique_function.hpp"
 
 namespace hwatch::sim {
+
+/// Inline capacity of a scheduler callback: sized so a lambda capturing
+/// a net::Packet by value plus a `this` pointer is stored inline (the
+/// link hot path static_asserts exactly that).
+inline constexpr std::size_t kSchedulerCallbackInline = 176;
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
 struct EventId {
@@ -33,11 +46,15 @@ struct EventId {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction<void(), kSchedulerCallbackInline>;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Pending callbacks (cancelled or never run) are destroyed with the
+  /// scheduler — packets they carry are released, not leaked.
+  ~Scheduler() = default;
 
   /// Current simulated time.  Monotonically non-decreasing during run().
   TimePs now() const { return now_; }
@@ -52,7 +69,8 @@ class Scheduler {
   }
 
   /// Cancels a pending event.  Returns false when the event already fired,
-  /// was cancelled before, or the id is invalid.
+  /// was cancelled before, or the id is invalid.  The callback (and
+  /// anything it captured, e.g. a Packet) is destroyed immediately.
   bool cancel(EventId id);
 
   /// Runs events until the queue is empty or stop() is called.
@@ -99,7 +117,6 @@ class Scheduler {
     std::uint64_t seq;  // tie-breaker: FIFO at equal time
     std::uint32_t slot;
     std::uint32_t gen;
-    Callback cb;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -115,8 +132,6 @@ class Scheduler {
   bool is_live(const Entry& e) const { return gens_[e.slot] == e.gen; }
   void retire(const Entry& e);  // bump generation, recycle the slot
 
-  // Pops the next live entry, discarding stale ones; false when empty.
-  bool pop_next(Entry& out);
   // Drops stale entries off the top; points at the next live entry.
   const Entry* peek_next();
   void drop_top();
@@ -124,6 +139,7 @@ class Scheduler {
 
   std::vector<Entry> heap_;  // min-heap via std::*_heap with Later
   std::vector<std::uint32_t> gens_;
+  std::vector<Callback> cbs_;  // slot-indexed, parallel to gens_
   std::vector<std::uint32_t> free_slots_;
   std::size_t stale_ = 0;  // cancelled entries still parked in heap_
   TimePs now_ = 0;

@@ -5,16 +5,16 @@
 // time and the callback only fires for the most recent arm.
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "sim/scheduler.hpp"
+#include "sim/unique_function.hpp"
 
 namespace hwatch::sim {
 
 class Timer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction<void()>;
 
   Timer(Scheduler& sched, Callback on_expire)
       : sched_(sched), on_expire_(std::move(on_expire)) {}

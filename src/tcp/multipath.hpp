@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "sim/unique_function.hpp"
 #include "tcp/connection.hpp"
 
 namespace hwatch::tcp {
@@ -43,7 +43,8 @@ class MultipathConnection {
   /// long-lived.
   void start(std::uint64_t total_bytes);
 
-  using CompletionCallback = std::function<void(const MultipathConnection&)>;
+  using CompletionCallback =
+      sim::UniqueFunction<void(const MultipathConnection&)>;
   void set_on_complete(CompletionCallback cb) {
     on_complete_ = std::move(cb);
   }

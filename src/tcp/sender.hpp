@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -55,7 +54,7 @@ class TcpSender {
   static constexpr std::uint64_t kUnlimited = UINT64_MAX / 2;
   void start(std::uint64_t total_bytes);
 
-  using CompletionCallback = std::function<void(const TcpSender&)>;
+  using CompletionCallback = sim::UniqueFunction<void(const TcpSender&)>;
   void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
 
   // --- observers -----------------------------------------------------

@@ -108,16 +108,25 @@ void TcpSink::handle_data(net::Packet&& p) {
     if (end <= rcv_nxt_) {
       ++stats_.duplicate_segments;
     } else {
-      // Insert [max(start, rcv_nxt), end), then advance rcv_nxt over
-      // any now-contiguous run.
       const std::uint64_t s = std::max(start, rcv_nxt_);
-      ooo_.insert(s, end);
       last_arrival_start_ = s;
       have_last_arrival_ = true;
-      if (auto head = ooo_.interval_containing(rcv_nxt_)) {
-        stats_.bytes_received += head->end - rcv_nxt_;
-        rcv_nxt_ = head->end;
-        ooo_.erase_below(rcv_nxt_);
+      if (s == rcv_nxt_ && ooo_.empty()) {
+        // In-order arrival with nothing buffered — the steady-state
+        // case.  Advance directly instead of round-tripping the bytes
+        // through the reassembly map (whose node churn is a heap
+        // allocation per segment, which the hot path forbids).
+        stats_.bytes_received += end - rcv_nxt_;
+        rcv_nxt_ = end;
+      } else {
+        // Insert [s, end), then advance rcv_nxt over any now-contiguous
+        // run.
+        ooo_.insert(s, end);
+        if (auto head = ooo_.interval_containing(rcv_nxt_)) {
+          stats_.bytes_received += head->end - rcv_nxt_;
+          rcv_nxt_ = head->end;
+          ooo_.erase_below(rcv_nxt_);
+        }
       }
     }
   }

@@ -4,6 +4,18 @@
 #include <string>
 
 namespace hwatch::topo {
+namespace {
+
+// Append-style concat: GCC 12's -Wrestrict misfires on the
+// `const char* + std::string&&` operator+ overload once surrounding
+// code inlines differently, so node names are built without it.
+std::string indexed_name(const char* prefix, std::uint32_t i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+}  // namespace
 
 Dumbbell build_dumbbell(net::Network& net, const DumbbellConfig& cfg) {
   if (!cfg.edge_qdisc || !cfg.bottleneck_qdisc) {
@@ -21,12 +33,12 @@ Dumbbell build_dumbbell(net::Network& net, const DumbbellConfig& cfg) {
   const sim::TimePs per_link = cfg.base_rtt / 6;
 
   for (std::uint32_t i = 0; i < cfg.pairs; ++i) {
-    net::Host& l = net.add_host("L" + std::to_string(i));
+    net::Host& l = net.add_host(indexed_name("L", i));
     net.connect(l, *d.switch_left, cfg.edge_rate, per_link, cfg.edge_qdisc);
     d.left.push_back(&l);
   }
   for (std::uint32_t i = 0; i < cfg.pairs; ++i) {
-    net::Host& r = net.add_host("R" + std::to_string(i));
+    net::Host& r = net.add_host(indexed_name("R", i));
     net.connect(r, *d.switch_right, cfg.edge_rate, per_link,
                 cfg.edge_qdisc);
     d.right.push_back(&r);

@@ -4,6 +4,18 @@
 #include <string>
 
 namespace hwatch::topo {
+namespace {
+
+// Append-style concat: GCC 12's -Wrestrict misfires on the
+// `const char* + std::string&&` operator+ overload once surrounding
+// code inlines differently, so node names are built without it.
+std::string indexed_name(const char* prefix, std::uint32_t i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+}  // namespace
 
 LeafSpine build_leaf_spine(net::Network& net, const LeafSpineConfig& cfg) {
   if (!cfg.edge_qdisc || !cfg.fabric_qdisc) {
@@ -19,15 +31,17 @@ LeafSpine build_leaf_spine(net::Network& net, const LeafSpineConfig& cfg) {
   const sim::TimePs per_link = cfg.base_rtt / 8;
 
   for (std::uint32_t s = 0; s < cfg.spines; ++s) {
-    t.spines.push_back(&net.add_switch("spine" + std::to_string(s)));
+    t.spines.push_back(&net.add_switch(indexed_name("spine", s)));
   }
   for (std::uint32_t r = 0; r < cfg.racks; ++r) {
-    net::Switch& leaf = net.add_switch("leaf" + std::to_string(r));
+    net::Switch& leaf = net.add_switch(indexed_name("leaf", r));
     t.leaves.push_back(&leaf);
     t.hosts.emplace_back();
     for (std::uint32_t h = 0; h < cfg.hosts_per_rack; ++h) {
-      net::Host& host = net.add_host("r" + std::to_string(r) + "h" +
-                                     std::to_string(h));
+      std::string host_name = indexed_name("r", r);
+      host_name += 'h';
+      host_name += std::to_string(h);
+      net::Host& host = net.add_host(std::move(host_name));
       net.connect(host, leaf, cfg.host_rate, per_link, cfg.edge_qdisc);
       t.hosts.back().push_back(&host);
     }

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "sim/json.hpp"
 #include "tcp/tcp_test_util.hpp"
@@ -49,7 +50,7 @@ TEST(TracerTest, PredicateFilters) {
   TwoHostNet h;
   TracerConfig cfg;
   cfg.predicate = [](const Packet& p) { return p.is_data(); };
-  PacketTracer tracer(h.ctx, cfg);
+  PacketTracer tracer(h.ctx, std::move(cfg));
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -65,7 +66,7 @@ TEST(TracerTest, MaxEntriesTruncatesButKeepsCounting) {
   TwoHostNet h;
   TracerConfig cfg;
   cfg.max_entries = 3;
-  PacketTracer tracer(h.ctx, cfg);
+  PacketTracer tracer(h.ctx, std::move(cfg));
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -138,7 +139,7 @@ TEST(TracerTest, JsonlStreamingBypassesMaxEntries) {
   TracerConfig cfg;
   cfg.max_entries = 2;  // tiny in-memory cap; the stream sees everything
   cfg.jsonl_sink = &jsonl;
-  PacketTracer tracer(h.ctx, cfg);
+  PacketTracer tracer(h.ctx, std::move(cfg));
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -157,7 +158,7 @@ TEST(TracerTest, JsonlLinesParseAndCarryPacketFields) {
   std::ostringstream jsonl;
   TracerConfig cfg;
   cfg.jsonl_sink = &jsonl;
-  PacketTracer tracer(h.ctx, cfg);
+  PacketTracer tracer(h.ctx, std::move(cfg));
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());
@@ -194,7 +195,7 @@ TEST(TracerTest, DumpJsonlMatchesStreamedPrefix) {
   std::ostringstream streamed;
   TracerConfig cfg;
   cfg.jsonl_sink = &streamed;
-  PacketTracer tracer(h.ctx, cfg);
+  PacketTracer tracer(h.ctx, std::move(cfg));
   h.a->install_filter(&tracer);
   tcp::TcpConnection conn(h.net, *h.a, *h.b, 1000, 80,
                           tcp::Transport::kNewReno, quick_cfg());

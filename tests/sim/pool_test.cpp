@@ -1,0 +1,146 @@
+// BlockPool / PoolPtr / SpillArena: free-list recycling, RAII
+// lifecycle, stats accounting, and the opt-in MetricsRegistry exposure.
+#include "sim/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "sim/context.hpp"
+
+namespace {
+
+using hwatch::sim::BlockPool;
+using hwatch::sim::PoolPtr;
+using hwatch::sim::SpillArena;
+
+TEST(BlockPoolTest, RecyclesBlocks) {
+  BlockPool pool(64);
+  void* a = pool.allocate();
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  pool.deallocate(a);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  void* b = pool.allocate();
+  EXPECT_EQ(b, a);  // LIFO free list hands the same block back
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.deallocate(b);
+}
+
+TEST(BlockPoolTest, PeakOutstandingTracksHighWater) {
+  BlockPool pool(32);
+  void* a = pool.allocate();
+  void* b = pool.allocate();
+  void* c = pool.allocate();
+  pool.deallocate(b);
+  pool.deallocate(a);
+  void* d = pool.allocate();
+  EXPECT_EQ(pool.stats().peak_outstanding, 3u);
+  EXPECT_EQ(pool.stats().outstanding, 2u);
+  pool.deallocate(c);
+  pool.deallocate(d);
+}
+
+struct Probe {
+  int* ctor_count;
+  int* dtor_count;
+  Probe(int* c, int* d) : ctor_count(c), dtor_count(d) { ++*ctor_count; }
+  ~Probe() { ++*dtor_count; }
+};
+
+TEST(BlockPoolTest, MakeConstructsAndPoolPtrDestroys) {
+  BlockPool pool(64);
+  int ctors = 0;
+  int dtors = 0;
+  {
+    PoolPtr<Probe> p = pool.make<Probe>(&ctors, &dtors);
+    EXPECT_TRUE(static_cast<bool>(p));
+    EXPECT_EQ(ctors, 1);
+    EXPECT_EQ(dtors, 0);
+    EXPECT_EQ(pool.stats().outstanding, 1u);
+  }
+  EXPECT_EQ(dtors, 1);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BlockPoolTest, PoolPtrMoveSemantics) {
+  BlockPool pool(64);
+  int ctors = 0;
+  int dtors = 0;
+  PoolPtr<Probe> a = pool.make<Probe>(&ctors, &dtors);
+  Probe* raw = a.get();
+  PoolPtr<Probe> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(dtors, 0);
+  PoolPtr<Probe> c;
+  c = std::move(b);
+  EXPECT_EQ(c.get(), raw);
+  c.reset();
+  EXPECT_EQ(dtors, 1);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(SimContextPoolTest, PacketPoolFitsAndRecycles) {
+  hwatch::sim::SimContext ctx(1);
+  {
+    auto p = ctx.packet_pool().make<int>(5);
+    EXPECT_EQ(*p, 5);
+  }
+  auto q = ctx.packet_pool().make<int>(6);
+  EXPECT_EQ(ctx.packet_pool().stats().hits, 1u);
+  EXPECT_EQ(ctx.packet_pool().stats().misses, 1u);
+}
+
+TEST(SimContextPoolTest, PublishPoolMetricsIsOptIn) {
+  hwatch::sim::SimContext ctx(1);
+  ctx.metrics().set_enabled(true);
+  {
+    auto warm = ctx.packet_pool().make<int>(0);  // miss before binding
+  }
+  ctx.publish_pool_metrics();  // seeds counters with totals so far
+  EXPECT_EQ(ctx.metrics().counter("pool.packet.hit").value(), 0u);
+  EXPECT_EQ(ctx.metrics().counter("pool.packet.miss").value(), 1u);
+  {
+    auto p = ctx.packet_pool().make<int>(1);  // hit, ticks live counter
+  }
+  EXPECT_EQ(ctx.metrics().counter("pool.packet.hit").value(), 1u);
+  EXPECT_EQ(ctx.metrics().counter("pool.packet.miss").value(), 1u);
+}
+
+TEST(SpillArenaTest, RecyclesWithinSizeClass) {
+  SpillArena arena;
+  void* a = arena.allocate(100);  // 128-byte class
+  EXPECT_EQ(arena.stats().misses, 1u);
+  arena.deallocate(a, 100);
+  void* b = arena.allocate(120);  // same class, different request size
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(arena.stats().hits, 1u);
+  arena.deallocate(b, 120);
+}
+
+TEST(SpillArenaTest, OversizedRequestsBypass) {
+  SpillArena arena;
+  void* big = arena.allocate(SpillArena::kMaxClassBytes + 1);
+  EXPECT_NE(big, nullptr);
+  EXPECT_EQ(arena.stats().bypass, 1u);
+  EXPECT_EQ(arena.stats().hits, 0u);
+  arena.deallocate(big, SpillArena::kMaxClassBytes + 1);
+}
+
+TEST(SpillArenaTest, DistinctClassesDoNotMix) {
+  SpillArena arena;
+  void* small = arena.allocate(64);
+  arena.deallocate(small, 64);
+  void* large = arena.allocate(1024);  // different class: fresh block
+  EXPECT_EQ(arena.stats().misses, 2u);
+  EXPECT_EQ(arena.stats().hits, 0u);
+  arena.deallocate(large, 1024);
+  void* again = arena.allocate(900);  // 1024 class again: recycled
+  EXPECT_EQ(again, large);
+  EXPECT_EQ(arena.stats().hits, 1u);
+  arena.deallocate(again, 900);
+}
+
+}  // namespace
