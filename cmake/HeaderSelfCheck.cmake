@@ -1,0 +1,31 @@
+# Header self-containment gate (HWATCH_HEADER_CHECK, default ON).
+#
+# Every public header under src/ gets a generated one-line TU that
+# includes it and nothing else, compiled into the OBJECT library
+# `header_selfcheck` as part of ALL.  A header that silently leans on
+# whatever its includers happened to pull in fails this build instead of
+# breaking the next unrelated refactor.
+#
+# The header list is globbed at configure time; adding a brand-new
+# header needs a reconfigure to enter the gate (any CMakeLists edit or
+# a clean CI run does that).
+
+file(GLOB_RECURSE _hwatch_public_headers
+  RELATIVE ${CMAKE_SOURCE_DIR}/src
+  ${CMAKE_SOURCE_DIR}/src/*.hpp)
+list(SORT _hwatch_public_headers)
+
+set(_hwatch_hdrcheck_srcs)
+foreach(_hdr IN LISTS _hwatch_public_headers)
+  string(REPLACE "/" "_" _stem ${_hdr})
+  string(REPLACE ".hpp" "" _stem ${_stem})
+  set(HWATCH_HEADER_CHECK_INCLUDE ${_hdr})
+  configure_file(${CMAKE_SOURCE_DIR}/cmake/header_check.cpp.in
+    ${CMAKE_BINARY_DIR}/header_check/check_${_stem}.cpp @ONLY)
+  list(APPEND _hwatch_hdrcheck_srcs
+    ${CMAKE_BINARY_DIR}/header_check/check_${_stem}.cpp)
+endforeach()
+
+add_library(header_selfcheck OBJECT ${_hwatch_hdrcheck_srcs})
+target_include_directories(header_selfcheck PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(header_selfcheck PRIVATE hwatch_build_flags)

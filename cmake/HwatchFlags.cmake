@@ -1,0 +1,36 @@
+# Build flags as a target, not directory-global state.
+#
+# Warnings, -Werror and sanitizer instrumentation are carried by the
+# INTERFACE library `hwatch_build_flags` and attached PRIVATE to every
+# project target.  That keeps them off CMake try-compiles, imported
+# packages and any future FetchContent tree, so HWATCH_WERROR /
+# HWATCH_SANITIZE / HWATCH_TSAN builds cannot break on third-party
+# toolchain noise.  (PRIVATE deps of static libraries still propagate
+# their link options to the final executable via $<LINK_ONLY:...>, so
+# sanitizer runtimes link correctly.)
+
+add_library(hwatch_build_flags INTERFACE)
+
+target_compile_options(hwatch_build_flags INTERFACE -Wall -Wextra)
+if(HWATCH_WERROR)
+  target_compile_options(hwatch_build_flags INTERFACE -Werror)
+endif()
+
+if(HWATCH_SANITIZE AND HWATCH_TSAN)
+  message(FATAL_ERROR
+    "HWATCH_SANITIZE (ASan+UBSan) and HWATCH_TSAN cannot be combined; "
+    "pick one sanitizer build.")
+endif()
+
+if(HWATCH_SANITIZE)
+  target_compile_options(hwatch_build_flags INTERFACE
+    -fsanitize=address,undefined -fno-omit-frame-pointer)
+  target_link_options(hwatch_build_flags INTERFACE
+    -fsanitize=address,undefined)
+endif()
+
+if(HWATCH_TSAN)
+  target_compile_options(hwatch_build_flags INTERFACE
+    -fsanitize=thread -fno-omit-frame-pointer)
+  target_link_options(hwatch_build_flags INTERFACE -fsanitize=thread)
+endif()

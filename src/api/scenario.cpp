@@ -302,7 +302,10 @@ void finish_manifest(ScenarioResults& res, sim::SimContext& ctx,
   if (metrics_dir != nullptr) man.write_file(metrics_dir);
 }
 
-using WallClock = std::chrono::steady_clock;
+// Wall-clock time feeds only the manifest `environment` section, which
+// RunManifest::deterministic_dump() excludes — simulated time and every
+// result field stay seed-derived.
+using WallClock = std::chrono::steady_clock;  // hwlint: allow(nondeterminism)
 
 double wall_ms_since(WallClock::time_point t0) {
   return std::chrono::duration<double, std::milli>(WallClock::now() - t0)

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 
@@ -29,6 +28,7 @@
 #include "net/filter.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "net/packet_ring.hpp"
 #include "sim/context.hpp"
 #include "sim/random.hpp"
 
@@ -178,8 +178,10 @@ class HypervisorShim final : public net::PacketFilter {
   /// "any other packets flowing between the source-destination pairs").
   std::unordered_map<net::NodeId, DelayWatcher> path_delay_;
 
-  // SYN-ACK admission pacing state.
-  std::deque<net::Packet> synack_queue_;
+  // SYN-ACK admission pacing state.  PacketRing (not std::deque): the
+  // pacing queue sits on the packet path, and deque churns a heap node
+  // every few packets even at steady depth.
+  net::PacketRing synack_queue_;
   sim::TimePs slot_start_ = 0;
   std::uint32_t slot_used_ = 0;
   bool drain_scheduled_ = false;

@@ -1,6 +1,5 @@
 #include "net/network.hpp"
 
-#include <deque>
 #include <limits>
 #include <stdexcept>
 
@@ -68,10 +67,12 @@ void Network::compute_routes() {
   for (const Host* dst : hosts_) {
     std::fill(dist.begin(), dist.end(), kInf);
     dist[dst->id()] = 0;
-    std::deque<NodeId> frontier{dst->id()};
-    while (!frontier.empty()) {
-      const NodeId v = frontier.front();
-      frontier.pop_front();
+    // Vector-as-queue (head index instead of pop_front): same FIFO
+    // visit order as the deque it replaces, no per-node allocation.
+    std::vector<NodeId> frontier{dst->id()};
+    std::size_t head = 0;
+    while (head < frontier.size()) {
+      const NodeId v = frontier[head++];
       // Hosts other than the destination never forward transit traffic.
       if (v != dst->id() && dynamic_cast<Host*>(nodes_[v].get())) continue;
       for (const Edge& e : adjacency_[v]) {

@@ -4,8 +4,8 @@
 
 namespace hwatch::sim {
 
-Histogram::Histogram(std::string name, std::vector<double> bounds,
-                     const bool* enabled)
+Histogram::Histogram(metrics_detail::RegistryKey, std::string name,
+                     std::vector<double> bounds, const bool* enabled)
     : name_(std::move(name)), bounds_(std::move(bounds)), enabled_(enabled) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
@@ -37,7 +37,8 @@ std::vector<double> Histogram::linear_bounds(double start, double width,
 Counter& MetricsRegistry::counter(std::string_view name) {
   const auto it = counter_index_.find(std::string(name));
   if (it != counter_index_.end()) return *counters_[it->second];
-  counters_.emplace_back(new Counter(std::string(name), &enabled_));
+  counters_.emplace_back(std::make_unique<Counter>(
+      metrics_detail::RegistryKey{}, std::string(name), &enabled_));
   counter_index_.emplace(std::string(name), counters_.size() - 1);
   return *counters_.back();
 }
@@ -46,14 +47,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
   const auto it = histogram_index_.find(std::string(name));
   if (it != histogram_index_.end()) return *histograms_[it->second];
-  histograms_.emplace_back(
-      new Histogram(std::string(name), std::move(bounds), &enabled_));
+  histograms_.emplace_back(std::make_unique<Histogram>(
+      metrics_detail::RegistryKey{}, std::string(name), std::move(bounds),
+      &enabled_));
   histogram_index_.emplace(std::string(name), histograms_.size() - 1);
   return *histograms_.back();
 }
 
-void MetricsRegistry::register_gauge(std::string name,
-                                     std::function<double()> fn) {
+void MetricsRegistry::register_gauge(std::string name, GaugeFn fn) {
   gauges_.push_back(Gauge{std::move(name), std::move(fn)});
 }
 

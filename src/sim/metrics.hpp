@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
@@ -26,9 +25,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/unique_function.hpp"
+
 namespace hwatch::sim {
 
 class MetricsRegistry;
+
+namespace metrics_detail {
+/// Pass-key: only MetricsRegistry can mint one, so Counter/Histogram
+/// construction stays registry-only while std::make_unique still works
+/// (no raw `new` inside the registry).
+class RegistryKey {
+  friend class hwatch::sim::MetricsRegistry;
+  RegistryKey() = default;
+};
+}  // namespace metrics_detail
 
 /// Monotonic named counter.  inc() is one branch when disabled.
 class Counter {
@@ -39,10 +50,10 @@ class Counter {
   std::uint64_t value() const { return value_; }
   const std::string& name() const { return name_; }
 
- private:
-  friend class MetricsRegistry;
-  Counter(std::string name, const bool* enabled)
+  Counter(metrics_detail::RegistryKey, std::string name, const bool* enabled)
       : name_(std::move(name)), enabled_(enabled) {}
+
+ private:
   std::string name_;
   const bool* enabled_;
   std::uint64_t value_ = 0;
@@ -87,9 +98,10 @@ class Histogram {
   static std::vector<double> linear_bounds(double start, double width,
                                            std::size_t n);
 
+  Histogram(metrics_detail::RegistryKey, std::string name,
+            std::vector<double> bounds, const bool* enabled);
+
  private:
-  friend class MetricsRegistry;
-  Histogram(std::string name, std::vector<double> bounds, const bool* enabled);
   std::string name_;
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -140,11 +152,12 @@ class MetricsRegistry {
   /// Registers a read-on-demand gauge; sampled by stats::MetricsSampler
   /// on its tick.  Gauges are cheap closures over live state (queue
   /// depth, flow-table size) and cost nothing between samples.
-  void register_gauge(std::string name, std::function<double()> fn);
+  using GaugeFn = UniqueFunction<double() const>;
+  void register_gauge(std::string name, GaugeFn fn);
 
   struct Gauge {
     std::string name;
-    std::function<double()> fn;
+    GaugeFn fn;
   };
   const std::vector<Gauge>& gauges() const { return gauges_; }
 

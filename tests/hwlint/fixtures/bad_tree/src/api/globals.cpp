@@ -1,0 +1,21 @@
+// Seeded violations for the `mutable-global` rule (src/ outside
+// src/sim).  Never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+static std::uint64_t g_packet_counter = 0;  // violation: shared state
+
+namespace {
+int g_scratch = 7;  // violation: anon-namespace mutable
+}  // namespace
+
+thread_local int g_tls_depth = 0;  // violation: still shared per thread
+
+std::uint64_t bump() {
+  g_packet_counter += static_cast<std::uint64_t>(g_scratch + g_tls_depth);
+  return g_packet_counter;
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Seeded violations for the `unordered-iter` rule.  Never compiled.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct FlowDump {
+  std::unordered_map<std::uint64_t, double> fct_by_flow;
+  std::unordered_set<std::uint32_t> live_ports;
+
+  std::vector<double> dump() const {
+    std::vector<double> out;
+    for (const auto& [id, fct] : fct_by_flow) {  // violation: hash order
+      out.push_back(fct);
+    }
+    return out;
+  }
+
+  std::size_t walk() const {
+    std::size_t n = 0;
+    for (auto it = live_ports.begin(); it != live_ports.end(); ++it) {
+      ++n;  // violation above: iterator walk from begin()
+    }
+    return n;
+  }
+};
+
+}  // namespace fixture

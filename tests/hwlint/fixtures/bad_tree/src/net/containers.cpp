@@ -1,0 +1,15 @@
+// Seeded violations for the `hot-path-container` rule (src/net is a
+// hot-path dir).  Never compiled.
+#include <deque>
+#include <functional>
+#include <list>
+
+namespace fixture {
+
+struct Qdisc {
+  std::deque<int> fifo;                  // violation: per-node allocation
+  std::list<int> bands;                  // violation: per-node allocation
+  std::function<void(int)> on_dequeue;   // violation: copyable + heap spill
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Exercises suppression handling inside a failing tree: the two real
+// violations below are silenced inline, but the malformed marker keeps
+// this file (and the tree) red via `bad-suppression`.  Never compiled.
+#include <deque>
+
+namespace fixture {
+
+struct Paced {
+  std::deque<int> ok_queue;  // hwlint: allow(hot-path-container)
+};
+
+// hwlint: allow(hot-path-container)
+std::deque<int> also_ok;
+
+// hwlint: allow hot-path-container   <- missing parens: bad-suppression
+std::deque<int> still_flagged;
+
+}  // namespace fixture

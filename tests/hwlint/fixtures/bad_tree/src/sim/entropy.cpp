@@ -1,0 +1,29 @@
+// Seeded violations for the `nondeterminism` rule.  This file is lint
+// fodder only — it is never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned bad_seed() {
+  std::random_device rd;  // violation: entropy source
+  return rd();
+}
+
+long bad_wall_seed() {
+  return time(nullptr);  // violation: wall clock
+}
+
+double bad_timestamp() {
+  const auto now = std::chrono::steady_clock::now();  // violation
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int bad_rand() {
+  srand(42);      // violation
+  return rand();  // violation
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Seeded violations for the `hot-path-alloc` rule (src/tcp is a
+// hot-path dir).  Never compiled.
+#include <cstdlib>
+
+namespace fixture {
+
+struct Segment {
+  int seq;
+};
+
+Segment* bad_new() {
+  return new Segment{0};  // violation: raw new
+}
+
+void bad_delete(Segment* s) {
+  delete s;  // violation: raw delete
+}
+
+void* bad_malloc() {
+  return malloc(64);  // violation
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Namespace-scope *constants* are fine; the mutable-global rule only
+// bites mutable state.  Suppressions silence deliberate exceptions.
+// Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+constexpr std::uint64_t kMaxWindow = 1u << 20;
+const char* const kSchemaName = "hwatch.run_manifest/v1";
+static constexpr double kAlpha = 0.125;
+
+inline std::uint64_t clamp_window(std::uint64_t w) {
+  // Function-local state is outside this rule's scope (and none of the
+  // engine's hot paths use it; SimContext owns per-run state).
+  return w > kMaxWindow ? kMaxWindow : w;
+}
+
+// A deliberate, documented exception stays visible but green:
+static std::uint64_t g_debug_poke_count = 0;  // hwlint: allow(mutable-global)
+
+std::uint64_t poke() { return ++g_debug_poke_count; }
+
+}  // namespace fixture

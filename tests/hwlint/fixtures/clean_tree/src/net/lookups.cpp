@@ -1,0 +1,28 @@
+// Point lookups on unordered containers and ordered-container iteration
+// are both fine; only unordered *iteration* is banned.  Never compiled.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Table {
+  std::unordered_map<std::uint64_t, double> index;
+  std::map<std::uint64_t, double> ordered;
+
+  double lookup(std::uint64_t k) const {
+    auto it = index.find(k);                    // fine: point lookup
+    return it == index.end() ? 0.0 : it->second;  // fine: end() compare
+  }
+
+  std::vector<double> dump_sorted() const {
+    std::vector<double> out;
+    for (const auto& [k, v] : ordered) {  // fine: std::map is ordered
+      out.push_back(v);
+    }
+    return out;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Near-misses the lexer/rules must NOT flag.  Never compiled.
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace fixture {
+
+// Identifiers *containing* banned names are fine: transmission_time,
+// exponential_time, busy_time are project API, not ::time().
+std::uint64_t transmission_time(std::uint64_t bytes);
+std::uint64_t drain(std::uint64_t b) { return transmission_time(b); }
+
+struct Slot {
+  // Deleted functions are not raw `delete`.
+  Slot(const Slot&) = delete;
+  Slot& operator=(const Slot&) = delete;
+  Slot() = default;
+  unsigned char buf[64];
+};
+
+// Placement new is the sanctioned form (pool/UF internals).
+int* emplace_in(Slot& s) { return ::new (static_cast<void*>(s.buf)) int(7); }
+
+// `operator new` declarations are not raw allocation either.
+struct Pooled {
+  static void* operator new(std::size_t n);
+  static void operator delete(void* p) noexcept;
+};
+
+// Mentions inside strings and comments are invisible to the rules:
+// std::random_device, rand(), new int[3], std::deque<int>.
+const char* kDoc =
+    "uses std::random_device, time(nullptr), malloc() and std::deque";
+
+// A member function *named* time on a project type is not ::time().
+struct Clock {
+  std::uint64_t now;
+  std::uint64_t time() const { return now; }
+};
+std::uint64_t read(const Clock& c) { return c.time(); }
+
+}  // namespace fixture

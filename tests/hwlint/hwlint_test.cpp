@@ -1,0 +1,444 @@
+// Unit tests for the hwlint static-analysis pass: lexer behaviour,
+// every rule (seeded violations flagged, near-misses pass), suppression
+// semantics, allowlist/glob parsing, and the CLI end to end (exit codes
+// and --json output parsed back through sim::Json).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hwlint/hwlint.hpp"
+#include "sim/json.hpp"
+
+namespace {
+
+using hwlint::Violation;
+
+std::vector<Violation> check(const std::string& rel_path,
+                             std::string_view source,
+                             std::size_t* suppressed = nullptr) {
+  const auto lr = hwlint::lex(source);
+  const auto names = hwlint::collect_unordered_names(lr.tokens);
+  return hwlint::check_source(rel_path, source, names, suppressed);
+}
+
+std::vector<std::string> rules_of(const std::vector<Violation>& vs) {
+  std::vector<std::string> out;
+  for (const auto& v : vs) out.push_back(v.rule);
+  return out;
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(HwlintLexer, StripsCommentsStringsAndPreprocessor) {
+  const auto lr = hwlint::lex(
+      "// std::random_device in a comment\n"
+      "/* rand() in a block\n   comment */\n"
+      "#include <random>  // preprocessor line\n"
+      "const char* s = \"time(nullptr) malloc\";\n"
+      "char c = 'x';\n");
+  for (const auto& t : lr.tokens) {
+    EXPECT_NE(t.text, "random_device");
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "random");
+    EXPECT_NE(t.text, "malloc");
+  }
+  EXPECT_TRUE(lr.suppressions.empty());
+  EXPECT_TRUE(lr.malformed_suppressions.empty());
+}
+
+TEST(HwlintLexer, RawStringsAreOpaque) {
+  const auto lr = hwlint::lex(
+      "const char* r = R\"(std::deque<int> new delete)\";\n"
+      "int after = 1;\n");
+  bool saw_after = false;
+  for (const auto& t : lr.tokens) {
+    EXPECT_NE(t.text, "deque");
+    if (t.text == "after") saw_after = true;
+  }
+  EXPECT_TRUE(saw_after);  // lexer resumed after the raw string
+}
+
+TEST(HwlintLexer, TracksLineNumbers) {
+  const auto lr = hwlint::lex("int a;\n\nint b;\n");
+  ASSERT_GE(lr.tokens.size(), 4u);
+  EXPECT_EQ(lr.tokens[0].line, 1);  // int
+  EXPECT_EQ(lr.tokens[3].line, 3);  // b's `int`
+}
+
+TEST(HwlintLexer, ParsesSuppressions) {
+  const auto lr = hwlint::lex(
+      "int a;  // hwlint: allow(nondeterminism)\n"
+      "// hwlint: allow(hot-path-alloc, hot-path-container)\n"
+      "int b;\n"
+      "int c;  // hwlint: allow(*)\n");
+  ASSERT_EQ(lr.suppressions.size(), 3u);
+  EXPECT_EQ(lr.suppressions[0].line, 1);
+  EXPECT_FALSE(lr.suppressions[0].whole_line);
+  ASSERT_EQ(lr.suppressions[0].rules.size(), 1u);
+  EXPECT_EQ(lr.suppressions[0].rules[0], "nondeterminism");
+  EXPECT_TRUE(lr.suppressions[1].whole_line);
+  EXPECT_EQ(lr.suppressions[1].rules.size(), 2u);
+  EXPECT_TRUE(lr.suppressions[2].rules.empty());  // allow(*) == allow-all
+}
+
+TEST(HwlintLexer, FlagsMalformedMarkersButIgnoresProse) {
+  const auto lr = hwlint::lex(
+      "// hwlint: allow nondeterminism   <- missing parens\n"
+      "// hwlint: is the tool's name; prose mention, no allow keyword\n");
+  ASSERT_EQ(lr.malformed_suppressions.size(), 1u);
+  EXPECT_EQ(lr.malformed_suppressions[0], 1);
+}
+
+// ------------------------------------------------------- nondeterminism
+
+TEST(HwlintRules, FlagsEntropyAndWallClockSources) {
+  const auto vs = check("src/api/bad.cpp",
+                        "#include <random>\n"
+                        "unsigned seed() {\n"
+                        "  std::random_device rd;\n"
+                        "  return rd() + static_cast<unsigned>(time(nullptr));\n"
+                        "}\n"
+                        "auto t0() { return std::chrono::steady_clock::now(); }\n");
+  ASSERT_EQ(vs.size(), 3u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, hwlint::kRuleNondeterminism);
+  EXPECT_EQ(vs[0].line, 3);
+  EXPECT_EQ(vs[1].line, 4);
+  EXPECT_EQ(vs[2].line, 6);
+}
+
+TEST(HwlintRules, NondeterminismAppliesOutsideHotPathDirsToo) {
+  const auto vs = check("tests/foo_test.cpp", "int x = rand();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleNondeterminism);
+}
+
+TEST(HwlintRules, ProjectNamesContainingBannedWordsPass) {
+  const auto vs = check("src/net/ok.cpp",
+                        "std::uint64_t transmission_time(int bytes);\n"
+                        "std::uint64_t f() { return transmission_time(1); }\n"
+                        "struct Clock { std::uint64_t time() const; };\n"
+                        "std::uint64_t g(const Clock& c) { return c.time(); }\n");
+  EXPECT_TRUE(vs.empty()) << vs[0].message;
+}
+
+TEST(HwlintRules, QualifiedProjectTimeIsNotStdTime) {
+  // myns::time() is the project's own; std::time()/::time() are not.
+  EXPECT_TRUE(
+      check("src/net/a.cpp", "int f() { return myns::time(); }\n").empty());
+  EXPECT_EQ(
+      check("src/net/b.cpp", "auto f() { return std::time(nullptr); }\n")
+          .size(),
+      1u);
+  EXPECT_EQ(
+      check("src/net/c.cpp", "auto f() { return ::time(nullptr); }\n").size(),
+      1u);
+}
+
+// -------------------------------------------------- hot-path containers
+
+TEST(HwlintRules, FlagsBannedContainersOnlyInHotPathDirs) {
+  const std::string src =
+      "#include <deque>\n"
+      "std::deque<int> q;\n"
+      "std::function<void()> cb;\n"
+      "std::list<int> l;\n";
+  EXPECT_EQ(check("src/net/hot.cpp", src).size(), 3u);
+  EXPECT_EQ(check("src/sim/hot.cpp", src).size(), 3u);
+  EXPECT_EQ(check("src/tcp/hot.cpp", src).size(), 3u);
+  EXPECT_EQ(check("src/hwatch/hot.cpp", src).size(), 3u);
+  // stats, api, tools and tests are not hot-path dirs.
+  EXPECT_TRUE(check("src/stats/cold.cpp", src).empty());
+  EXPECT_TRUE(check("tools/cold.cpp", src).empty());
+}
+
+// ------------------------------------------------------- hot-path alloc
+
+TEST(HwlintRules, FlagsRawAllocationInHotPathDirs) {
+  const auto vs = check("src/tcp/alloc.cpp",
+                        "int* a() { return new int(3); }\n"
+                        "void b(int* p) { delete p; }\n"
+                        "void* c() { return malloc(16); }\n");
+  EXPECT_EQ(rules_of(vs),
+            (std::vector<std::string>{"hot-path-alloc", "hot-path-alloc",
+                                      "hot-path-alloc"}));
+}
+
+TEST(HwlintRules, PlacementNewAndOperatorNewPass) {
+  const auto vs = check(
+      "src/sim/pool_like.cpp",
+      "int* a(void* buf) { return ::new (buf) int(7); }\n"
+      "struct P { static void* operator new(std::size_t); };\n"
+      "struct S { S(const S&) = delete; };\n");
+  EXPECT_TRUE(vs.empty()) << vs[0].message;
+}
+
+TEST(HwlintRules, RawAllocationOutsideHotPathPasses) {
+  EXPECT_TRUE(
+      check("src/api/setup.cpp", "int* f() { return new int(1); }\n").empty());
+}
+
+// ------------------------------------------------------- unordered-iter
+
+TEST(HwlintRules, FlagsIterationOverUnorderedContainers) {
+  const auto vs = check(
+      "src/stats/dump.cpp",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> fct_by_flow;\n"
+      "double sum() {\n"
+      "  double s = 0;\n"
+      "  for (const auto& [k, v] : fct_by_flow) s += v;\n"
+      "  for (auto it = fct_by_flow.begin(); it != fct_by_flow.end(); ++it)\n"
+      "    s += it->second;\n"
+      "  return s;\n"
+      "}\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleUnorderedIter);
+  EXPECT_EQ(vs[0].line, 5);
+  EXPECT_EQ(vs[1].line, 6);
+}
+
+TEST(HwlintRules, PointLookupsAndOrderedIterationPass) {
+  const auto vs = check(
+      "src/stats/ok.cpp",
+      "std::unordered_map<int, double> index;\n"
+      "std::map<int, double> ordered;\n"
+      "double f(int k) {\n"
+      "  auto it = index.find(k);\n"
+      "  return it == index.end() ? 0.0 : it->second;\n"
+      "}\n"
+      "double g() {\n"
+      "  double s = 0;\n"
+      "  for (const auto& [k, v] : ordered) s += v;\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_TRUE(vs.empty()) << vs[0].message;
+}
+
+TEST(HwlintRules, UnorderedNamesCrossFiles) {
+  // A member declared in a header is caught when iterated in the .cpp:
+  // the driver collects names tree-wide first.  Simulate that here.
+  const auto header = hwlint::lex(
+      "struct Table { std::unordered_map<int, int> live_ports; };\n");
+  auto names = hwlint::collect_unordered_names(header.tokens);
+  EXPECT_TRUE(names.count("live_ports"));
+  const std::string cpp =
+      "void walk(Table& t) { for (auto& kv : t.live_ports) (void)kv; }\n";
+  const auto vs = hwlint::check_source("src/stats/walk.cpp", cpp, names);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleUnorderedIter);
+}
+
+// ------------------------------------------------------- mutable-global
+
+TEST(HwlintRules, FlagsMutableNamespaceScopeState) {
+  const auto vs = check("src/api/globals.cpp",
+                        "static int g_counter = 0;\n"
+                        "namespace { long g_total = 0; }\n"
+                        "thread_local int g_tls = 0;\n");
+  EXPECT_EQ(rules_of(vs),
+            (std::vector<std::string>{"mutable-global", "mutable-global",
+                                      "mutable-global"}));
+}
+
+TEST(HwlintRules, ConstantsLocalsAndSimInternalsPass) {
+  const std::string consts =
+      "constexpr int kMax = 4;\n"
+      "const char* const kName = \"x\";\n"
+      "static constexpr double kAlpha = 0.125;\n"
+      "int f() { static int local = 0; return ++local; }\n";
+  EXPECT_TRUE(check("src/api/consts.cpp", consts).empty());
+  // src/sim internals (log sinks, arenas) are exempt by path.
+  EXPECT_TRUE(
+      check("src/sim/log.cpp", "static int g_sink_depth = 0;\n").empty());
+}
+
+// -------------------------------------------------- suppression handling
+
+TEST(HwlintSuppression, SameLineAndWholeLineAboveSilence) {
+  std::size_t suppressed = 0;
+  const auto vs = check("src/net/s.cpp",
+                        "std::deque<int> a;  // hwlint: allow(hot-path-container)\n"
+                        "// hwlint: allow(hot-path-container)\n"
+                        "std::deque<int> b;\n",
+                        &suppressed);
+  EXPECT_TRUE(vs.empty());
+  EXPECT_EQ(suppressed, 2u);
+}
+
+TEST(HwlintSuppression, WrongRuleDoesNotSilence) {
+  const auto vs = check(
+      "src/net/s.cpp",
+      "std::deque<int> a;  // hwlint: allow(nondeterminism)\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleHotPathContainer);
+}
+
+TEST(HwlintSuppression, AllowStarSilencesEverything) {
+  std::size_t suppressed = 0;
+  const auto vs = check("src/net/s.cpp",
+                        "std::deque<int> a;  // hwlint: allow(*)\n",
+                        &suppressed);
+  EXPECT_TRUE(vs.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(HwlintSuppression, MalformedMarkerIsAViolation) {
+  const auto vs = check("src/net/s.cpp",
+                        "// hwlint: allow hot-path-container\n"
+                        "std::deque<int> a;\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleBadSuppression);
+  EXPECT_EQ(vs[1].rule, hwlint::kRuleHotPathContainer);
+}
+
+// -------------------------------------------------- allowlist and globs
+
+TEST(HwlintAllowlist, GlobMatchSemantics) {
+  EXPECT_TRUE(hwlint::glob_match("src/sim/random.*", "src/sim/random.cpp"));
+  EXPECT_TRUE(hwlint::glob_match("src/sim/random.*", "src/sim/random.hpp"));
+  EXPECT_FALSE(hwlint::glob_match("src/sim/random.*", "src/sim/rng.cpp"));
+  // `*` crosses directory separators.
+  EXPECT_TRUE(hwlint::glob_match("src/*_test.cpp", "src/a/b/x_test.cpp"));
+  // Trailing `/` is a prefix match.
+  EXPECT_TRUE(hwlint::glob_match("tests/hwlint/fixtures/",
+                                 "tests/hwlint/fixtures/bad/src/a.cpp"));
+  EXPECT_FALSE(hwlint::glob_match("tests/hwlint/fixtures/", "tests/a.cpp"));
+  EXPECT_TRUE(hwlint::glob_match("a?c", "abc"));
+  EXPECT_FALSE(hwlint::glob_match("a?c", "ac"));
+}
+
+TEST(HwlintAllowlist, ParseAndApply) {
+  hwlint::Allowlist al;
+  std::string err;
+  ASSERT_TRUE(hwlint::parse_allowlist(
+      "# comment\n"
+      "allow nondeterminism src/sim/random.*\n"
+      "allow * tools/scratch/\n"
+      "exclude tests/hwlint/fixtures/\n",
+      al, err))
+      << err;
+  EXPECT_TRUE(al.allowed("src/sim/random.cpp", "nondeterminism"));
+  EXPECT_FALSE(al.allowed("src/sim/random.cpp", "hot-path-alloc"));
+  EXPECT_TRUE(al.allowed("tools/scratch/x.cpp", "mutable-global"));
+  EXPECT_TRUE(al.excluded("tests/hwlint/fixtures/bad_tree/src/a.cpp"));
+  EXPECT_FALSE(al.excluded("tests/hwlint/hwlint_test.cpp"));
+}
+
+TEST(HwlintAllowlist, RejectsMalformedLines) {
+  hwlint::Allowlist al;
+  std::string err;
+  EXPECT_FALSE(hwlint::parse_allowlist("allow nondeterminism\n", al, err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(hwlint::parse_allowlist("frobnicate x y\n", al, err));
+}
+
+// ----------------------------------------------------- driver / run_lint
+
+TEST(HwlintDriver, BadFixtureTreeFailsWithEveryRule) {
+  hwlint::Options opts;
+  opts.root = std::string(HWLINT_FIXTURES) + "/bad_tree";
+  hwlint::Report report;
+  std::ostringstream err;
+  ASSERT_EQ(hwlint::run_lint(opts, report, err), 1) << err.str();
+  std::set<std::string> seen;
+  for (const auto& v : report.violations) seen.insert(v.rule);
+  for (const auto& rule : hwlint::all_rules()) {
+    EXPECT_TRUE(seen.count(rule)) << "rule never fired: " << rule;
+  }
+  EXPECT_EQ(report.suppressed, 2u);  // suppressed.cpp's two valid markers
+}
+
+TEST(HwlintDriver, CleanFixtureTreePasses) {
+  hwlint::Options opts;
+  opts.root = std::string(HWLINT_FIXTURES) + "/clean_tree";
+  hwlint::Report report;
+  std::ostringstream err;
+  EXPECT_EQ(hwlint::run_lint(opts, report, err), 0) << err.str();
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.files_scanned, 3u);
+}
+
+TEST(HwlintDriver, ViolationsAreSorted) {
+  hwlint::Options opts;
+  opts.root = std::string(HWLINT_FIXTURES) + "/bad_tree";
+  hwlint::Report report;
+  std::ostringstream err;
+  ASSERT_EQ(hwlint::run_lint(opts, report, err), 1);
+  for (std::size_t i = 1; i < report.violations.size(); ++i) {
+    const auto& a = report.violations[i - 1];
+    const auto& b = report.violations[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.rule),
+              std::tie(b.file, b.line, b.rule));
+  }
+}
+
+// ------------------------------------------------------------------ CLI
+
+std::string run_cli(const std::string& args, int* exit_code) {
+  const std::string cmd = std::string(HWLINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 4096> buf;
+  while (pipe != nullptr) {
+    const std::size_t n = fread(buf.data(), 1, buf.size(), pipe);
+    if (n == 0) break;
+    out.append(buf.data(), n);
+  }
+  const int status = pipe != nullptr ? pclose(pipe) : -1;
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+TEST(HwlintCli, ExitCodesMatchTreeState) {
+  int code = -1;
+  run_cli("--root " + std::string(HWLINT_FIXTURES) + "/clean_tree", &code);
+  EXPECT_EQ(code, 0);
+  run_cli("--root " + std::string(HWLINT_FIXTURES) + "/bad_tree", &code);
+  EXPECT_EQ(code, 1);
+  run_cli("--root /nonexistent-hwlint-root", &code);
+  EXPECT_EQ(code, 2);
+}
+
+TEST(HwlintCli, JsonReportRoundTripsThroughSimJson) {
+  int code = -1;
+  const std::string out = run_cli(
+      "--json --root " + std::string(HWLINT_FIXTURES) + "/bad_tree", &code);
+  EXPECT_EQ(code, 1);
+  std::string perr;
+  const auto doc = hwatch::sim::Json::parse(out, &perr);
+  ASSERT_TRUE(perr.empty()) << perr << "\noutput was:\n" << out;
+  ASSERT_TRUE(doc.is_object());
+  const auto* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "hwatch.hwlint_report/v1");
+  const auto* violations = doc.find("violations");
+  ASSERT_NE(violations, nullptr);
+  ASSERT_TRUE(violations->is_array());
+  EXPECT_EQ(violations->items().size(), 18u);
+  std::set<std::string> rules;
+  for (const auto& v : violations->items()) {
+    ASSERT_TRUE(v.is_object());
+    ASSERT_NE(v.find("file"), nullptr);
+    ASSERT_NE(v.find("line"), nullptr);
+    ASSERT_NE(v.find("rule"), nullptr);
+    ASSERT_NE(v.find("message"), nullptr);
+    EXPECT_GT(v.find("line")->as_int(), 0);
+    rules.insert(v.find("rule")->as_string());
+  }
+  for (const auto& rule : hwlint::all_rules()) {
+    EXPECT_TRUE(rules.count(rule)) << "rule missing from JSON: " << rule;
+  }
+  const auto* suppressed = doc.find("suppressed");
+  ASSERT_NE(suppressed, nullptr);
+  EXPECT_EQ(suppressed->as_int(), 2);
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// File walking, allowlist handling and report rendering for hwlint.
+//
+// Two passes: the first lexes every file and collects names declared as
+// unordered containers anywhere in the tree (so a member declared in a
+// header is caught when its .cpp iterates it); the second runs the
+// rules.  File order is sorted, so diagnostics and the JSON report are
+// deterministic regardless of directory-iteration order.
+
+#include "hwlint/hwlint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace hwlint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char* kDefaultDirs[] = {"src", "bench", "tests", "tools", "examples"};
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".ipp";
+}
+
+std::string to_rel(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view path) {
+  if (!pattern.empty() && pattern.back() == '/') {
+    // Directory prefix: everything under it matches.
+    return path.substr(0, pattern.size()) == pattern;
+  }
+  // Classic backtracking fnmatch; `*` crosses '/' on purpose (patterns
+  // like `src/sim/random.*` and `tests/*_fixture*` read naturally).
+  std::size_t p = 0, s = 0, star = std::string_view::npos, mark = 0;
+  while (s < path.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == path[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool Allowlist::excluded(const std::string& rel) const {
+  for (const std::string& g : excludes) {
+    if (glob_match(g, rel)) return true;
+  }
+  return false;
+}
+
+bool Allowlist::allowed(const std::string& rel, const std::string& rule) const {
+  for (const AllowEntry& e : allows) {
+    if ((e.rule == "*" || e.rule == rule) && glob_match(e.glob, rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_allowlist(std::string_view text, Allowlist& out, std::string& err) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) continue;  // blank / comment-only
+    if (verb == "allow") {
+      AllowEntry e;
+      if (!(ls >> e.rule >> e.glob)) {
+        err = "allowlist line " + std::to_string(lineno) +
+              ": expected `allow <rule> <glob>`";
+        return false;
+      }
+      out.allows.push_back(std::move(e));
+    } else if (verb == "exclude") {
+      std::string glob;
+      if (!(ls >> glob)) {
+        err = "allowlist line " + std::to_string(lineno) +
+              ": expected `exclude <glob>`";
+        return false;
+      }
+      out.excludes.push_back(std::move(glob));
+    } else {
+      err = "allowlist line " + std::to_string(lineno) +
+            ": unknown directive `" + verb + "`";
+      return false;
+    }
+    std::string extra;
+    if (ls >> extra) {
+      err = "allowlist line " + std::to_string(lineno) +
+            ": trailing junk `" + extra + "`";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_lint(const Options& opts, Report& report, std::ostream& err) {
+  std::error_code ec;
+  const fs::path root = fs::absolute(opts.root, ec);
+  if (ec || !fs::is_directory(root)) {
+    err << "hwlint: root is not a directory: " << opts.root.string() << "\n";
+    return 2;
+  }
+
+  Allowlist allow;
+  fs::path allow_path = opts.allowlist;
+  const bool allow_explicit = !allow_path.empty();
+  if (!allow_explicit) allow_path = root / "tools" / "hwlint" / "allowlist.txt";
+  if (fs::exists(allow_path)) {
+    std::string text;
+    if (!read_file(allow_path, text)) {
+      err << "hwlint: cannot read allowlist " << allow_path.string() << "\n";
+      return 2;
+    }
+    std::string perr;
+    if (!parse_allowlist(text, allow, perr)) {
+      err << "hwlint: " << allow_path.string() << ": " << perr << "\n";
+      return 2;
+    }
+  } else if (allow_explicit) {
+    err << "hwlint: allowlist not found: " << allow_path.string() << "\n";
+    return 2;
+  }
+
+  // Resolve the scan set.
+  std::vector<fs::path> roots;
+  if (opts.paths.empty()) {
+    for (const char* d : kDefaultDirs) {
+      if (fs::is_directory(root / d)) roots.push_back(root / d);
+    }
+  } else {
+    for (const std::string& p : opts.paths) {
+      fs::path fp = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+      if (!fs::exists(fp)) {
+        err << "hwlint: no such file or directory: " << p << "\n";
+        return 2;
+      }
+      roots.push_back(std::move(fp));
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& r : roots) {
+    if (fs::is_regular_file(r)) {
+      files.push_back(r);
+      continue;
+    }
+    for (auto it = fs::recursive_directory_iterator(r, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file() && lintable_extension(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Pass 1: read everything, collect unordered-container names tree-wide.
+  std::map<std::string, std::string> sources;  // rel -> content (sorted)
+  std::set<std::string> unordered_names;
+  for (const fs::path& f : files) {
+    const std::string rel = to_rel(f, root);
+    if (allow.excluded(rel)) continue;
+    std::string content;
+    if (!read_file(f, content)) {
+      err << "hwlint: cannot read " << rel << "\n";
+      return 2;
+    }
+    const LexResult lexed = lex(content);
+    std::set<std::string> names = collect_unordered_names(lexed.tokens);
+    unordered_names.insert(names.begin(), names.end());
+    sources.emplace(rel, std::move(content));
+  }
+
+  // Pass 2: rules.
+  for (const auto& [rel, content] : sources) {
+    ++report.files_scanned;
+    std::vector<Violation> vs =
+        check_source(rel, content, unordered_names, &report.suppressed);
+    for (Violation& v : vs) {
+      if (allow.allowed(rel, v.rule)) {
+        ++report.allowlisted;
+      } else {
+        report.violations.push_back(std::move(v));
+      }
+    }
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return report.violations.empty() ? 0 : 1;
+}
+
+void print_text(const Report& report, std::ostream& out) {
+  for (const Violation& v : report.violations) {
+    out << v.file << ":" << v.line << ": " << v.rule << ": " << v.message
+        << "\n";
+  }
+  out << "hwlint: " << report.files_scanned << " files, "
+      << report.violations.size() << " violation"
+      << (report.violations.size() == 1 ? "" : "s") << " ("
+      << report.suppressed << " suppressed inline, " << report.allowlisted
+      << " allowlisted)\n";
+}
+
+void print_json(const Report& report, const Options& opts, std::ostream& out) {
+  out << "{\n  \"schema\": \"hwatch.hwlint_report/v1\",\n  \"root\": \"";
+  json_escape(out, opts.root.generic_string());
+  out << "\",\n  \"files_scanned\": " << report.files_scanned
+      << ",\n  \"suppressed\": " << report.suppressed
+      << ",\n  \"allowlisted\": " << report.allowlisted
+      << ",\n  \"violations\": [";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"file\": \"";
+    json_escape(out, v.file);
+    out << "\", \"line\": " << v.line << ", \"rule\": \"";
+    json_escape(out, v.rule);
+    out << "\", \"message\": \"";
+    json_escape(out, v.message);
+    out << "\"}";
+  }
+  out << (report.violations.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace hwlint

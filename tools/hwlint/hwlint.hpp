@@ -1,0 +1,183 @@
+// hwlint — project-specific static analysis for the HWatch simulator.
+//
+// The engine's credibility rests on two machine-checkable properties:
+// runs are bit-reproducible (all nondeterminism flows through
+// sim::SimContext) and the packet hot path never touches the global
+// allocator.  Nothing in the compiler enforces either, so this tool
+// does: a lightweight C++ tokenizer (comments, strings and preprocessor
+// lines stripped; identifiers joined across `::`) walks src/, bench/,
+// tests/ and tools/ and applies the rules below.  It is deliberately
+// dependency-free — plain C++20 and <filesystem> — so the lint gate
+// costs nothing to build anywhere the simulator builds.
+//
+// Rules (ids are what `// hwlint: allow(<rule>)` and the allowlist use):
+//
+//   nondeterminism     std::random_device, rand()/srand(), time()/clock(),
+//                      std::chrono::{system,steady,high_resolution}_clock,
+//                      gettimeofday/clock_gettime/getrandom anywhere in
+//                      the tree.  Wall-clock reads are only legitimate in
+//                      sim/random (the seeded entropy root), the manifest
+//                      `environment` section, and bench wall timing — all
+//                      covered by the checked-in allowlist.
+//
+//   hot-path-container std::function / std::deque / std::list in the
+//                      hot-path dirs (src/sim, src/net, src/tcp,
+//                      src/hwatch).  These either allocate per element
+//                      (deque, list) or force copyability and heap spills
+//                      (std::function); the repo provides UniqueFunction
+//                      and PacketRing instead.
+//
+//   hot-path-alloc     raw `new` / `delete` (placement new and
+//                      `operator new` declarations are recognised and
+//                      permitted) and malloc/calloc/realloc/free in the
+//                      hot-path dirs.  Allocation goes through the
+//                      SimContext pools; the pool implementation itself
+//                      is allowlisted.
+//
+//   unordered-iter     iteration (range-for, .begin()/.cbegin()/...)
+//                      over a name declared anywhere in the tree as
+//                      std::unordered_map / std::unordered_set.  Hash
+//                      order is implementation-defined, so iterating one
+//                      into a manifest, flow-record dump or stats table
+//                      silently breaks byte-identical output.  Point
+//                      lookups (find/insert/erase) stay fine.  Applies
+//                      to src/ and tools/.
+//
+//   mutable-global     mutable namespace-scope state (static,
+//                      thread_local, extern or anonymous-namespace
+//                      variables that are not const/constexpr) in src/
+//                      outside src/sim — shared state across SimContext
+//                      instances breaks the zero-shared-state design.
+//                      The sim internals (log sinks, spill arenas) are
+//                      exempt by path.
+//
+// Suppression: `// hwlint: allow(rule)` (or `allow(rule1, rule2)`,
+// or `allow(*)`) on the offending line, or alone on the line above.
+// A checked-in allowlist file (default <root>/tools/hwlint/allowlist.txt)
+// holds `allow <rule> <glob>` and `exclude <glob>` lines.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hwlint {
+
+// ---------------------------------------------------------------- lexer
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// An inline `hwlint: allow(...)` comment.  `rules` empty means
+/// `allow(*)`.  When the comment is the only thing on its line it also
+/// covers the following line.
+struct Suppression {
+  int line = 0;
+  bool whole_line = false;
+  std::vector<std::string> rules;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  /// Lines carrying a `hwlint:` marker that did not parse as
+  /// `allow(rule[, rule...])` — reported as violations of rule
+  /// "bad-suppression" so typos cannot silently disable the gate.
+  std::vector<int> malformed_suppressions;
+};
+
+/// Tokenizes one translation unit: strips comments (collecting hwlint
+/// markers), string/char literals (raw strings included) and
+/// preprocessor directives; joins nothing — `::` is a single punct
+/// token so rule code can reassemble qualified names.
+LexResult lex(std::string_view source);
+
+// ---------------------------------------------------------------- rules
+
+struct Violation {
+  std::string file;  // root-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+inline constexpr std::string_view kRuleNondeterminism = "nondeterminism";
+inline constexpr std::string_view kRuleHotPathContainer = "hot-path-container";
+inline constexpr std::string_view kRuleHotPathAlloc = "hot-path-alloc";
+inline constexpr std::string_view kRuleUnorderedIter = "unordered-iter";
+inline constexpr std::string_view kRuleMutableGlobal = "mutable-global";
+inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
+
+/// All rule ids, for `--help` and the tests.
+const std::vector<std::string>& all_rules();
+
+/// Scans a token stream for names declared as unordered containers
+/// (members, locals, parameters).  Collected across every scanned file
+/// before rule checks run, so a member declared in a header is caught
+/// when iterated in its .cpp.
+std::set<std::string> collect_unordered_names(const std::vector<Token>& toks);
+
+/// Runs every rule over one file.  `rel_path` (forward slashes, relative
+/// to the scan root) decides which rules apply; `unordered_names` is the
+/// tree-wide set from collect_unordered_names.  Inline suppressions are
+/// applied here; allowlist filtering happens in the driver.
+std::vector<Violation> check_source(
+    const std::string& rel_path, std::string_view source,
+    const std::set<std::string>& unordered_names,
+    std::size_t* suppressed_count = nullptr);
+
+// --------------------------------------------------------------- driver
+
+struct AllowEntry {
+  std::string rule;  // "*" matches every rule
+  std::string glob;  // `*` matches any run of characters, `?` one
+};
+
+struct Allowlist {
+  std::vector<AllowEntry> allows;
+  std::vector<std::string> excludes;  // globs; matching files are skipped
+
+  bool excluded(const std::string& rel_path) const;
+  bool allowed(const std::string& rel_path, const std::string& rule) const;
+};
+
+/// `*` crosses directory separators; a pattern ending in `/` matches any
+/// path under that prefix.
+bool glob_match(std::string_view pattern, std::string_view path);
+
+/// Parses `allow <rule> <glob>` / `exclude <glob>` lines (# comments).
+/// Returns false (with a message in `err`) on malformed input.
+bool parse_allowlist(std::string_view text, Allowlist& out, std::string& err);
+
+struct Options {
+  std::filesystem::path root = ".";
+  std::vector<std::string> paths;  // explicit files/dirs; empty => default dirs
+  std::filesystem::path allowlist;  // empty => <root>/tools/hwlint/allowlist.txt
+  bool json = false;
+};
+
+struct Report {
+  std::vector<Violation> violations;  // sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;   // silenced by inline comments
+  std::size_t allowlisted = 0;  // silenced by the allowlist file
+};
+
+/// Walks the tree, runs the rules, fills `report`.  Returns 0 when the
+/// tree is clean, 1 when violations remain, 2 on usage/IO errors.
+int run_lint(const Options& opts, Report& report, std::ostream& err);
+
+/// Renders `file:line: rule: message` lines (stable order).
+void print_text(const Report& report, std::ostream& out);
+
+/// Renders the machine-readable report (schema hwatch.hwlint_report/v1).
+void print_json(const Report& report, const Options& opts, std::ostream& out);
+
+}  // namespace hwlint

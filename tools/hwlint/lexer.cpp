@@ -1,0 +1,230 @@
+// Tokenizer for hwlint: good enough to reassemble qualified names and
+// spot banned constructs, cheap enough to run over the whole tree in
+// milliseconds.  Not a C++ parser — comments, string/char literals
+// (raw strings included) and preprocessor directives are stripped so
+// rule code only ever sees code tokens.
+
+#include "hwlint/hwlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace hwlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses the text of one comment for a `hwlint:` marker.  Returns true
+/// when a marker is present; `ok` says whether it parsed as
+/// `allow(rule[, rule...])`.
+bool parse_marker(std::string_view comment, bool& ok,
+                  std::vector<std::string>& rules) {
+  const std::size_t at = comment.find("hwlint:");
+  if (at == std::string_view::npos) return false;
+  ok = false;
+  rules.clear();
+  std::size_t i = at + 7;
+  while (i < comment.size() && comment[i] == ' ') ++i;
+  // Only `hwlint:` followed by `allow` is a marker; anything else is
+  // prose *about* hwlint (docs, this file) and is ignored.  A malformed
+  // marker is therefore one where `allow` is present but the rule list
+  // does not parse — that is still reported, so a typo like
+  // `allow nondeterminism` (missing parens) cannot disable the gate.
+  if (comment.compare(i, 5, "allow") != 0) return false;
+  i += 5;
+  while (i < comment.size() && comment[i] == ' ') ++i;
+  if (i >= comment.size() || comment[i] != '(') return true;
+  ++i;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string_view::npos) return true;
+  std::string cur;
+  for (; i < close; ++i) {
+    const char c = comment[i];
+    if (c == ',' ) {
+      if (!cur.empty()) rules.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) rules.push_back(cur);
+  if (rules.empty()) return true;  // allow() with nothing inside
+  if (rules.size() == 1 && rules[0] == "*") rules.clear();  // allow-all
+  ok = true;
+  return true;
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  // Offset of the first character of the current line, to decide
+  // whether a comment stands alone on its line.
+  std::size_t line_start = 0;
+
+  auto only_ws_before = [&](std::size_t pos) {
+    for (std::size_t k = line_start; k < pos; ++k) {
+      if (src[k] != ' ' && src[k] != '\t') return false;
+    }
+    return true;
+  };
+
+  auto note_comment = [&](std::size_t begin, std::size_t end, int at_line,
+                          bool alone) {
+    bool ok = false;
+    std::vector<std::string> rules;
+    if (!parse_marker(src.substr(begin, end - begin), ok, rules)) return;
+    if (!ok) {
+      out.malformed_suppressions.push_back(at_line);
+      return;
+    }
+    out.suppressions.push_back(Suppression{at_line, alone, std::move(rules)});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honouring \-splices).
+    if (c == '#' && only_ws_before(i)) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          line_start = i;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const bool alone = only_ws_before(i);
+      const std::size_t begin = i;
+      while (i < n && src[i] != '\n') ++i;
+      note_comment(begin, i, line, alone);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const bool alone = only_ws_before(i);
+      const int at_line = line;
+      const std::size_t begin = i;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
+        ++i;
+      }
+      const std::size_t end = (i + 1 < n) ? i : n;
+      i = (i + 1 < n) ? i + 2 : n;
+      note_comment(begin, end, at_line, alone);
+      continue;
+    }
+    // String literal (with a possible raw-string delimiter).  The
+    // encoding prefix (u8, L, ...) was already emitted as an identifier
+    // token; detect rawness by the 'R' directly before the quote.
+    if (c == '"') {
+      const bool raw = i > 0 && src[i - 1] == 'R';
+      ++i;
+      if (raw) {
+        std::string delim;
+        while (i < n && src[i] != '(') delim += src[i++];
+        ++i;  // '('
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = src.find(close, i);
+        for (std::size_t k = i; k < std::min(end, n); ++k) {
+          if (src[k] == '\n') {
+            ++line;
+            line_start = k + 1;
+          }
+        }
+        i = end == std::string_view::npos ? n : end + close.size();
+      } else {
+        while (i < n && src[i] != '"') {
+          if (src[i] == '\\' && i + 1 < n) ++i;
+          if (src[i] == '\n') {
+            ++line;
+            line_start = i + 1;
+          }
+          ++i;
+        }
+        if (i < n) ++i;  // closing quote
+      }
+      continue;
+    }
+    // Character literal.  A '\'' directly after an identifier character
+    // or digit is a C++14 digit separator / part of a number suffix and
+    // is handled by the number scanner, so reaching here means a real
+    // char literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          Token{Token::Kind::kIdentifier, std::string(src.substr(begin, i - begin)), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t begin = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > begin &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')) ||
+                       src[i] == '.')) {
+        ++i;
+      }
+      out.tokens.push_back(
+          Token{Token::Kind::kNumber, std::string(src.substr(begin, i - begin)), line});
+      continue;
+    }
+    // Punctuation.  `::` and `->` are kept as single tokens; everything
+    // else is one character (so `>>` closing two templates is two `>`s,
+    // which is exactly what the template-skipper wants).
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back(Token{Token::Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back(Token{Token::Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace hwlint

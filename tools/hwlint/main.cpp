@@ -1,0 +1,70 @@
+// hwlint CLI.  Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "hwlint/hwlint.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: hwlint [--root DIR] [--allowlist FILE] [--json] [paths...]\n"
+        "\n"
+        "Project-specific static analysis for the HWatch simulator.\n"
+        "Scans src/ bench/ tests/ tools/ examples/ under --root (default:\n"
+        "the current directory) unless explicit paths are given.  The\n"
+        "allowlist defaults to <root>/tools/hwlint/allowlist.txt when\n"
+        "present.\n"
+        "\n"
+        "Rules:\n";
+  for (const std::string& r : hwlint::all_rules()) {
+    os << "  " << r << "\n";
+  }
+  os << "\nSuppress inline with `// hwlint: allow(rule)` on the line (or\n"
+        "alone on the line above); see tools/hwlint/hwlint.hpp for the\n"
+        "full rule rationale.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hwlint::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) {
+        std::cerr << "hwlint: --root needs a directory\n";
+        return 2;
+      }
+      opts.root = argv[i];
+    } else if (arg == "--allowlist") {
+      if (++i >= argc) {
+        std::cerr << "hwlint: --allowlist needs a file\n";
+        return 2;
+      }
+      opts.allowlist = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "hwlint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      opts.paths.emplace_back(arg);
+    }
+  }
+
+  hwlint::Report report;
+  const int rc = hwlint::run_lint(opts, report, std::cerr);
+  if (rc == 2) return 2;
+  if (opts.json) {
+    hwlint::print_json(report, opts, std::cout);
+  } else {
+    hwlint::print_text(report, std::cout);
+  }
+  return rc;
+}

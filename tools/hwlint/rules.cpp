@@ -1,0 +1,465 @@
+// Rule implementations.  Each rule walks the token stream produced by
+// lex(); see hwlint.hpp for what every rule protects and why.
+
+#include "hwlint/hwlint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+
+namespace hwlint {
+
+namespace {
+
+using Toks = std::vector<Token>;
+
+bool is_ident(const Token& t) { return t.kind == Token::Kind::kIdentifier; }
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+
+/// Reassembles the qualified name ending at identifier `i`
+/// ("std::chrono::steady_clock" for the token `steady_clock`).
+std::string qualified_name(const Toks& t, std::size_t i) {
+  std::string name = t[i].text;
+  std::size_t k = i;
+  while (k >= 2 && is_punct(t[k - 1], "::") && is_ident(t[k - 2])) {
+    name.insert(0, t[k - 2].text + "::");
+    k -= 2;
+  }
+  return name;
+}
+
+const Token* prev_tok(const Toks& t, std::size_t i) {
+  return i > 0 ? &t[i - 1] : nullptr;
+}
+const Token* next_tok(const Toks& t, std::size_t i) {
+  return i + 1 < t.size() ? &t[i + 1] : nullptr;
+}
+
+/// Keywords that legitimately precede a call expression (so `return
+/// time(...)` is a call, while `std::uint64_t time(...)` is a
+/// declaration of a same-named project function).
+bool is_call_preceder_keyword(const Token& t) {
+  static const std::unordered_set<std::string> kSet = {
+      "return", "co_return", "co_yield", "co_await", "else", "do"};
+  return is_ident(t) && kSet.count(t.text) != 0;
+}
+
+/// True when identifier `i` is a call (followed by `(`) of a free or
+/// std-qualified function — member calls (`x.time(...)`) don't count.
+bool is_free_call(const Toks& t, std::size_t i) {
+  const Token* nx = next_tok(t, i);
+  if (nx == nullptr || !is_punct(*nx, "(")) return false;
+  const Token* pv = prev_tok(t, i);
+  if (pv == nullptr) return true;
+  if (is_punct(*pv, ".") || is_punct(*pv, "->")) return false;
+  if (is_punct(*pv, "::")) {
+    // Qualified: only std:: (or global ::) still counts as the banned
+    // library function; anything_else::time() is the project's own.
+    if (i >= 2 && is_ident(t[i - 2]) && !is_call_preceder_keyword(t[i - 2])) {
+      return t[i - 2].text == "std";
+    }
+    return true;  // leading ::time()
+  }
+  // `Type time(...)` / `Type* time(...)` is a declaration, not a call.
+  if (is_ident(*pv)) return is_call_preceder_keyword(*pv);
+  if (is_punct(*pv, ">") || is_punct(*pv, "*") || is_punct(*pv, "&")) {
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------- rule scoping
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool in_hot_path(std::string_view rel) {
+  return starts_with(rel, "src/sim/") || starts_with(rel, "src/net/") ||
+         starts_with(rel, "src/tcp/") || starts_with(rel, "src/hwatch/");
+}
+
+bool unordered_iter_applies(std::string_view rel) {
+  return starts_with(rel, "src/") || starts_with(rel, "tools/");
+}
+
+bool mutable_global_applies(std::string_view rel) {
+  return starts_with(rel, "src/") && !starts_with(rel, "src/sim/");
+}
+
+// ------------------------------------------------------ nondeterminism
+
+const std::unordered_set<std::string>& banned_qualified() {
+  static const std::unordered_set<std::string> kSet = {
+      "std::random_device",
+      "random_device",
+      "std::chrono::system_clock",
+      "std::chrono::steady_clock",
+      "std::chrono::high_resolution_clock",
+      "chrono::system_clock",
+      "chrono::steady_clock",
+      "chrono::high_resolution_clock",
+      "system_clock",
+      "steady_clock",
+      "high_resolution_clock",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& banned_calls() {
+  static const std::unordered_set<std::string> kSet = {
+      "rand",     "srand",         "time",        "clock",
+      "gettimeofday", "clock_gettime", "timespec_get", "getrandom",
+  };
+  return kSet;
+}
+
+void check_nondeterminism(const std::string& rel, const Toks& t,
+                          std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    const std::string qn = qualified_name(t, i);
+    if (banned_qualified().count(qn) != 0) {
+      out.push_back({rel, t[i].line, std::string(kRuleNondeterminism),
+                     "wall-clock / entropy source `" + qn +
+                         "`; route nondeterminism through sim::SimContext "
+                         "(seeded sim::Rng, manifest environment section)"});
+      continue;
+    }
+    if (banned_calls().count(t[i].text) != 0 && is_free_call(t, i)) {
+      out.push_back({rel, t[i].line, std::string(kRuleNondeterminism),
+                     "call to `" + t[i].text +
+                         "()` is nondeterministic; use the SimContext "
+                         "clock/Rng instead"});
+    }
+  }
+}
+
+// -------------------------------------------------- hot-path-container
+
+void check_hot_path_container(const std::string& rel, const Toks& t,
+                              std::vector<Violation>& out) {
+  static const std::unordered_set<std::string> kBanned = {
+      "std::function", "std::deque", "std::list"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    const std::string qn = qualified_name(t, i);
+    if (kBanned.count(qn) == 0) continue;
+    const char* alt =
+        qn == "std::function"
+            ? "sim::UniqueFunction (move-only, SBO, no per-event heap)"
+            : "net::PacketRing / std::vector (deque and list allocate "
+              "per node)";
+    out.push_back({rel, t[i].line, std::string(kRuleHotPathContainer),
+                   "`" + qn + "` in a hot-path dir; use " + alt});
+  }
+}
+
+// ------------------------------------------------------ hot-path-alloc
+
+void check_hot_path_alloc(const std::string& rel, const Toks& t,
+                          std::vector<Violation>& out) {
+  static const std::unordered_set<std::string> kAllocCalls = {
+      "malloc", "calloc", "realloc", "free", "aligned_alloc"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    const Token* pv = prev_tok(t, i);
+    const Token* nx = next_tok(t, i);
+    if (t[i].text == "new") {
+      // `operator new` declarations and placement new (`new (buf) T`,
+      // including `::new`) are the sanctioned forms.
+      if (pv != nullptr && pv->text == "operator") continue;
+      if (nx != nullptr && is_punct(*nx, "(")) continue;
+      out.push_back({rel, t[i].line, std::string(kRuleHotPathAlloc),
+                     "raw `new` in a hot-path dir; allocate through the "
+                     "SimContext pools or pre-reserve at construction"});
+      continue;
+    }
+    if (t[i].text == "delete") {
+      if (pv != nullptr && (pv->text == "operator" || is_punct(*pv, "="))) {
+        continue;  // deleted function / operator delete declaration
+      }
+      out.push_back({rel, t[i].line, std::string(kRuleHotPathAlloc),
+                     "raw `delete` in a hot-path dir; hot-path objects are "
+                     "pool-recycled or value-owned"});
+      continue;
+    }
+    if (kAllocCalls.count(t[i].text) != 0 && is_free_call(t, i)) {
+      out.push_back({rel, t[i].line, std::string(kRuleHotPathAlloc),
+                     "`" + t[i].text +
+                         "()` in a hot-path dir; the hot path must not "
+                         "touch the global allocator"});
+    }
+  }
+}
+
+// ------------------------------------------------------- unordered-iter
+
+/// Skips a balanced `<...>` starting at the `<` in position i; returns
+/// the index one past the closing `>` (or toks.size() when unbalanced).
+std::size_t skip_template_args(const Toks& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(t[i], "<")) ++depth;
+    if (is_punct(t[i], ">") && --depth == 0) return i + 1;
+    // A `;` at template depth means we misparsed (comparison operator);
+    // bail rather than eat the rest of the file.
+    if (is_punct(t[i], ";")) return i;
+  }
+  return i;
+}
+
+}  // namespace
+
+std::set<std::string> collect_unordered_names(const Toks& t) {
+  static const std::unordered_set<std::string> kContainers = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i]) || kContainers.count(t[i].text) == 0) continue;
+    std::size_t k = i + 1;
+    if (k >= t.size() || !is_punct(t[k], "<")) continue;
+    k = skip_template_args(t, k);
+    // Skip declarator decorations (`&`, `*`, trailing `const`) between
+    // the template closer and the declared name; `&&` is two `&` tokens.
+    while (k < t.size() &&
+           (is_punct(t[k], "&") || is_punct(t[k], "*") ||
+            (is_ident(t[k]) && t[k].text == "const"))) {
+      ++k;
+    }
+    if (k >= t.size() || !is_ident(t[k])) continue;
+    const std::size_t name_idx = k;
+    const Token* after = next_tok(t, name_idx);
+    // `name(` is a function returning the container — not a variable.
+    if (after != nullptr && is_punct(*after, "(")) continue;
+    names.insert(t[name_idx].text);
+  }
+  return names;
+}
+
+namespace {
+
+void check_unordered_iter(const std::string& rel, const Toks& t,
+                          const std::set<std::string>& names,
+                          std::vector<Violation>& out) {
+  if (names.empty()) return;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for: `for ( decl : expr )` — flag when any identifier in the
+    // range expression names an unordered container.
+    if (is_ident(t[i]) && t[i].text == "for" && i + 1 < t.size() &&
+        is_punct(t[i + 1], "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t k = i + 1; k < t.size(); ++k) {
+        if (is_punct(t[k], "(")) ++depth;
+        if (is_punct(t[k], ")") && --depth == 0) {
+          close = k;
+          break;
+        }
+        if (depth == 1 && colon == 0 && is_punct(t[k], ":")) colon = k;
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t k = colon + 1; k < close; ++k) {
+          if (is_ident(t[k]) && names.count(t[k].text) != 0) {
+            out.push_back(
+                {rel, t[k].line, std::string(kRuleUnorderedIter),
+                 "range-for over unordered container `" + t[k].text +
+                     "`; hash order is implementation-defined — copy to a "
+                     "sorted vector or use an ordered container"});
+            break;
+          }
+        }
+      }
+    }
+    // Explicit iterator walk: name.begin() / cbegin / rbegin / crbegin.
+    if (is_ident(t[i]) && names.count(t[i].text) != 0 && i + 2 < t.size() &&
+        (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
+        is_ident(t[i + 2])) {
+      // `.end()` alone is NOT flagged: `it != m.end()` after a find()
+      // is the sanctioned point-lookup idiom.  Walks start at begin().
+      static const std::unordered_set<std::string> kIterFns = {
+          "begin", "cbegin", "rbegin", "crbegin"};
+      if (kIterFns.count(t[i + 2].text) != 0 && i + 3 < t.size() &&
+          is_punct(t[i + 3], "(")) {
+        out.push_back({rel, t[i].line, std::string(kRuleUnorderedIter),
+                       "iterator walk over unordered container `" + t[i].text +
+                           "`; iteration order is implementation-defined"});
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ mutable-global
+
+/// Statement-head classification for scope tracking.
+enum class ScopeKind { kNamespace, kClass, kFunction, kOther };
+
+bool head_has(const Toks& head, std::string_view word) {
+  for (const Token& t : head) {
+    if (t.kind == Token::Kind::kIdentifier && t.text == word) return true;
+  }
+  return false;
+}
+bool head_has_punct(const Toks& head, std::string_view p) {
+  for (const Token& t : head) {
+    if (t.kind == Token::Kind::kPunct && t.text == p) return true;
+  }
+  return false;
+}
+
+/// Decides whether the tokens of one namespace-scope statement declare a
+/// mutable variable (as opposed to a function, type, alias, ...).
+bool head_is_mutable_var(const Toks& head) {
+  if (head.size() < 2) return false;
+  static const std::array<std::string_view, 12> kSkipWords = {
+      "using",  "typedef", "friend",    "template",  "operator", "class",
+      "struct", "union",   "enum",      "const",     "constexpr", "consteval"};
+  for (std::string_view w : kSkipWords) {
+    if (head_has(head, w)) return false;
+  }
+  if (!head_has(head, "static") && !head_has(head, "thread_local") &&
+      !head_has(head, "extern")) {
+    // Plain `int g = 0;` at namespace scope is just as mutable, but only
+    // flag it when it really looks like a variable (has an initializer);
+    // without one we cannot cheaply tell a declaration from a macro use.
+    if (!head_has_punct(head, "=")) return false;
+  }
+  // Function if the first `(` comes before any `=`.
+  std::size_t first_paren = head.size();
+  std::size_t first_eq = head.size();
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    if (first_paren == head.size() && head[i].kind == Token::Kind::kPunct &&
+        head[i].text == "(") {
+      first_paren = i;
+    }
+    if (first_eq == head.size() && head[i].kind == Token::Kind::kPunct &&
+        head[i].text == "=") {
+      first_eq = i;
+    }
+  }
+  if (first_paren < first_eq) return false;
+  // Needs at least a type token and a name token.
+  int idents = 0;
+  for (const Token& t : head) {
+    if (t.kind == Token::Kind::kIdentifier) ++idents;
+  }
+  return idents >= 2;
+}
+
+void check_mutable_global(const std::string& rel, const Toks& t,
+                          std::vector<Violation>& out) {
+  std::vector<ScopeKind> scopes;
+  Toks head;
+  auto at_namespace_scope = [&] {
+    return scopes.empty() || scopes.back() == ScopeKind::kNamespace;
+  };
+  auto flag = [&](int line) {
+    out.push_back({rel, line, std::string(kRuleMutableGlobal),
+                   "mutable namespace-scope state; SimContext owns all "
+                   "mutable state so parallel scenarios share nothing "
+                   "(const/constexpr is fine)"});
+  };
+  for (const Token& tok : t) {
+    if (is_punct(tok, "{")) {
+      ScopeKind kind = ScopeKind::kOther;
+      if (head_has(head, "namespace")) {
+        kind = ScopeKind::kNamespace;
+      } else if (head_has_punct(head, "(") || head_has_punct(head, ")")) {
+        kind = ScopeKind::kFunction;
+      } else if (head_has(head, "class") || head_has(head, "struct") ||
+                 head_has(head, "union") || head_has(head, "enum")) {
+        kind = ScopeKind::kClass;
+      } else if (at_namespace_scope() && head_is_mutable_var(head)) {
+        // Brace-initialized namespace-scope variable: `static int x{0};`
+        flag(tok.line);
+      }
+      scopes.push_back(kind);
+      head.clear();
+      continue;
+    }
+    if (is_punct(tok, "}")) {
+      if (!scopes.empty()) scopes.pop_back();
+      head.clear();
+      continue;
+    }
+    if (is_punct(tok, ";")) {
+      if (at_namespace_scope() && head_is_mutable_var(head)) {
+        flag(head.front().line);
+      }
+      head.clear();
+      continue;
+    }
+    if (head.size() < 512) head.push_back(tok);
+  }
+}
+
+// --------------------------------------------------------- suppression
+
+bool suppressed(const std::vector<Suppression>& sups, const Violation& v) {
+  for (const Suppression& s : sups) {
+    const bool line_match =
+        s.line == v.line || (s.whole_line && s.line + 1 == v.line);
+    if (!line_match) continue;
+    if (s.rules.empty()) return true;  // allow(*)
+    for (const std::string& r : s.rules) {
+      if (r == v.rule) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      std::string(kRuleNondeterminism),    std::string(kRuleHotPathContainer),
+      std::string(kRuleHotPathAlloc),      std::string(kRuleUnorderedIter),
+      std::string(kRuleMutableGlobal),     std::string(kRuleBadSuppression)};
+  return kRules;
+}
+
+std::vector<Violation> check_source(
+    const std::string& rel, std::string_view source,
+    const std::set<std::string>& unordered_names,
+    std::size_t* suppressed_count) {
+  const LexResult lexed = lex(source);
+  std::vector<Violation> raw;
+  check_nondeterminism(rel, lexed.tokens, raw);
+  if (in_hot_path(rel)) {
+    check_hot_path_container(rel, lexed.tokens, raw);
+    check_hot_path_alloc(rel, lexed.tokens, raw);
+  }
+  if (unordered_iter_applies(rel)) {
+    check_unordered_iter(rel, lexed.tokens, unordered_names, raw);
+  }
+  if (mutable_global_applies(rel)) {
+    check_mutable_global(rel, lexed.tokens, raw);
+  }
+  std::vector<Violation> kept;
+  for (Violation& v : raw) {
+    if (suppressed(lexed.suppressions, v)) {
+      if (suppressed_count != nullptr) ++*suppressed_count;
+    } else {
+      kept.push_back(std::move(v));
+    }
+  }
+  // A malformed marker is always reported — a typo in `allow(...)` must
+  // not silently turn the gate off.
+  for (int line : lexed.malformed_suppressions) {
+    kept.push_back({rel, line, std::string(kRuleBadSuppression),
+                    "unparsable `hwlint:` comment; expected "
+                    "`hwlint: allow(rule[, rule...])`"});
+  }
+  std::sort(kept.begin(), kept.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return kept;
+}
+
+}  // namespace hwlint
