@@ -10,6 +10,8 @@
 #include "net/queue.hpp"
 #include "sim/context.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/self_profiler.hpp"
+#include "sim/trace_span.hpp"
 #include "tcp/connection.hpp"
 #include "topo/dumbbell.hpp"
 
@@ -272,6 +274,62 @@ void BM_MetricsHistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MetricsHistogramRecord)->Arg(0)->Arg(1);
+
+/// Span-tracer hooks on the disabled path: the contract is the same as
+/// the registry's — one predictable branch per hook, no allocation, no
+/// hashing.  Arg(0) = disabled (what every default run pays at each
+/// instrumented site), Arg(1) = enabled (record into the event buffer;
+/// the buffer is drained each iteration block so it never hits the cap).
+void BM_SpanTracerHooks(benchmark::State& state) {
+  sim::SpanTracer tr;
+  tr.set_enabled(state.range(0) != 0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t id =
+        tr.begin_span(static_cast<sim::TimePs>(i), sim::SpanKind::kRecovery,
+                      1, 1, i);
+    tr.add_latency(id, sim::LatencyComponent::kQueueing,
+                   static_cast<sim::TimePs>(i % 1'000'000));
+    tr.end_span(static_cast<sim::TimePs>(i + 1), id);
+    benchmark::DoNotOptimize(id);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_SpanTracerHooks)->Arg(0)->Arg(1);
+
+/// Flow-span lookup links do per traced packet (disabled: the enabled()
+/// guard in the caller makes this free; this bench isolates the lookup
+/// itself for the enabled path).
+void BM_SpanTracerFlowLookup(benchmark::State& state) {
+  sim::SpanTracer tr;
+  tr.set_enabled(true);
+  for (std::uint64_t f = 0; f < 64; ++f) {
+    const std::uint64_t id = tr.begin_span(0, sim::SpanKind::kFlow, 0, 0);
+    tr.register_flow(f, f << 16, id);
+  }
+  std::uint64_t f = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tr.flow_span_of(f, f << 16));
+    f = (f + 1) % 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanTracerFlowLookup);
+
+/// ProfScope on the disabled path: one branch at construction, one at
+/// destruction, no clock read.  Arg(1) shows the two steady_clock reads
+/// the enabled path pays per handler.
+void BM_ProfScope(benchmark::State& state) {
+  sim::SelfProfiler prof;
+  prof.set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    sim::ProfScope scope(prof, sim::ProfComponent::kTcpSender);
+    benchmark::DoNotOptimize(prof);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScope)->Arg(0)->Arg(1);
 
 /// DropTail churn with a depth histogram attached: Arg(0) = registry
 /// disabled (the branch-only path every default run takes once a

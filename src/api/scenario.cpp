@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
 #include "sim/context.hpp"
@@ -299,7 +303,67 @@ void finish_manifest(ScenarioResults& res, sim::SimContext& ctx,
   man.series = series_json(sampler);
   man.wall_time_ms = wall_ms;
   res.has_manifest = true;
-  if (metrics_dir != nullptr) man.write_file(metrics_dir);
+  if (metrics_dir != nullptr && man.write_file(metrics_dir).empty()) {
+    throw std::runtime_error(
+        std::string("HWATCH_METRICS_DIR=\"") + metrics_dir +
+        "\": cannot create the directory or write the manifest file; "
+        "point HWATCH_METRICS_DIR at a writable path");
+  }
+}
+
+/// Label shared by the manifest and the trace files.
+std::string run_label_of(const std::string& label, const char* kind,
+                         std::uint64_t seed) {
+  return label.empty()
+             ? std::string(kind) + "-seed" + std::to_string(seed)
+             : label;
+}
+
+/// Closes open spans, harvests the flow timeline and serializes both
+/// trace forms; writes them under `trace_dir` when set.  Runs after the
+/// scheduler stops, so none of this touches the hot path.
+void finish_tracing(ScenarioResults& res, sim::SimContext& ctx,
+                    const std::string& label, const char* trace_dir) {
+  ctx.tracer().close_open_spans(ctx.now());
+  res.timeline = stats::FlowTimeline::build(ctx.tracer());
+  res.has_timeline = true;
+  std::ostringstream spans;
+  ctx.tracer().dump_jsonl(spans);
+  res.trace_spans_jsonl = spans.str();
+  std::ostringstream chrome;
+  ctx.tracer().export_chrome(chrome, label);
+  res.trace_chrome = chrome.str();
+  if (trace_dir == nullptr) return;
+
+  const std::string stem = sim::RunManifest::sanitize(label);
+  std::error_code ec;
+  std::filesystem::create_directories(trace_dir, ec);
+  const auto write = [&](const char* suffix, const std::string& body) {
+    const std::filesystem::path path =
+        std::filesystem::path(trace_dir) / (stem + suffix);
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    if (!out) {
+      throw std::runtime_error(
+          std::string("HWATCH_TRACE_DIR=\"") + trace_dir +
+          "\": cannot create the directory or write \"" + path.string() +
+          "\"; point HWATCH_TRACE_DIR at a writable path");
+    }
+  };
+  write(".spans.jsonl", res.trace_spans_jsonl);
+  write(".trace.json", res.trace_chrome);
+}
+
+/// Prints the self-profiler report (stderr: wall times never belong in
+/// result streams).
+void finish_profile(const sim::SimContext& ctx, std::uint64_t run_wall_ns) {
+  const sim::Scheduler& sched = ctx.scheduler();
+  sim::EventLoopStats loop;
+  loop.events_executed = sched.executed();
+  loop.events_scheduled = sched.scheduled();
+  loop.heap_peak = sched.heap_peak();
+  loop.wall_ns = run_wall_ns;
+  ctx.profiler().report(std::cerr, &loop);
 }
 
 // Wall-clock time feeds only the manifest `environment` section, which
@@ -312,15 +376,27 @@ double wall_ms_since(WallClock::time_point t0) {
       .count();
 }
 
+/// True when `name` is set to anything but "" or "0".
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && *raw != '\0' &&
+         !(raw[0] == '0' && raw[1] == '\0');
+}
+
 }  // namespace
 
 ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
   const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
   const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const char* trace_dir = std::getenv("HWATCH_TRACE_DIR");
+  const bool trace = cfg.trace_spans || trace_dir != nullptr;
+  const bool profile = cfg.profile || env_flag("HWATCH_PROFILE");
   const WallClock::time_point wall0 = WallClock::now();
 
   sim::SimContext ctx(cfg.seed);
   if (collect) ctx.metrics().set_enabled(true);
+  if (trace) ctx.tracer().set_enabled(true);
+  if (profile) ctx.profiler().set_enabled(true);
   sim::Scheduler& sched = ctx.scheduler();
   net::Network net(ctx);
   sim::Rng& rng = ctx.rng();
@@ -385,7 +461,14 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
     metrics_sampler.emplace(ctx, cfg.sample_interval, cfg.duration);
   }
 
-  sched.run_until(cfg.duration);
+  std::uint64_t run_wall_ns = 0;
+  if (profile) {
+    const std::uint64_t t0 = ctx.profiler().now_ns();
+    sched.run_until(cfg.duration);
+    run_wall_ns = ctx.profiler().now_ns() - t0;
+  } else {
+    sched.run_until(cfg.duration);
+  }
 
   ScenarioResults res;
   res.records = tm.collect_records();
@@ -416,16 +499,27 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
                     std::move(config), *metrics_sampler,
                     wall_ms_since(wall0), metrics_dir);
   }
+  if (trace) {
+    finish_tracing(res, ctx,
+                   run_label_of(cfg.run_label, "dumbbell", cfg.seed),
+                   trace_dir);
+  }
+  if (profile) finish_profile(ctx, run_wall_ns);
   return res;
 }
 
 ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
   const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
   const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const char* trace_dir = std::getenv("HWATCH_TRACE_DIR");
+  const bool trace = cfg.trace_spans || trace_dir != nullptr;
+  const bool profile = cfg.profile || env_flag("HWATCH_PROFILE");
   const WallClock::time_point wall0 = WallClock::now();
 
   sim::SimContext ctx(cfg.seed);
   if (collect) ctx.metrics().set_enabled(true);
+  if (trace) ctx.tracer().set_enabled(true);
+  if (profile) ctx.profiler().set_enabled(true);
   sim::Scheduler& sched = ctx.scheduler();
   net::Network net(ctx);
   sim::Rng& rng = ctx.rng();
@@ -507,7 +601,14 @@ ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
     metrics_sampler.emplace(ctx, cfg.sample_interval, cfg.duration);
   }
 
-  sched.run_until(cfg.duration);
+  std::uint64_t run_wall_ns = 0;
+  if (profile) {
+    const std::uint64_t t0 = ctx.profiler().now_ns();
+    sched.run_until(cfg.duration);
+    run_wall_ns = ctx.profiler().now_ns() - t0;
+  } else {
+    sched.run_until(cfg.duration);
+  }
 
   ScenarioResults res;
   res.records = tm.collect_records();
@@ -545,6 +646,12 @@ ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
                     std::move(config), *metrics_sampler,
                     wall_ms_since(wall0), metrics_dir);
   }
+  if (trace) {
+    finish_tracing(res, ctx,
+                   run_label_of(cfg.run_label, "leaf_spine", cfg.seed),
+                   trace_dir);
+  }
+  if (profile) finish_profile(ctx, run_wall_ns);
   return res;
 }
 

@@ -17,6 +17,7 @@
 #include "sim/manifest.hpp"
 #include "stats/cdf.hpp"
 #include "stats/flow_record.hpp"
+#include "stats/flow_timeline.hpp"
 #include "stats/timeseries.hpp"
 #include "tcp/common.hpp"
 #include "topo/dumbbell.hpp"
@@ -84,6 +85,15 @@ struct ScenarioResults {
   sim::RunManifest manifest;
   bool has_manifest = false;
 
+  /// Filled when span tracing ran (config flag or HWATCH_TRACE_DIR):
+  /// the per-flow breakdown plus the serialized traces — `trace_chrome`
+  /// is Chrome trace-event JSON (schema hwatch.trace_export/v1, loads
+  /// in Perfetto), `trace_spans_jsonl` the span JSONL dump.
+  stats::FlowTimeline timeline;
+  bool has_timeline = false;
+  std::string trace_chrome;
+  std::string trace_spans_jsonl;
+
   // ---- convenience views ----
   std::vector<stats::FlowRecord> short_flows() const;
   std::vector<stats::FlowRecord> long_flows() const;
@@ -128,6 +138,15 @@ struct DumbbellScenarioConfig {
   bool collect_metrics = false;
   /// Manifest name / output file stem; "" -> "<kind>-seed<seed>".
   std::string run_label;
+
+  /// Enables the per-context SpanTracer and fills results.timeline /
+  /// trace_chrome / trace_spans_jsonl.  Also forced on when the
+  /// HWATCH_TRACE_DIR environment variable is set, in which case
+  /// "<label>.spans.jsonl" and "<label>.trace.json" are written there.
+  bool trace_spans = false;
+  /// Enables the self-profiler; the report goes to stderr at end of
+  /// run.  Also forced on by HWATCH_PROFILE=1.
+  bool profile = false;
 };
 
 ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg);
@@ -172,6 +191,10 @@ struct LeafSpineScenarioConfig {
   /// Same semantics as DumbbellScenarioConfig::collect_metrics.
   bool collect_metrics = false;
   std::string run_label;
+
+  /// Same semantics as DumbbellScenarioConfig::trace_spans / profile.
+  bool trace_spans = false;
+  bool profile = false;
 };
 
 ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg);

@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
+
+#include "sim/self_profiler.hpp"
 
 namespace hwatch::api {
 
@@ -53,10 +56,17 @@ SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
 void SweepRunner::dispatch(
     std::size_t n, const std::function<void(std::size_t)>& task) const {
   if (n == 0) return;
+  // Heartbeat (HWATCH_PROGRESS=1): one stderr line per finished point.
+  // Progress output never touches results, so determinism is unaffected.
+  std::optional<sim::ProgressMeter> progress;
+  if (sim::ProgressMeter::env_enabled()) progress.emplace(n, "sweep");
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, n));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) task(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      task(i);
+      if (progress) progress->tick();
+    }
     return;
   }
 
@@ -74,6 +84,7 @@ void SweepRunner::dispatch(
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
+      if (progress) progress->tick();
     }
   };
 

@@ -71,6 +71,11 @@ struct FlowEntry {
 
   bool fin_seen = false;
 
+  /// SpanTracer id of the latest window_policy decision for this flow
+  /// (0 = none yet); links every rwnd rewrite back to the observation
+  /// that caused it.
+  std::uint64_t decision_span = 0;
+
   /// Applies every grant that has come due.
   void apply_due_grants(sim::TimePs now) {
     std::size_t kept = 0;

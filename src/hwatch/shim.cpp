@@ -27,7 +27,16 @@ HypervisorShim::HypervisorShim(net::Network& net, net::Host& host,
       m_window_decisions_(
           ctx_.metrics().counter("hwatch.window_decisions")) {}
 
+// Flow span of a data-direction key, or 0 when the sender isn't traced
+// (e.g. remote sender not simulated with tracing on this context).
+static std::uint64_t traced_flow_span(const sim::SpanTracer& tr,
+                                      const net::FlowKey& key) {
+  auto [hi, lo] = net::flow_key_words(key);
+  return tr.flow_span_of(hi, lo);
+}
+
 net::FilterVerdict HypervisorShim::on_outbound(net::Packet& p) {
+  sim::ProfScope prof(ctx_.profiler(), sim::ProfComponent::kShim);
   if (p.kind != net::PacketKind::kTcp) return net::FilterVerdict::kPass;
 
   // Preemptive-alternative mode: control packets ride the high band.
@@ -84,6 +93,7 @@ net::FilterVerdict HypervisorShim::on_outbound(net::Packet& p) {
 }
 
 net::FilterVerdict HypervisorShim::on_inbound(net::Packet& p) {
+  sim::ProfScope prof(ctx_.profiler(), sim::ProfComponent::kShim);
   if (p.kind == net::PacketKind::kProbe) {
     absorb_probe(p);
     return net::FilterVerdict::kConsume;
@@ -134,13 +144,23 @@ net::FilterVerdict HypervisorShim::hold_syn_and_probe(net::Packet& syn) {
     ctx_.scheduler().schedule_in(at, [this, key, train] { inject_probe(key, train); });
   }
 
+  std::uint64_t train_span = 0;
+  if (ctx_.tracer().enabled()) {
+    const std::uint64_t fs = traced_flow_span(ctx_.tracer(), key);
+    train_span = ctx_.tracer().begin_span(
+        ctx_.now(), sim::SpanKind::kProbeTrain, fs, fs, cfg_.probe_count, 0,
+        train);
+  }
+
   // Release the held SYN after the train (bounded handshake delay).
   // The SYN lives in a pooled block: SYN holds recur per short flow, so
   // the pool recycles one block per concurrent held handshake.
   auto held = ctx_.packet_pool().make<net::Packet>(syn);
-  ctx_.scheduler().schedule_in(span, [this, held = std::move(held)] {
-    host_.send_raw(std::move(*held));
-  });
+  ctx_.scheduler().schedule_in(
+      span, [this, held = std::move(held), train_span] {
+        ctx_.tracer().end_span(ctx_.now(), train_span);
+        host_.send_raw(std::move(*held));
+      });
   return net::FilterVerdict::kConsume;
 }
 
@@ -238,6 +258,14 @@ void HypervisorShim::rewrite_synack(net::Packet& p, FlowEntry& e) {
             DeferredGrant{cfg_.policy.batch_interval, held});
       }
     }
+    if (ctx_.tracer().enabled()) {
+      std::uint64_t deferred_pkts = 0;
+      for (const DeferredGrant& g : plan.deferred) deferred_pkts += g.packets;
+      const std::uint64_t fs = traced_flow_span(ctx_.tracer(), e.key);
+      e.decision_span = ctx_.tracer().instant(
+          ctx_.now(), sim::SpanKind::kDecision, fs, fs, unmarked, marked,
+          plan.immediate_packets, deferred_pkts);
+    }
     const std::uint64_t immediate =
         std::clamp<std::uint64_t>(plan.immediate_packets * cfg_.mss,
                                   cfg_.min_window_bytes,
@@ -333,6 +361,12 @@ void HypervisorShim::run_round_decision(FlowEntry& e) {
       e.allowance_bytes = std::min<std::uint64_t>(
           *e.allowance_bytes + cfg_.mss, cfg_.max_window_bytes);
     }
+    if (ctx_.tracer().enabled()) {
+      const std::uint64_t fs = traced_flow_span(ctx_.tracer(), e.key);
+      e.decision_span = ctx_.tracer().instant(
+          ctx_.now(), sim::SpanKind::kDecision, fs, fs, e.unmarked, e.marked,
+          e.allowance_bytes.value_or(0) / cfg_.mss, 0);
+    }
   } else {
     e.clean_rounds = 0;
     const BatchPlan plan = plan_window(e.unmarked, e.marked, cfg_.policy,
@@ -340,9 +374,17 @@ void HypervisorShim::run_round_decision(FlowEntry& e) {
     e.allowance_bytes = std::clamp<std::uint64_t>(
         plan.immediate_packets * cfg_.mss, cfg_.min_window_bytes,
         cfg_.max_window_bytes);
+    std::uint64_t deferred_pkts = 0;
     for (const DeferredGrant& g : plan.deferred) {
       e.pending_grants.push_back(FlowEntry::PendingGrant{
           ctx_.now() + g.delay, g.packets * cfg_.mss});
+      deferred_pkts += g.packets;
+    }
+    if (ctx_.tracer().enabled()) {
+      const std::uint64_t fs = traced_flow_span(ctx_.tracer(), e.key);
+      e.decision_span = ctx_.tracer().instant(
+          ctx_.now(), sim::SpanKind::kDecision, fs, fs, e.unmarked, e.marked,
+          plan.immediate_packets, deferred_pkts);
     }
   }
   e.marked = 0;
@@ -362,6 +404,15 @@ void HypervisorShim::apply_window(net::Packet& p, FlowEntry& e,
   const std::uint64_t target = std::min(guest, cap);
   const std::uint16_t new_raw = tcp::encode_window(target, shift);
   if (new_raw == p.tcp.rwnd_raw) return;
+  if (ctx_.tracer().enabled()) {
+    // Provenance link: parent = the decision that set this allowance, so
+    // trace_inspect can walk rwnd_write -> decision -> probe/round
+    // observation for any flow.
+    const std::uint64_t fs = traced_flow_span(ctx_.tracer(), e.key);
+    ctx_.tracer().instant(ctx_.now(), sim::SpanKind::kRwndWrite,
+                          e.decision_span, fs, target, p.tcp.rwnd_raw,
+                          new_raw, synack ? 1 : 0);
+  }
   // Patch the header exactly as the kernel module does: rewrite the
   // 16-bit window word and incrementally fix the checksum (RFC 1624).
   p.tcp.checksum =

@@ -37,6 +37,23 @@ EnqueueOutcome Link::transmit(Packet&& p) {
   return outcome;
 }
 
+// Attributes a latency component to the packet's flow span, trying the
+// wire direction first and the reverse (ACK path) second so both halves
+// of a connection land on the same flow.  Unregistered flows (probes,
+// port collisions) fall through to flow_span 0: context-wide histogram
+// only.
+static void attribute_latency(sim::SpanTracer& tr, const Packet& p,
+                              sim::LatencyComponent c, sim::TimePs dt) {
+  const FlowKey key = flow_key_of(p);
+  auto [hi, lo] = flow_key_words(key);
+  std::uint64_t fs = tr.flow_span_of(hi, lo);
+  if (fs == 0) {
+    auto [rhi, rlo] = flow_key_words(key.reversed());
+    fs = tr.flow_span_of(rhi, rlo);
+  }
+  tr.add_latency(fs, c, dt);
+}
+
 void Link::start_transmission() {
   std::optional<Packet> next = qdisc_->dequeue(ctx_.now());
   if (!next) return;
@@ -44,6 +61,12 @@ void Link::start_transmission() {
   const sim::TimePs tx = rate_.transmission_time(next->size_bytes());
   busy_time_ += tx;
   tx_events_.inc();
+  if (ctx_.tracer().enabled()) {
+    attribute_latency(ctx_.tracer(), *next, sim::LatencyComponent::kQueueing,
+                      ctx_.now() - next->enqueue_time);
+    attribute_latency(ctx_.tracer(), *next,
+                      sim::LatencyComponent::kTransmission, tx);
+  }
   // The packet rides inside the callback by move; the scheduler's
   // inline buffer must fit it or this hop would hit the allocator.
   auto complete = [this, p = std::move(*next)]() mutable {
@@ -55,9 +78,14 @@ void Link::start_transmission() {
 }
 
 void Link::on_transmission_complete(Packet&& p) {
+  sim::ProfScope prof(ctx_.profiler(), sim::ProfComponent::kLinkTx);
   transmitting_ = false;
   bytes_delivered_ += p.size_bytes();
   ++packets_delivered_;
+  if (ctx_.tracer().enabled()) {
+    attribute_latency(ctx_.tracer(), p, sim::LatencyComponent::kPropagation,
+                      prop_delay_);
+  }
   // Propagation: the receiver sees the packet prop_delay later.  The
   // transmitter is free immediately (pipelining).
   prop_events_.inc();

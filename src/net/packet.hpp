@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/time.hpp"
 
@@ -138,6 +139,15 @@ struct FlowKey {
 /// Flow key of a packet as seen on the wire.
 inline FlowKey flow_key_of(const Packet& p) {
   return FlowKey{p.ip.src, p.ip.dst, p.tcp.src_port, p.tcp.dst_port};
+}
+
+/// The flow key packed into two words — the layer-neutral identity the
+/// sim-level SpanTracer keys its flow registry on (sim can't see net
+/// types).  Lossless: hi = src<<32|dst, lo = sport<<16|dport.
+inline std::pair<std::uint64_t, std::uint64_t> flow_key_words(
+    const FlowKey& k) {
+  return {(std::uint64_t{k.src} << 32) | k.dst,
+          (std::uint64_t{k.src_port} << 16) | k.dst_port};
 }
 
 struct FlowKeyHash {

@@ -21,6 +21,8 @@
 #include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/self_profiler.hpp"
+#include "sim/trace_span.hpp"
 
 namespace hwatch::sim {
 
@@ -58,6 +60,17 @@ class SimContext {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Per-context span/event tracer (flow lifecycle, HWatch decision
+  /// provenance, latency decomposition).  Disabled by default; every
+  /// hook costs one predictable branch until enabled.
+  SpanTracer& tracer() { return tracer_; }
+  const SpanTracer& tracer() const { return tracer_; }
+
+  /// Per-context self-profiler (handler wall-time attribution).  Off by
+  /// default; ProfScopes cost one branch each way until enabled.
+  SelfProfiler& profiler() { return profiler_; }
+  const SelfProfiler& profiler() const { return profiler_; }
+
   /// Block size of packet_pool(): fits a net::Packet (the net layer
   /// static_asserts this) with headroom so header growth doesn't break
   /// the pool.
@@ -91,6 +104,8 @@ class SimContext {
   std::uint64_t packet_uid_ = 0;
   SimLog log_;
   MetricsRegistry metrics_;
+  SpanTracer tracer_;
+  SelfProfiler profiler_;
 };
 
 }  // namespace hwatch::sim

@@ -1,0 +1,348 @@
+#include "sim/trace_span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace hwatch::sim {
+
+namespace {
+
+/// splitmix64-style mix of the packed flow key words into one map key.
+/// flow_index_ stores the index into flows_ and lookups verify the full
+/// (hi, lo) pair, so a mix collision degrades to "flow not found", never
+/// to misattribution.
+std::uint64_t mix_key(std::uint64_t hi, std::uint64_t lo) {
+  std::uint64_t z = hi + 0x9e3779b97f4a7c15ull * (lo + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// ts in Chrome traces is microseconds; picoseconds print as exact
+/// fixed-point micros (6 fractional digits), no floating point involved.
+void write_ts_us(std::ostream& os, TimePs t) {
+  char buf[40];
+  const auto v = static_cast<unsigned long long>(t);
+  std::snprintf(buf, sizeof(buf), "%llu.%06llu", v / 1000000ull,
+                v % 1000000ull);
+  os << buf;
+}
+
+void write_named_args(std::ostream& os, const SpanTracer::ArgNames& names,
+                      const TraceEvent& ev, bool leading_comma) {
+  const char* n[4] = {names.a, names.b, names.c, names.d};
+  const std::uint64_t v[4] = {ev.a, ev.b, ev.c, ev.d};
+  bool first = !leading_comma;
+  for (int i = 0; i < 4; ++i) {
+    if (n[i] == nullptr) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << n[i] << "\":" << v[i];
+  }
+}
+
+void write_flow_name(std::ostream& os, const SpanTracer::FlowInfo& f) {
+  os << "flow " << (f.key_hi >> 32) << ':' << (f.key_lo >> 16) << "->"
+     << (f.key_hi & 0xffffffffull) << ':' << (f.key_lo & 0xffffull);
+}
+
+}  // namespace
+
+std::string_view to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kFlow:
+      return "flow";
+    case SpanKind::kHandshake:
+      return "handshake";
+    case SpanKind::kSlowStart:
+      return "slow_start";
+    case SpanKind::kRecovery:
+      return "recovery";
+    case SpanKind::kRto:
+      return "rto";
+    case SpanKind::kProbeTrain:
+      return "probe_train";
+    case SpanKind::kDecision:
+      return "decision";
+    case SpanKind::kRwndWrite:
+      return "rwnd_write";
+  }
+  return "?";
+}
+
+std::string_view to_string(LatencyComponent c) {
+  switch (c) {
+    case LatencyComponent::kQueueing:
+      return "queueing";
+    case LatencyComponent::kTransmission:
+      return "transmission";
+    case LatencyComponent::kPropagation:
+      return "propagation";
+    case LatencyComponent::kRetxWait:
+      return "retx_wait";
+  }
+  return "?";
+}
+
+const SpanTracer::ArgNames& SpanTracer::arg_names(SpanKind k) {
+  // One table entry per SpanKind, indexed by the enum value.  Slot
+  // meanings are shared between the 'B' and 'E' phases of a span: a span
+  // begins with its `a` (and possibly c/d) payload and ends filling b/c.
+  static const std::array<ArgNames, kSpanKinds> kNames = {{
+      {"total_bytes", "bytes_acked", "retransmits", nullptr},   // kFlow
+      {nullptr, "syn_timeouts", nullptr, nullptr},              // kHandshake
+      {nullptr, "cwnd_bytes", nullptr, nullptr},                // kSlowStart
+      {"enter_una", "exit_una", nullptr, nullptr},              // kRecovery
+      {"snd_una", "exit_una", nullptr, nullptr},                // kRto
+      {"probes", nullptr, "train", nullptr},                    // kProbeTrain
+      {"x_um", "x_m", "immediate_pkts", "deferred_pkts"},       // kDecision
+      {"rwnd_bytes", "raw_old", "raw_new", "synack"},           // kRwndWrite
+  }};
+  return kNames[static_cast<std::size_t>(k)];
+}
+
+bool SpanTracer::record(const TraceEvent& ev) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(ev);
+  return true;
+}
+
+std::uint64_t SpanTracer::begin_span(TimePs t, SpanKind kind,
+                                     std::uint64_t parent,
+                                     std::uint64_t flow, std::uint64_t a,
+                                     std::uint64_t b, std::uint64_t c,
+                                     std::uint64_t d) {
+  if (!enabled_) return 0;
+  const std::uint64_t id = ++next_id_;
+  TraceEvent ev;
+  ev.t = t;
+  ev.span = id;
+  ev.parent = parent;
+  // A flow span is the track everything else nests on — it owns itself.
+  ev.flow = kind == SpanKind::kFlow ? id : flow;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.d = d;
+  ev.kind = kind;
+  ev.phase = 'B';
+  record(ev);
+  open_[id] = OpenSpan{kind, parent, ev.flow};
+  return id;
+}
+
+void SpanTracer::end_span(TimePs t, std::uint64_t id, std::uint64_t b,
+                          std::uint64_t c) {
+  if (!enabled_ || id == 0) return;
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;  // already closed (or foreign id)
+  TraceEvent ev;
+  ev.t = t;
+  ev.span = id;
+  ev.parent = it->second.parent;
+  ev.flow = it->second.flow;
+  ev.b = b;
+  ev.c = c;
+  ev.kind = it->second.kind;
+  ev.phase = 'E';
+  record(ev);
+  open_.erase(it);
+}
+
+std::uint64_t SpanTracer::instant(TimePs t, SpanKind kind,
+                                  std::uint64_t parent, std::uint64_t flow,
+                                  std::uint64_t a, std::uint64_t b,
+                                  std::uint64_t c, std::uint64_t d) {
+  if (!enabled_) return 0;
+  const std::uint64_t id = ++next_id_;
+  TraceEvent ev;
+  ev.t = t;
+  ev.span = id;
+  ev.parent = parent;
+  ev.flow = flow;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.d = d;
+  ev.kind = kind;
+  ev.phase = 'i';
+  record(ev);
+  return id;
+}
+
+void SpanTracer::close_open_spans(TimePs t) {
+  if (!enabled_) return;
+  // Spans begun later carry higher ids; closing in descending id order
+  // is LIFO, which keeps every per-track begin/end stack balanced.
+  while (!open_.empty()) {
+    end_span(t, std::prev(open_.end())->first);
+  }
+}
+
+void SpanTracer::register_flow(std::uint64_t key_hi, std::uint64_t key_lo,
+                               std::uint64_t flow_span) {
+  if (!enabled_ || flow_span == 0) return;
+  const std::uint64_t k = mix_key(key_hi, key_lo);
+  const auto it = flow_index_.find(k);
+  if (it != flow_index_.end()) {
+    // Port reuse (or a mix collision): the newest flow owns the key.
+    flows_.push_back(FlowInfo{flow_span, key_hi, key_lo});
+    it->second = flows_.size() - 1;
+    return;
+  }
+  flows_.push_back(FlowInfo{flow_span, key_hi, key_lo});
+  flow_index_.emplace(k, flows_.size() - 1);
+}
+
+std::uint64_t SpanTracer::flow_span_of(std::uint64_t key_hi,
+                                       std::uint64_t key_lo) const {
+  const auto it = flow_index_.find(mix_key(key_hi, key_lo));
+  if (it == flow_index_.end()) return 0;
+  const FlowInfo& f = flows_[it->second];
+  if (f.key_hi != key_hi || f.key_lo != key_lo) return 0;
+  return f.span;
+}
+
+void SpanTracer::add_latency(std::uint64_t flow_span, LatencyComponent c,
+                             TimePs dt) {
+  if (!enabled_) return;
+  if (dt < 0) dt = 0;
+  const auto ci = static_cast<std::size_t>(c);
+  const auto& bounds = latency_bounds_us();
+  const double us = static_cast<double>(dt) / 1e6;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), us) - bounds.begin());
+  ++latency_hist_[ci][bucket];
+  if (flow_span != 0) {
+    LatencyAccum& acc = latency_[flow_span];
+    acc.total_ps[ci] += dt;
+    ++acc.samples[ci];
+  }
+}
+
+const SpanTracer::LatencyAccum* SpanTracer::latency_of(
+    std::uint64_t flow_span) const {
+  const auto it = latency_.find(flow_span);
+  return it == latency_.end() ? nullptr : &it->second;
+}
+
+const std::array<double, SpanTracer::kLatencyBuckets>&
+SpanTracer::latency_bounds_us() {
+  // 0.1 us .. ~13 ms, doubling: covers serialization times of tiny
+  // probes through multi-ms RTO waits.
+  static const std::array<double, kLatencyBuckets> kBounds = [] {
+    std::array<double, kLatencyBuckets> b{};
+    double v = 0.1;
+    for (auto& x : b) {
+      x = v;
+      v *= 2;
+    }
+    return b;
+  }();
+  return kBounds;
+}
+
+void SpanTracer::dump_jsonl(std::ostream& os) const {
+  for (const FlowInfo& f : flows_) {
+    os << "{\"ph\":\"F\",\"id\":" << f.span << ",\"src\":" << (f.key_hi >> 32)
+       << ",\"dst\":" << (f.key_hi & 0xffffffffull)
+       << ",\"sport\":" << (f.key_lo >> 16)
+       << ",\"dport\":" << (f.key_lo & 0xffffull) << "}\n";
+  }
+  for (const TraceEvent& ev : events_) {
+    os << "{\"t_ps\":" << ev.t << ",\"ph\":\"" << ev.phase
+       << "\",\"kind\":\"" << to_string(ev.kind) << "\",\"id\":" << ev.span
+       << ",\"parent\":" << ev.parent << ",\"flow\":" << ev.flow;
+    write_named_args(os, arg_names(ev.kind), ev, /*leading_comma=*/true);
+    os << "}\n";
+  }
+  for (const FlowInfo& f : flows_) {
+    const LatencyAccum* acc = latency_of(f.span);
+    if (acc == nullptr) continue;
+    os << "{\"ph\":\"L\",\"flow\":" << f.span;
+    for (std::size_t c = 0; c < kLatencyComponents; ++c) {
+      const auto name = to_string(static_cast<LatencyComponent>(c));
+      os << ",\"" << name << "_ps\":" << acc->total_ps[c] << ",\"" << name
+         << "_samples\":" << acc->samples[c];
+    }
+    os << "}\n";
+  }
+  if (dropped_ > 0) {
+    os << "{\"ph\":\"D\",\"dropped_events\":" << dropped_ << "}\n";
+  }
+}
+
+void SpanTracer::export_chrome(std::ostream& os,
+                               std::string_view process_name) const {
+  os << "{\"schema\":\"hwatch.trace_export/v1\",\"displayTimeUnit\":\"ms\""
+     << ",\"dropped_events\":" << dropped_ << ",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_sep = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << "\n";
+  };
+
+  emit_sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+     << "\"args\":{\"name\":\"" << process_name << "\"}}";
+
+  // One Perfetto track per flow span; tid 0 collects unattributed events.
+  std::unordered_map<std::uint64_t, std::uint64_t> tid_of;
+  std::uint64_t next_tid = 1;
+  for (const FlowInfo& f : flows_) {
+    if (tid_of.emplace(f.span, next_tid).second) {
+      emit_sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << next_tid << ",\"args\":{\"name\":\"";
+      write_flow_name(os, f);
+      os << "\"}}";
+      ++next_tid;
+    }
+  }
+
+  const auto tid_for = [&](std::uint64_t flow_span) -> std::uint64_t {
+    const auto it = tid_of.find(flow_span);
+    return it == tid_of.end() ? 0 : it->second;
+  };
+
+  for (const TraceEvent& ev : events_) {
+    emit_sep();
+    os << "{\"name\":\"" << to_string(ev.kind) << "\",\"cat\":\"span\""
+       << ",\"ph\":\"" << ev.phase << "\",\"ts\":";
+    write_ts_us(os, ev.t);
+    os << ",\"pid\":1,\"tid\":" << tid_for(ev.flow);
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"span\":" << ev.span << ",\"parent\":" << ev.parent;
+    write_named_args(os, arg_names(ev.kind), ev, /*leading_comma=*/true);
+    os << "}}";
+  }
+
+  // Per-flow latency decomposition, rendered as a final instant on each
+  // flow's track (timestamped at the last event so ts stays sorted).
+  const TimePs t_end = events_.empty() ? 0 : events_.back().t;
+  for (const FlowInfo& f : flows_) {
+    const LatencyAccum* acc = latency_of(f.span);
+    if (acc == nullptr) continue;
+    emit_sep();
+    os << "{\"name\":\"latency_breakdown\",\"cat\":\"latency\""
+       << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    write_ts_us(os, t_end);
+    os << ",\"pid\":1,\"tid\":" << tid_for(f.span) << ",\"args\":{";
+    for (std::size_t c = 0; c < kLatencyComponents; ++c) {
+      const auto name = to_string(static_cast<LatencyComponent>(c));
+      if (c > 0) os << ',';
+      os << '"' << name << "_ps\":" << acc->total_ps[c] << ",\"" << name
+         << "_samples\":" << acc->samples[c];
+    }
+    os << "}}";
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace hwatch::sim

@@ -1,0 +1,202 @@
+// SpanTracer — causal span/event tracing for one simulation instance.
+//
+// Where MetricsRegistry answers "how many", the tracer answers "which
+// observation caused which decision on which flow, and where did the
+// time go".  It records begin/end/instant events carrying deterministic
+// span ids (a per-context counter — never a wall clock), so a flow's
+// lifecycle (connect -> slow start -> recovery/RTO episodes -> FIN),
+// the HWatch decision chain (probe tallies -> window_policy plan ->
+// rwnd rewrite) and per-packet latency attribution (queueing vs
+// transmission vs propagation vs retransmission wait) all link together
+// and export to Chrome trace-event / Perfetto JSON
+// (schema `hwatch.trace_export/v1`).
+//
+// Overhead discipline (same as MetricsRegistry): disabled, every hook
+// costs one predictable branch — begin_span/end_span/instant/add_latency
+// test `enabled_` and return, no allocation, no hashing.  Callers that
+// need more than one call per hook site guard the whole block with
+// enabled() so the hot path keeps a single branch.
+//
+// Determinism: span ids, timestamps and payloads derive only from
+// simulated state, so the JSONL dump and the Chrome export are
+// byte-identical for a given (config, seed) across runs and sweep
+// thread counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hwatch::sim {
+
+enum class SpanKind : std::uint8_t {
+  kFlow = 0,     // connect -> FIN acked (one per TcpSender)
+  kHandshake,    // SYN sent -> established
+  kSlowStart,    // established -> first exit from slow start
+  kRecovery,     // fast-retransmit entry -> full ACK (or RTO)
+  kRto,          // RTO fired -> next cumulative progress
+  kProbeTrain,   // HWatch probe train span (SYN held -> SYN released)
+  kDecision,     // window_policy decision (instant with an id)
+  kRwndWrite,    // rwnd field rewritten on the wire (instant)
+};
+inline constexpr std::size_t kSpanKinds = 8;
+
+std::string_view to_string(SpanKind k);
+
+/// Per-packet latency decomposition buckets (per link hop, plus the
+/// sender's retransmission-wait attribution).
+enum class LatencyComponent : std::uint8_t {
+  kQueueing = 0,      // qdisc admission -> head of line
+  kTransmission = 1,  // serialization time at the link rate
+  kPropagation = 2,   // link propagation delay
+  kRetxWait = 3,      // time an RTO expiry spent waiting on the timer
+};
+inline constexpr std::size_t kLatencyComponents = 4;
+
+std::string_view to_string(LatencyComponent c);
+
+/// One trace record.  `span` is the id of the span this event begins /
+/// ends (or the id minted for an instant); `parent` the enclosing span;
+/// `flow` the owning flow span (the Perfetto track it renders on).
+/// a..d are kind-specific (see SpanTracer::arg_names).
+struct TraceEvent {
+  TimePs t = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t flow = 0;
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;
+  SpanKind kind = SpanKind::kFlow;
+  char phase = 'B';  // 'B' begin, 'E' end, 'i' instant
+};
+
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+  // Components cache no pointers into the tracer, but events reference
+  // ids minted here; one tracer per context, non-copyable like the rest
+  // of SimContext's members.
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Event-buffer cap; recording beyond it increments dropped() instead
+  /// of growing without bound (the cap is reported, never silent).
+  std::size_t max_events() const { return max_events_; }
+  void set_max_events(std::size_t n) { max_events_ = n; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Opens a span and returns its id (0 when disabled).  A kFlow span
+  /// becomes its own `flow` (it is the track everything else nests on).
+  std::uint64_t begin_span(TimePs t, SpanKind kind, std::uint64_t parent,
+                           std::uint64_t flow, std::uint64_t a = 0,
+                           std::uint64_t b = 0, std::uint64_t c = 0,
+                           std::uint64_t d = 0);
+
+  /// Closes an open span; kind/parent/flow come from the begin record.
+  /// No-op when disabled or id == 0, so callers can end unconditionally.
+  void end_span(TimePs t, std::uint64_t id, std::uint64_t b = 0,
+                std::uint64_t c = 0);
+
+  /// Records an instant event and mints an id for it, so later events
+  /// can cite it as their parent (decision -> rwnd-write provenance).
+  std::uint64_t instant(TimePs t, SpanKind kind, std::uint64_t parent,
+                        std::uint64_t flow, std::uint64_t a = 0,
+                        std::uint64_t b = 0, std::uint64_t c = 0,
+                        std::uint64_t d = 0);
+
+  /// Closes every still-open span (LIFO, so Perfetto's per-track stacks
+  /// stay balanced).  Scenario runners call this at end of run.
+  void close_open_spans(TimePs t);
+
+  // ---- flow registry --------------------------------------------------
+  // The 96-bit FlowKey packed into two words (net::flow_key_words) so
+  // the sim layer stays below net.  The sender registers its flow span
+  // at start(); links and shims look the span up per packet.
+  void register_flow(std::uint64_t key_hi, std::uint64_t key_lo,
+                     std::uint64_t flow_span);
+  std::uint64_t flow_span_of(std::uint64_t key_hi,
+                             std::uint64_t key_lo) const;
+
+  struct FlowInfo {
+    std::uint64_t span = 0;
+    std::uint64_t key_hi = 0;  // src << 32 | dst
+    std::uint64_t key_lo = 0;  // sport << 16 | dport
+  };
+  const std::vector<FlowInfo>& flows() const { return flows_; }
+
+  // ---- latency decomposition -----------------------------------------
+  struct LatencyAccum {
+    std::array<TimePs, kLatencyComponents> total_ps{};
+    std::array<std::uint64_t, kLatencyComponents> samples{};
+  };
+
+  /// Attributes `dt` to a component: always into the context-wide
+  /// fixed-bucket histogram, and into the per-flow accumulator when
+  /// `flow_span` is a registered flow (0 = unattributed).
+  void add_latency(std::uint64_t flow_span, LatencyComponent c, TimePs dt);
+
+  /// Per-flow totals; nullptr when the flow never saw a sample.
+  const LatencyAccum* latency_of(std::uint64_t flow_span) const;
+
+  /// Exponential microsecond bounds shared by the per-component
+  /// histograms (bucket i counts samples <= bounds[i] us; one overflow).
+  static constexpr std::size_t kLatencyBuckets = 18;
+  static const std::array<double, kLatencyBuckets>& latency_bounds_us();
+  const std::array<std::uint64_t, kLatencyBuckets + 1>& latency_counts(
+      LatencyComponent c) const {
+    return latency_hist_[static_cast<std::size_t>(c)];
+  }
+
+  // ---- inspection / export -------------------------------------------
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Kind-specific names for TraceEvent::a..d (nullptr = unused slot).
+  struct ArgNames {
+    const char* a = nullptr;
+    const char* b = nullptr;
+    const char* c = nullptr;
+    const char* d = nullptr;
+  };
+  static const ArgNames& arg_names(SpanKind k);
+
+  /// One JSON object per line: flow registrations ("ph":"F"), events
+  /// ("ph":"B"/"E"/"i") and per-flow latency summaries ("ph":"L").
+  void dump_jsonl(std::ostream& os) const;
+
+  /// Chrome trace-event JSON (schema `hwatch.trace_export/v1`): object
+  /// form with a sorted `traceEvents` array; loads directly in Perfetto.
+  void export_chrome(std::ostream& os, std::string_view process_name) const;
+
+ private:
+  struct OpenSpan {
+    SpanKind kind = SpanKind::kFlow;
+    std::uint64_t parent = 0;
+    std::uint64_t flow = 0;
+  };
+
+  bool record(const TraceEvent& ev);
+
+  bool enabled_ = false;
+  std::size_t max_events_ = 1u << 20;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  // Ordered so close_open_spans is deterministic and LIFO by id.
+  std::map<std::uint64_t, OpenSpan> open_;
+  std::vector<FlowInfo> flows_;
+  std::unordered_map<std::uint64_t, std::uint64_t> flow_index_;  // mixed key
+  std::unordered_map<std::uint64_t, LatencyAccum> latency_;
+  std::array<std::array<std::uint64_t, kLatencyBuckets + 1>,
+             kLatencyComponents>
+      latency_hist_{};
+};
+
+}  // namespace hwatch::sim

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "sim/metrics.hpp"
+
 namespace hwatch::stats {
 
 Cdf::Cdf(std::vector<double> samples) : data_(std::move(samples)) {
@@ -77,6 +79,50 @@ std::vector<std::pair<double, double>> Cdf::series(std::size_t points) const {
 const std::vector<double>& Cdf::sorted_samples() const {
   ensure_sorted();
   return data_;
+}
+
+Percentiles percentiles(const std::vector<double>& bounds,
+                        const std::vector<std::uint64_t>& counts,
+                        double overflow_hint) {
+  Percentiles out;
+  for (std::uint64_t c : counts) out.count += c;
+  if (out.count == 0 || bounds.empty()) return out;
+
+  // Same model as Cdf::quantile, lifted to bucketed data: find the
+  // bucket containing rank q*N and interpolate linearly inside it.
+  const auto at = [&](double q) {
+    const double target = q * static_cast<double>(out.count);
+    double cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const double c = static_cast<double>(counts[i]);
+      if (cum + c < target || c == 0) {
+        cum += c;
+        continue;
+      }
+      // Bucket i spans (lo, hi]; bucket 0's lower edge is 0 unless the
+      // first bound is itself negative.
+      const double hi_edge =
+          i < bounds.size()
+              ? bounds[i]
+              : std::max(overflow_hint, bounds.back());  // overflow
+      const double lo_edge =
+          i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double frac = (target - cum) / c;
+      return lo_edge + (hi_edge - lo_edge) * frac;
+    }
+    return counts.size() > bounds.size()
+               ? std::max(overflow_hint, bounds.back())
+               : bounds.back();
+  };
+  out.p50 = at(0.50);
+  out.p95 = at(0.95);
+  out.p99 = at(0.99);
+  out.p999 = at(0.999);
+  return out;
+}
+
+Percentiles percentiles(const sim::Histogram& h) {
+  return percentiles(h.bounds(), h.bucket_counts(), h.max());
 }
 
 double mean_of(const std::vector<double>& v) {

@@ -7,8 +7,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+namespace hwatch::sim {
+class Histogram;
+}  // namespace hwatch::sim
 
 namespace hwatch::stats {
 
@@ -54,6 +59,29 @@ class Cdf {
   mutable std::vector<double> data_;
   mutable bool sorted_ = true;
 };
+
+/// Tail quantiles estimated from a fixed-bucket histogram (the bucketed
+/// counterpart of Cdf::quantile: linear interpolation inside the bucket
+/// containing the target rank).  All zero when count == 0.
+struct Percentiles {
+  std::uint64_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+/// `bounds` are the upper bucket edges (ascending); `counts` has
+/// bounds.size() + 1 entries, the last being the overflow bucket.  The
+/// overflow bucket interpolates towards `overflow_hint` (e.g. the
+/// observed maximum) when given, else collapses to the last bound.
+Percentiles percentiles(const std::vector<double>& bounds,
+                        const std::vector<std::uint64_t>& counts,
+                        double overflow_hint = 0);
+
+/// Convenience overload for the metrics-registry histogram; uses the
+/// recorded maximum as the overflow hint.
+Percentiles percentiles(const sim::Histogram& h);
 
 /// Mean of a sample vector (0 for empty).
 double mean_of(const std::vector<double>& v);

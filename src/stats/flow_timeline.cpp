@@ -1,0 +1,128 @@
+#include "stats/flow_timeline.hpp"
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "stats/table.hpp"
+
+namespace hwatch::stats {
+
+namespace {
+
+net::FlowKey decode_key(std::uint64_t hi, std::uint64_t lo) {
+  net::FlowKey k;
+  k.src = static_cast<net::NodeId>(hi >> 32);
+  k.dst = static_cast<net::NodeId>(hi & 0xFFFFFFFFull);
+  k.src_port = static_cast<std::uint16_t>(lo >> 16);
+  k.dst_port = static_cast<std::uint16_t>(lo & 0xFFFFull);
+  return k;
+}
+
+}  // namespace
+
+FlowTimeline FlowTimeline::build(const sim::SpanTracer& tracer) {
+  FlowTimeline tl;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  tl.flows_.reserve(tracer.flows().size());
+  for (const sim::SpanTracer::FlowInfo& f : tracer.flows()) {
+    FlowBreakdown b;
+    b.key = decode_key(f.key_hi, f.key_lo);
+    b.span = f.span;
+    if (const sim::SpanTracer::LatencyAccum* acc =
+            tracer.latency_of(f.span)) {
+      b.latency_ps = acc->total_ps;
+      b.latency_samples = acc->samples;
+    }
+    index.emplace(f.span, tl.flows_.size());
+    tl.flows_.push_back(b);
+  }
+
+  for (const sim::TraceEvent& ev : tracer.events()) {
+    const auto it = index.find(ev.flow);
+    if (it == index.end()) continue;
+    FlowBreakdown& b = tl.flows_[it->second];
+    if (ev.kind == sim::SpanKind::kFlow && ev.span == b.span) {
+      if (ev.phase == 'B') {
+        b.start = ev.t;
+        b.total_bytes = ev.a;
+      } else if (ev.phase == 'E') {
+        b.end = ev.t;
+        b.bytes_acked = ev.b;
+        b.retransmits = ev.c;
+      }
+      continue;
+    }
+    switch (ev.kind) {
+      case sim::SpanKind::kRecovery:
+        if (ev.phase == 'B') ++b.recoveries;
+        break;
+      case sim::SpanKind::kRto:
+        if (ev.phase == 'B') ++b.rtos;
+        break;
+      case sim::SpanKind::kProbeTrain:
+        if (ev.phase == 'B') ++b.probe_trains;
+        break;
+      case sim::SpanKind::kDecision:
+        ++b.decisions;
+        break;
+      case sim::SpanKind::kRwndWrite:
+        ++b.rwnd_writes;
+        break;
+      default:
+        break;
+    }
+  }
+  // A flow that never saw its own 'E' with payload (e.g. still open at
+  // close_open_spans) reports bytes_acked = 0; completion is judged by
+  // payload delivery, which also excludes kUnlimited flows.
+  for (FlowBreakdown& b : tl.flows_) {
+    b.completed = b.total_bytes > 0 && b.bytes_acked >= b.total_bytes;
+  }
+
+  for (std::size_t c = 0; c < sim::kLatencyComponents; ++c) {
+    const auto& counts =
+        tracer.latency_counts(static_cast<sim::LatencyComponent>(c));
+    tl.hist_counts_[c].assign(counts.begin(), counts.end());
+  }
+  return tl;
+}
+
+Percentiles FlowTimeline::component_percentiles(
+    sim::LatencyComponent c) const {
+  const auto& bounds = sim::SpanTracer::latency_bounds_us();
+  return percentiles(std::vector<double>(bounds.begin(), bounds.end()),
+                     hist_counts_[static_cast<std::size_t>(c)]);
+}
+
+void FlowTimeline::print(std::ostream& os) const {
+  os << "-- flow timeline (latency decomposition, ms) --\n";
+  Table t({"flow", "bytes", "life", "queue", "tx", "prop", "retx_wait",
+           "recov", "rto", "decis", "rwnd_w", "retx"});
+  const auto ms = [](sim::TimePs ps) {
+    return Table::num(static_cast<double>(ps) / 1e9, 3);
+  };
+  for (const FlowBreakdown& b : flows_) {
+    t.add_row({std::to_string(b.key.src) + ":" +
+                   std::to_string(b.key.src_port) + "->" +
+                   std::to_string(b.key.dst) + ":" +
+                   std::to_string(b.key.dst_port),
+               std::to_string(b.bytes_acked), ms(b.lifetime()),
+               ms(b.latency_ps[0]), ms(b.latency_ps[1]), ms(b.latency_ps[2]),
+               ms(b.latency_ps[3]), std::to_string(b.recoveries),
+               std::to_string(b.rtos), std::to_string(b.decisions),
+               std::to_string(b.rwnd_writes), std::to_string(b.retransmits)});
+  }
+  t.print(os);
+  for (std::size_t c = 0; c < sim::kLatencyComponents; ++c) {
+    const Percentiles p =
+        component_percentiles(static_cast<sim::LatencyComponent>(c));
+    if (p.count == 0) continue;
+    os << "  " << sim::to_string(static_cast<sim::LatencyComponent>(c))
+       << " (us): n=" << p.count << " p50=" << Table::num(p.p50, 2)
+       << " p95=" << Table::num(p.p95, 2) << " p99=" << Table::num(p.p99, 2)
+       << " p99.9=" << Table::num(p.p999, 2) << "\n";
+  }
+}
+
+}  // namespace hwatch::stats

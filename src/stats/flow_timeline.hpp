@@ -1,0 +1,70 @@
+// FlowTimeline — the end-of-run harvest of the SpanTracer.
+//
+// Walks the recorded span events once and distils, per flow, the
+// lifecycle counts (recovery episodes, RTOs, HWatch decisions and rwnd
+// rewrites) plus the latency decomposition the links attributed
+// (queueing / transmission / propagation / retransmission wait), into a
+// table a scenario can print next to its FCT numbers: "where did flow
+// 17's time go, and why was its window cut".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "sim/trace_span.hpp"
+#include "stats/cdf.hpp"
+
+namespace hwatch::stats {
+
+struct FlowBreakdown {
+  net::FlowKey key;          // decoded from the tracer's packed words
+  std::uint64_t span = 0;    // the flow span id (trace cross-reference)
+  sim::TimePs start = 0;     // flow span begin
+  sim::TimePs end = 0;       // flow span end (close_open_spans if unfinished)
+  bool completed = false;    // saw the span's 'E' before close-out
+
+  // Latency decomposition totals (sum over packets of this flow).
+  std::array<sim::TimePs, sim::kLatencyComponents> latency_ps{};
+  std::array<std::uint64_t, sim::kLatencyComponents> latency_samples{};
+
+  // Lifecycle / provenance counts.
+  std::uint64_t recoveries = 0;
+  std::uint64_t rtos = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t rwnd_writes = 0;
+  std::uint64_t probe_trains = 0;
+
+  // From the flow span's payload: a = total_bytes at begin, b/c =
+  // bytes_acked / retransmits at end.
+  std::uint64_t total_bytes = 0;
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t retransmits = 0;
+
+  sim::TimePs lifetime() const { return end - start; }
+};
+
+class FlowTimeline {
+ public:
+  /// Harvests the tracer's events; call after close_open_spans so every
+  /// flow span has an end.
+  static FlowTimeline build(const sim::SpanTracer& tracer);
+
+  const std::vector<FlowBreakdown>& flows() const { return flows_; }
+
+  /// Context-wide per-component latency percentiles (microseconds),
+  /// from the tracer's fixed-bucket histograms via stats::percentiles.
+  Percentiles component_percentiles(sim::LatencyComponent c) const;
+
+  /// The human-readable breakdown table.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<FlowBreakdown> flows_;
+  std::array<std::vector<std::uint64_t>, sim::kLatencyComponents>
+      hist_counts_{};
+};
+
+}  // namespace hwatch::stats

@@ -35,6 +35,15 @@ void TcpSender::start(std::uint64_t total_bytes) {
   total_bytes_ = total_bytes;
   stats_.start_time = ctx_.now();
   state_ = SenderState::kSynSent;
+  if (ctx_.tracer().enabled()) {
+    sim::SpanTracer& tr = ctx_.tracer();
+    flow_span_ = tr.begin_span(ctx_.now(), sim::SpanKind::kFlow, 0, 0,
+                               total_bytes_);
+    auto [hi, lo] = net::flow_key_words(flow_key());
+    tr.register_flow(hi, lo, flow_span_);
+    handshake_span_ = tr.begin_span(ctx_.now(), sim::SpanKind::kHandshake,
+                                    flow_span_, flow_span_);
+  }
   send_syn();
 }
 
@@ -81,6 +90,7 @@ void TcpSender::send_pure_ack() {
 }
 
 void TcpSender::on_packet(net::Packet&& p) {
+  sim::ProfScope prof(ctx_.profiler(), sim::ProfComponent::kTcpSender);
   if (p.kind != net::PacketKind::kTcp || !p.tcp.ack_flag) return;
   if (p.tcp.syn) {
     handle_syn_ack(p);
@@ -105,6 +115,13 @@ void TcpSender::handle_syn_ack(const net::Packet& p) {
   snd_max_ = 1;
   state_ = SenderState::kEstablished;
   stats_.established_time = ctx_.now();
+  if (ctx_.tracer().enabled()) {
+    sim::SpanTracer& tr = ctx_.tracer();
+    tr.end_span(ctx_.now(), handshake_span_, stats_.syn_timeouts);
+    handshake_span_ = 0;
+    ss_span_ = tr.begin_span(ctx_.now(), sim::SpanKind::kSlowStart,
+                             flow_span_, flow_span_);
+  }
   if (!syn_retransmitted_) {
     rtt_.add_sample(ctx_.now() - syn_sent_at_);
   }
@@ -177,6 +194,7 @@ void TcpSender::on_new_data_acked(const net::Packet& p, std::uint64_t newly) {
     grow_window(newly);
   }
   cwnd_hist_.record(cwnd_);
+  if (ctx_.tracer().enabled()) trace_on_ack_progress();
 
   if (snd_una_ < snd_nxt_) {
     arm_rto();
@@ -184,6 +202,23 @@ void TcpSender::on_new_data_acked(const net::Packet& p, std::uint64_t newly) {
     rto_timer_.cancel();
   }
   maybe_complete();
+}
+
+void TcpSender::trace_on_ack_progress() {
+  sim::SpanTracer& tr = ctx_.tracer();
+  if (rto_span_ != 0) {
+    tr.end_span(ctx_.now(), rto_span_, snd_una_);
+    rto_span_ = 0;
+  }
+  if (recovery_span_ != 0 && !in_recovery_) {
+    tr.end_span(ctx_.now(), recovery_span_, snd_una_);
+    recovery_span_ = 0;
+  }
+  if (ss_span_ != 0 && (!in_slow_start() || in_recovery_)) {
+    tr.end_span(ctx_.now(), ss_span_,
+                static_cast<std::uint64_t>(cwnd_));
+    ss_span_ = 0;
+  }
 }
 
 sim::TimePs TcpSender::now() const { return ctx_.now(); }
@@ -253,6 +288,17 @@ void TcpSender::on_duplicate_ack(const net::Packet& p) {
   in_recovery_ = true;
   retx_hole_high_ = 0;
   ++stats_.fast_retransmits;
+  if (ctx_.tracer().enabled()) {
+    sim::SpanTracer& tr = ctx_.tracer();
+    // End slow start before opening recovery: sibling spans, and Chrome
+    // B/E pairs must nest as a stack per flow.
+    if (ss_span_ != 0) {
+      tr.end_span(ctx_.now(), ss_span_, static_cast<std::uint64_t>(cwnd_));
+      ss_span_ = 0;
+    }
+    recovery_span_ = tr.begin_span(ctx_.now(), sim::SpanKind::kRecovery,
+                                   flow_span_, flow_span_, snd_una_);
+  }
   retransmit_next_hole();
   cwnd_ = static_cast<double>(ssthresh_) + 3.0 * mss();
   arm_rto();
@@ -373,7 +419,10 @@ void TcpSender::emit_segment(std::uint64_t seq, bool retransmission) {
   host_.send(std::move(p));
 }
 
-void TcpSender::arm_rto() { rto_timer_.arm(rtt_.rto()); }
+void TcpSender::arm_rto() {
+  if (ctx_.tracer().enabled()) rto_armed_at_ = ctx_.now();
+  rto_timer_.arm(rtt_.rto());
+}
 
 void TcpSender::on_rto() {
   if (state_ == SenderState::kSynSent) {
@@ -387,6 +436,25 @@ void TcpSender::on_rto() {
   ++stats_.timeouts;
   ctx_.log().msg(sim::LogLevel::kDebug, "RTO flow ", port_, " snd_una=",
                snd_una_, " snd_nxt=", snd_nxt_);
+  if (ctx_.tracer().enabled()) {
+    sim::SpanTracer& tr = ctx_.tracer();
+    if (recovery_span_ != 0) {
+      tr.end_span(ctx_.now(), recovery_span_, snd_una_);
+      recovery_span_ = 0;
+    }
+    if (ss_span_ != 0) {
+      tr.end_span(ctx_.now(), ss_span_, static_cast<std::uint64_t>(cwnd_));
+      ss_span_ = 0;
+    }
+    // The whole interval since the data was last clocked out counts as
+    // retransmission wait: nothing moved until this timer fired.
+    tr.add_latency(flow_span_, sim::LatencyComponent::kRetxWait,
+                   ctx_.now() - rto_armed_at_);
+    if (rto_span_ == 0) {
+      rto_span_ = tr.begin_span(ctx_.now(), sim::SpanKind::kRto, flow_span_,
+                                flow_span_, snd_una_);
+    }
+  }
   ssthresh_ = ssthresh_after_loss();
   cwnd_ = mss();
   in_recovery_ = false;
@@ -412,6 +480,20 @@ void TcpSender::maybe_complete() {
     state_ = SenderState::kClosed;
     stats_.complete_time = ctx_.now();
     rto_timer_.cancel();
+    if (ctx_.tracer().enabled() && flow_span_ != 0) {
+      sim::SpanTracer& tr = ctx_.tracer();
+      // Children first, then the flow span, to keep B/E pairs a stack.
+      if (rto_span_ != 0) tr.end_span(ctx_.now(), rto_span_, snd_una_);
+      if (recovery_span_ != 0) tr.end_span(ctx_.now(), recovery_span_,
+                                           snd_una_);
+      if (ss_span_ != 0) {
+        tr.end_span(ctx_.now(), ss_span_, static_cast<std::uint64_t>(cwnd_));
+      }
+      tr.end_span(ctx_.now(), flow_span_, stats_.bytes_acked,
+                  stats_.retransmits);
+      flow_span_ = handshake_span_ = ss_span_ = recovery_span_ = rto_span_ =
+          0;
+    }
     if (on_complete_) on_complete_(*this);
   }
 }

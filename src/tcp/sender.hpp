@@ -134,6 +134,10 @@ class TcpSender {
   void on_rto();
   void arm_rto();
   void maybe_complete();
+  /// Out-of-line span bookkeeping for ACK progress (closes RTO /
+  /// recovery / slow-start spans); called behind one tracer-enabled
+  /// branch so the common path stays lean.
+  void trace_on_ack_progress();
   std::uint64_t bytes_in_flight() const { return snd_nxt_ - snd_una_; }
   /// End of the payload region (exclusive): seq of the FIN.
   std::uint64_t fin_seq() const { return total_bytes_ + 1; }
@@ -189,6 +193,16 @@ class TcpSender {
   RttEstimator rtt_;
   sim::Timer rto_timer_;
   CompletionCallback on_complete_;
+
+  // SpanTracer ids for the flow lifecycle (all 0 when tracing is off).
+  // Slow-start span covers the initial slow start only — not reopened
+  // after an RTO (documented simplification).
+  std::uint64_t flow_span_ = 0;
+  std::uint64_t handshake_span_ = 0;
+  std::uint64_t ss_span_ = 0;
+  std::uint64_t recovery_span_ = 0;
+  std::uint64_t rto_span_ = 0;
+  sim::TimePs rto_armed_at_ = 0;
 };
 
 }  // namespace hwatch::tcp

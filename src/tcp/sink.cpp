@@ -47,6 +47,7 @@ net::Packet TcpSink::make_segment() const {
 }
 
 void TcpSink::on_packet(net::Packet&& p) {
+  sim::ProfScope prof(ctx_.profiler(), sim::ProfComponent::kTcpSink);
   if (p.kind != net::PacketKind::kTcp) return;
   if (p.tcp.syn) {
     handle_syn(p);

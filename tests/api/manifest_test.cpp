@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "api/scenario.hpp"
@@ -175,6 +176,52 @@ TEST(ManifestTest, MetricsDirWritesParseableFile) {
   EXPECT_GT(j.find("environment")->find("wall_time_ms")->as_double(), 0.0);
 
   fs::remove_all(dir);
+}
+
+TEST(ManifestTest, MetricsDirCreatesMissingNestedDirectories) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "hwatch_manifest_nested_out";
+  fs::remove_all(root);
+  const fs::path dir = root / "a" / "b";  // two missing levels
+
+  ::setenv("HWATCH_METRICS_DIR", dir.string().c_str(), 1);
+  DumbbellScenarioConfig cfg = small_metrics_point(11);
+  cfg.collect_metrics = false;
+  cfg.run_label = "nested";
+  const ScenarioResults res = run_dumbbell(cfg);
+  ::unsetenv("HWATCH_METRICS_DIR");
+
+  ASSERT_TRUE(res.has_manifest);
+  EXPECT_TRUE(fs::exists(dir / "nested.json"));
+  fs::remove_all(root);
+}
+
+TEST(ManifestTest, MetricsDirUnwritablePathThrowsNamingTheVariable) {
+  // A path under a regular file can never become a directory, so the
+  // run must fail loudly — naming HWATCH_METRICS_DIR — instead of
+  // silently dropping the manifest.
+  namespace fs = std::filesystem;
+  const fs::path blocker =
+      fs::temp_directory_path() / "hwatch_manifest_blocker";
+  { std::ofstream(blocker.string()) << "not a directory"; }
+  const fs::path dir = blocker / "sub";
+
+  ::setenv("HWATCH_METRICS_DIR", dir.string().c_str(), 1);
+  DumbbellScenarioConfig cfg = small_metrics_point(12);
+  cfg.collect_metrics = false;
+  try {
+    run_dumbbell(cfg);
+    FAIL() << "expected std::runtime_error for unwritable metrics dir";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("HWATCH_METRICS_DIR"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(dir.string()), std::string::npos)
+        << e.what();
+  }
+  ::unsetenv("HWATCH_METRICS_DIR");
+  fs::remove(blocker);
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+#include "stats/flow_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "stats/cdf.hpp"
+
+namespace hwatch::stats {
+namespace {
+
+// ---------------------------------------------------------- percentiles
+
+TEST(Percentiles, EmptyHistogramIsAllZero) {
+  const Percentiles p =
+      percentiles(std::vector<double>{1, 2, 4}, {0, 0, 0, 0});
+  EXPECT_EQ(p.count, 0u);
+  EXPECT_EQ(p.p50, 0);
+  EXPECT_EQ(p.p95, 0);
+  EXPECT_EQ(p.p99, 0);
+  EXPECT_EQ(p.p999, 0);
+}
+
+TEST(Percentiles, SingleBucketInterpolatesFromZero) {
+  // All four samples in (0, 10]: rank q*4 interpolates linearly.
+  const Percentiles p = percentiles(std::vector<double>{10}, {4, 0});
+  EXPECT_EQ(p.count, 4u);
+  EXPECT_DOUBLE_EQ(p.p50, 5.0);
+  EXPECT_DOUBLE_EQ(p.p95, 9.5);
+  EXPECT_DOUBLE_EQ(p.p99, 9.9);
+  EXPECT_DOUBLE_EQ(p.p999, 9.99);
+}
+
+TEST(Percentiles, OverflowBucketUsesHint) {
+  // Both samples beyond the last bound; the overflow bucket spans
+  // (10, hint] when a hint is given, else collapses to the last bound.
+  const Percentiles with_hint =
+      percentiles(std::vector<double>{10}, {0, 2}, /*overflow_hint=*/30);
+  EXPECT_DOUBLE_EQ(with_hint.p50, 20.0);
+  const Percentiles no_hint = percentiles(std::vector<double>{10}, {0, 2});
+  EXPECT_DOUBLE_EQ(no_hint.p50, 10.0);
+  EXPECT_DOUBLE_EQ(no_hint.p999, 10.0);
+}
+
+TEST(Percentiles, SkipsEmptyBucketsBetweenRanks) {
+  // 10 samples <= 1, then a gap, then 10 in (4, 8]: the median sits at
+  // the top of the first bucket, the p95 inside the last.
+  const Percentiles p =
+      percentiles(std::vector<double>{1, 2, 4, 8}, {10, 0, 0, 10, 0});
+  EXPECT_EQ(p.count, 20u);
+  EXPECT_DOUBLE_EQ(p.p50, 1.0);
+  EXPECT_DOUBLE_EQ(p.p95, 4.0 + 4.0 * 0.9);
+}
+
+TEST(Percentiles, HistogramOverloadUsesRecordedMax) {
+  sim::MetricsRegistry reg;
+  reg.set_enabled(true);
+  sim::Histogram& h = reg.histogram("t", {10.0});
+  h.record(12);  // overflow bucket; max = 12 becomes the hint
+  h.record(12);
+  const Percentiles p = percentiles(h);
+  EXPECT_EQ(p.count, 2u);
+  EXPECT_DOUBLE_EQ(p.p50, 11.0);  // halfway through (10, 12]
+}
+
+// ---------------------------------------------------------- FlowTimeline
+
+sim::SpanTracer& build_sample_trace(sim::SpanTracer& tr) {
+  tr.set_enabled(true);
+  // Flow 1: completes, with one recovery, one RTO, HWatch provenance.
+  const std::uint64_t f1 =
+      tr.begin_span(1'000, sim::SpanKind::kFlow, 0, 0, /*total_bytes=*/5000);
+  tr.register_flow((std::uint64_t{1} << 32) | 2,
+                   (std::uint64_t{40000} << 16) | 80, f1);
+  const std::uint64_t hs =
+      tr.begin_span(1'000, sim::SpanKind::kHandshake, f1, f1);
+  tr.end_span(2'000, hs);
+  const std::uint64_t train =
+      tr.begin_span(1'100, sim::SpanKind::kProbeTrain, f1, f1, 10);
+  tr.end_span(1'900, train);
+  const std::uint64_t dec =
+      tr.instant(1'800, sim::SpanKind::kDecision, 0, f1, 8, 2, 5, 5);
+  tr.instant(1'900, sim::SpanKind::kRwndWrite, dec, f1, 7210, 65535, 7210, 1);
+  const std::uint64_t rec =
+      tr.begin_span(3'000, sim::SpanKind::kRecovery, f1, f1);
+  tr.end_span(4'000, rec);
+  const std::uint64_t rto = tr.begin_span(5'000, sim::SpanKind::kRto, f1, f1);
+  tr.end_span(6'000, rto);
+  tr.add_latency(f1, sim::LatencyComponent::kQueueing, 2'000'000);
+  tr.add_latency(f1, sim::LatencyComponent::kRetxWait, 7'000'000);
+  tr.end_span(9'000, f1, /*bytes_acked=*/5000, /*retransmits=*/3);
+
+  // Flow 2: left open (incomplete) until close-out.
+  const std::uint64_t f2 =
+      tr.begin_span(2'000, sim::SpanKind::kFlow, 0, 0, /*total_bytes=*/8000);
+  tr.register_flow((std::uint64_t{1} << 32) | 3,
+                   (std::uint64_t{40001} << 16) | 80, f2);
+  tr.close_open_spans(10'000);
+  return tr;
+}
+
+TEST(FlowTimeline, BuildHarvestsLifecycleAndLatency) {
+  sim::SpanTracer tr;
+  build_sample_trace(tr);
+  const FlowTimeline tl = FlowTimeline::build(tr);
+  ASSERT_EQ(tl.flows().size(), 2u);
+
+  const FlowBreakdown& a = tl.flows()[0];
+  EXPECT_EQ(a.key.src, 1u);
+  EXPECT_EQ(a.key.dst, 2u);
+  EXPECT_EQ(a.key.src_port, 40000u);
+  EXPECT_EQ(a.key.dst_port, 80u);
+  EXPECT_EQ(a.start, 1'000);
+  EXPECT_EQ(a.end, 9'000);
+  EXPECT_EQ(a.lifetime(), 8'000);
+  EXPECT_TRUE(a.completed);
+  EXPECT_EQ(a.total_bytes, 5000u);
+  EXPECT_EQ(a.bytes_acked, 5000u);
+  EXPECT_EQ(a.retransmits, 3u);
+  EXPECT_EQ(a.recoveries, 1u);
+  EXPECT_EQ(a.rtos, 1u);
+  EXPECT_EQ(a.decisions, 1u);
+  EXPECT_EQ(a.rwnd_writes, 1u);
+  EXPECT_EQ(a.probe_trains, 1u);
+  EXPECT_EQ(a.latency_ps[0], 2'000'000);
+  EXPECT_EQ(a.latency_samples[0], 1u);
+  EXPECT_EQ(a.latency_ps[3], 7'000'000);
+
+  const FlowBreakdown& b = tl.flows()[1];
+  EXPECT_FALSE(b.completed);  // closed out, never acked its bytes
+  EXPECT_EQ(b.end, 10'000);
+  EXPECT_EQ(b.total_bytes, 8000u);
+}
+
+TEST(FlowTimeline, ComponentPercentilesCoverRecordedSamples) {
+  sim::SpanTracer tr;
+  build_sample_trace(tr);
+  const FlowTimeline tl = FlowTimeline::build(tr);
+  const Percentiles q =
+      tl.component_percentiles(sim::LatencyComponent::kQueueing);
+  EXPECT_EQ(q.count, 1u);
+  EXPECT_GT(q.p50, 0);
+  const Percentiles none =
+      tl.component_percentiles(sim::LatencyComponent::kPropagation);
+  EXPECT_EQ(none.count, 0u);
+}
+
+TEST(FlowTimeline, PrintRendersTheBreakdownTable) {
+  sim::SpanTracer tr;
+  build_sample_trace(tr);
+  const FlowTimeline tl = FlowTimeline::build(tr);
+  std::ostringstream os;
+  tl.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("flow"), std::string::npos);
+  EXPECT_NE(out.find("retx_wait"), std::string::npos);
+  EXPECT_NE(out.find("queue"), std::string::npos);
+}
+
+TEST(FlowTimeline, EmptyTracerYieldsEmptyTimeline) {
+  sim::SpanTracer tr;  // never enabled
+  const FlowTimeline tl = FlowTimeline::build(tr);
+  EXPECT_TRUE(tl.flows().empty());
+  EXPECT_EQ(tl.component_percentiles(sim::LatencyComponent::kQueueing).count,
+            0u);
+}
+
+}  // namespace
+}  // namespace hwatch::stats

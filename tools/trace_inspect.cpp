@@ -1,22 +1,32 @@
-// trace_inspect — summarize or filter the JSONL packet traces the
-// simulator emits (PacketTracer with a jsonl_sink, or dump_jsonl()).
+// trace_inspect — summarize, filter or export the JSONL traces the
+// simulator emits: packet traces (net::PacketTracer jsonl_sink) and
+// span traces (sim::SpanTracer::dump_jsonl).
 //
 // Usage:
-//   trace_inspect [options] [file.jsonl]     (default: stdin)
+//   trace_inspect [summary] [options] [files...]      aggregate report
+//   trace_inspect filter [options] [files...]         re-emit matching lines
+//   trace_inspect print ...                           alias of filter
+//   trace_inspect export [-o FILE] [files...]         Chrome trace-event JSON
 //
-// Options:
-//   --summary          aggregate report (default)
-//   --print            re-emit the matching lines verbatim
-//   --kind tcp|probe   keep only one packet kind
+// Options (summary/filter):
+//   --kind K           keep only kind K (repeatable: OR across kinds)
 //   --dir in|out       keep only one direction
 //   --src N --dst N    filter by node id
 //   --sport N --dport N filter by port
 //   --since S --until S keep t in [S, U] (seconds, fractional ok)
 //   --ce               keep only CE-marked packets
 //
-// Exit codes: 0 ok, 1 bad usage, 2 malformed input line.
+// `export` merges packet lines and span lines from every input into one
+// Chrome trace-event JSON object (schema `hwatch.trace_export/v1`) that
+// loads directly in Perfetto: span begin/end pairs become nested slices
+// on one track per flow, packets and decisions become instants.
+//
+// Files default to stdin.  Exit codes: 0 ok, 1 bad usage or unreadable
+// file, 2 malformed input line.
 #include <algorithm>
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,42 +42,60 @@ namespace {
 
 using hwatch::sim::Json;
 
+enum class Mode { kSummary, kFilter, kExport };
+
 struct Options {
-  bool print = false;
-  std::optional<std::string> kind;
+  Mode mode = Mode::kSummary;
+  std::vector<std::string> kinds;  // empty = all; else OR-match
   std::optional<std::string> dir;
   std::optional<std::uint64_t> src, dst, sport, dport;
   std::optional<double> since_s, until_s;
   bool ce_only = false;
-  std::string file;  // empty = stdin
+  std::vector<std::string> files;  // empty = stdin
+  std::string out_file;            // export only; empty = stdout
 };
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " [options] [trace.jsonl]\n"
-      << "  --summary | --print\n"
-      << "  --kind tcp|probe   --dir in|out   --ce\n"
+      << "usage: " << argv0 << " [summary|filter|print|export] [options] "
+      << "[files...]\n"
+      << "  summary (default) | filter/print | export [-o FILE]\n"
+      << "  --kind K (repeatable)   --dir in|out   --ce\n"
       << "  --src N --dst N --sport N --dport N\n"
       << "  --since SECONDS --until SECONDS\n";
   return 1;
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
-  auto need = [&](int& i) -> const char* {
-    if (i + 1 >= argc) return nullptr;
-    return argv[++i];
+  int i = 1;
+  if (i < argc) {
+    const std::string first = argv[i];
+    if (first == "summary") {
+      opt.mode = Mode::kSummary;
+      ++i;
+    } else if (first == "filter" || first == "print") {
+      opt.mode = Mode::kFilter;
+      ++i;
+    } else if (first == "export") {
+      opt.mode = Mode::kExport;
+      ++i;
+    }
+  }
+  auto need = [&](int& k) -> const char* {
+    if (k + 1 >= argc) return nullptr;
+    return argv[++k];
   };
-  for (int i = 1; i < argc; ++i) {
+  for (; i < argc; ++i) {
     const std::string a = argv[i];
     const char* v = nullptr;
     if (a == "--summary") {
-      opt.print = false;
+      opt.mode = Mode::kSummary;
     } else if (a == "--print") {
-      opt.print = true;
+      opt.mode = Mode::kFilter;
     } else if (a == "--ce") {
       opt.ce_only = true;
     } else if (a == "--kind" && (v = need(i))) {
-      opt.kind = v;
+      opt.kinds.emplace_back(v);
     } else if (a == "--dir" && (v = need(i))) {
       opt.dir = v;
     } else if (a == "--src" && (v = need(i))) {
@@ -82,8 +110,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.since_s = std::stod(v);
     } else if (a == "--until" && (v = need(i))) {
       opt.until_s = std::stod(v);
+    } else if (a == "-o" && (v = need(i))) {
+      if (opt.mode != Mode::kExport) return false;
+      opt.out_file = v;
     } else if (!a.empty() && a[0] != '-') {
-      opt.file = a;
+      opt.files.push_back(a);
     } else {
       return false;
     }
@@ -102,7 +133,13 @@ std::string get_str(const Json& j, const char* key) {
 }
 
 bool matches(const Json& j, const Options& opt) {
-  if (opt.kind && get_str(j, "kind") != *opt.kind) return false;
+  if (!opt.kinds.empty()) {
+    const std::string k = get_str(j, "kind");
+    if (std::find(opt.kinds.begin(), opt.kinds.end(), k) ==
+        opt.kinds.end()) {
+      return false;
+    }
+  }
   if (opt.dir && get_str(j, "dir") != *opt.dir) return false;
   if (opt.src && get_uint(j, "src") != *opt.src) return false;
   if (opt.dst && get_uint(j, "dst") != *opt.dst) return false;
@@ -119,6 +156,11 @@ struct FlowAgg {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   std::uint64_t ce = 0;
+  std::uint64_t data = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t syn = 0;
+  std::uint64_t fin = 0;
+  std::uint64_t probes = 0;
 };
 
 struct Summary {
@@ -154,6 +196,19 @@ void accumulate(const Json& j, Summary& s) {
   ++f.packets;
   f.bytes += get_uint(j, "wire");
   if (get_str(j, "ecn") == "ce") ++f.ce;
+  const std::string kind = get_str(j, "kind");
+  if (kind == "probe") {
+    ++f.probes;
+  } else {
+    if (get_uint(j, "payload") > 0) {
+      ++f.data;
+    } else if (flags.find('S') == std::string::npos &&
+               flags.find('F') == std::string::npos) {
+      ++f.acks;
+    }
+    if (flags.find('S') != std::string::npos) ++f.syn;
+    if (flags.find('F') != std::string::npos) ++f.fin;
+  }
 }
 
 void print_summary(const Summary& s) {
@@ -179,14 +234,182 @@ void print_summary(const Summary& s) {
   });
   std::cout << "flows: " << top.size() << " (top 10 by packets)\n";
   for (std::size_t i = 0; i < top.size() && i < 10; ++i) {
-    std::cout << "  " << top[i].first << "  pkts=" << top[i].second.packets
-              << " bytes=" << top[i].second.bytes
-              << " ce=" << top[i].second.ce << "\n";
+    const FlowAgg& f = top[i].second;
+    std::cout << "  " << top[i].first << "  pkts=" << f.packets
+              << " bytes=" << f.bytes << " ce=" << f.ce
+              << " data=" << f.data << " acks=" << f.acks
+              << " syn=" << f.syn << " fin=" << f.fin
+              << " probes=" << f.probes << "\n";
   }
 }
 
-int run(std::istream& in, const Options& opt) {
-  Summary s;
+// ---- export: merged Chrome trace-event JSON ---------------------------
+
+/// Exact ps -> us fixed point (same formatting as SpanTracer's native
+/// export, so merged output stays byte-deterministic).
+void write_ts_us(std::ostream& os, std::uint64_t ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                static_cast<unsigned long long>(ps / 1000000u),
+                static_cast<unsigned long long>(ps % 1000000u));
+  os << buf;
+}
+
+struct ExportLine {
+  std::uint64_t t = 0;
+  std::size_t order = 0;  // input order; ties on t keep it (nesting)
+  Json j;
+  bool is_packet = false;
+};
+
+int run_export(const std::vector<Json>& lines, std::ostream& os) {
+  // First pass: flow-track registry (span flows from "F" lines, packet
+  // flows from 4-tuples in order of first appearance) and the dropped
+  // count.
+  std::map<std::uint64_t, std::size_t> span_tid;    // flow span -> tid
+  std::vector<std::string> span_names;
+  std::map<std::string, std::size_t> packet_tid;    // tuple -> tid
+  std::vector<std::string> packet_names;
+  std::uint64_t dropped = 0;
+  std::vector<ExportLine> events;
+  std::uint64_t t_max = 0;
+  std::vector<const Json*> latency_lines;
+
+  for (const Json& j : lines) {
+    const std::string ph = get_str(j, "ph");
+    if (ph == "F") {
+      std::ostringstream name;
+      name << "flow " << get_uint(j, "src") << ':' << get_uint(j, "sport")
+           << "->" << get_uint(j, "dst") << ':' << get_uint(j, "dport");
+      span_tid.emplace(get_uint(j, "id"), span_tid.size() + 1);
+      span_names.push_back(name.str());
+      continue;
+    }
+    if (ph == "D") {
+      dropped += get_uint(j, "dropped_events");
+      continue;
+    }
+    if (ph == "L") {
+      latency_lines.push_back(&j);
+      continue;
+    }
+    ExportLine ev;
+    ev.t = get_uint(j, "t_ps");
+    ev.order = events.size();
+    ev.is_packet = j.find("dir") != nullptr;
+    if (ev.is_packet) {
+      std::ostringstream key;
+      key << get_uint(j, "src") << ':' << get_uint(j, "sport") << "->"
+          << get_uint(j, "dst") << ':' << get_uint(j, "dport");
+      if (packet_tid.emplace(key.str(), packet_tid.size() + 1).second) {
+        packet_names.push_back(key.str());
+      }
+    }
+    if (ev.t > t_max) t_max = ev.t;
+    ev.j = j;
+    events.push_back(std::move(ev));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ExportLine& a, const ExportLine& b) {
+                     return a.t < b.t;
+                   });
+
+  os << "{\"schema\":\"hwatch.trace_export/v1\",\"displayTimeUnit\":\"ms\","
+     << "\"dropped_events\":" << dropped << ",\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  const auto meta = [&](int pid, std::uint64_t tid, const char* what,
+                        const std::string& name) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"" << what << "\",\"args\":{\"name\":";
+    Json::write_escaped(os, name);
+    os << "}}";
+  };
+  meta(1, 0, "process_name", "spans");
+  for (std::size_t i = 0; i < span_names.size(); ++i) {
+    meta(1, i + 1, "thread_name", span_names[i]);
+  }
+  if (!packet_names.empty()) {
+    meta(2, 0, "process_name", "packets");
+    for (std::size_t i = 0; i < packet_names.size(); ++i) {
+      meta(2, i + 1, "thread_name", packet_names[i]);
+    }
+  }
+
+  const auto write_args = [&](const Json& j,
+                              std::initializer_list<const char*> skip) {
+    bool first_arg = true;
+    for (const auto& [key, value] : j.members()) {
+      bool skipped = false;
+      for (const char* s : skip) {
+        if (key == s) {
+          skipped = true;
+          break;
+        }
+      }
+      if (skipped) continue;
+      if (!first_arg) os << ',';
+      first_arg = false;
+      Json::write_escaped(os, key);
+      os << ':';
+      value.dump(os);
+    }
+  };
+
+  for (const ExportLine& ev : events) {
+    sep();
+    const std::string ph = get_str(ev.j, "ph");
+    if (ev.is_packet) {
+      const auto it = packet_tid.find(
+          std::to_string(get_uint(ev.j, "src")) + ':' +
+          std::to_string(get_uint(ev.j, "sport")) + "->" +
+          std::to_string(get_uint(ev.j, "dst")) + ':' +
+          std::to_string(get_uint(ev.j, "dport")));
+      os << "{\"name\":\"" << get_str(ev.j, "kind") << ' '
+         << get_str(ev.j, "dir") << "\",\"cat\":\"packet\",\"ph\":\"i\","
+         << "\"s\":\"t\",\"pid\":2,\"tid\":"
+         << (it != packet_tid.end() ? it->second : 0) << ",\"ts\":";
+      write_ts_us(os, ev.t);
+      os << ",\"args\":{";
+      write_args(ev.j, {"t_ps"});
+      os << "}}";
+      continue;
+    }
+    const auto tid_it = span_tid.find(get_uint(ev.j, "flow"));
+    os << "{\"name\":\"" << get_str(ev.j, "kind")
+       << "\",\"cat\":\"span\",\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":"
+       << (tid_it != span_tid.end() ? tid_it->second : 0) << ",\"ts\":";
+    write_ts_us(os, ev.t);
+    if (ph == "i") os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"span\":" << get_uint(ev.j, "id")
+       << ",\"parent\":" << get_uint(ev.j, "parent");
+    os << (ev.j.members().size() > 6 ? "," : "");
+    write_args(ev.j, {"t_ps", "ph", "kind", "id", "parent", "flow"});
+    os << "}}";
+  }
+
+  // Per-flow latency summaries ride along as instants at the trace end.
+  for (const Json* j : latency_lines) {
+    sep();
+    const auto tid_it = span_tid.find(get_uint(*j, "flow"));
+    os << "{\"name\":\"latency_breakdown\",\"cat\":\"span\",\"ph\":\"i\","
+       << "\"s\":\"t\",\"pid\":1,\"tid\":"
+       << (tid_it != span_tid.end() ? tid_it->second : 0) << ",\"ts\":";
+    write_ts_us(os, t_max);
+    os << ",\"args\":{";
+    write_args(*j, {"ph"});
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return 0;
+}
+
+int run(std::istream& in, const char* name, const Options& opt, Summary& s,
+        std::vector<Json>& export_lines) {
   std::string line;
   std::uint64_t lineno = 0;
   while (std::getline(in, line)) {
@@ -194,21 +417,27 @@ int run(std::istream& in, const Options& opt) {
     if (line.empty()) continue;
     ++s.lines;
     std::string err;
-    const Json j = Json::parse(line, &err);
+    Json j = Json::parse(line, &err);
     if (!err.empty() || !j.is_object()) {
-      std::cerr << "line " << lineno << ": parse error: "
+      std::cerr << name << ":" << lineno << ": parse error: "
                 << (err.empty() ? "not an object" : err) << "\n";
       return 2;
     }
-    if (!matches(j, opt)) continue;
-    if (opt.print) {
-      std::cout << line << "\n";
-      ++s.matched;
-    } else {
-      accumulate(j, s);
+    switch (opt.mode) {
+      case Mode::kExport:
+        export_lines.push_back(std::move(j));
+        break;
+      case Mode::kFilter:
+        if (matches(j, opt)) {
+          std::cout << line << "\n";
+          ++s.matched;
+        }
+        break;
+      case Mode::kSummary:
+        if (matches(j, opt)) accumulate(j, s);
+        break;
     }
   }
-  if (!opt.print) print_summary(s);
   return 0;
 }
 
@@ -217,11 +446,35 @@ int run(std::istream& in, const Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage(argv[0]);
-  if (opt.file.empty()) return run(std::cin, opt);
-  std::ifstream f(opt.file);
-  if (!f) {
-    std::cerr << "error: cannot open " << opt.file << "\n";
-    return 1;
+
+  Summary s;
+  std::vector<Json> export_lines;
+  if (opt.files.empty()) {
+    const int rc = run(std::cin, "<stdin>", opt, s, export_lines);
+    if (rc != 0) return rc;
+  } else {
+    for (const std::string& file : opt.files) {
+      std::ifstream f(file);
+      if (!f) {
+        std::cerr << "error: cannot open " << file << "\n";
+        return 1;
+      }
+      const int rc = run(f, file.c_str(), opt, s, export_lines);
+      if (rc != 0) return rc;
+    }
   }
-  return run(f, opt);
+
+  if (opt.mode == Mode::kSummary) {
+    print_summary(s);
+  } else if (opt.mode == Mode::kExport) {
+    if (opt.out_file.empty()) return run_export(export_lines, std::cout);
+    std::ofstream out(opt.out_file, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.out_file
+                << " for writing\n";
+      return 1;
+    }
+    return run_export(export_lines, out);
+  }
+  return 0;
 }
