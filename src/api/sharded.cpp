@@ -1,0 +1,339 @@
+#include "api/sharded.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/shard_channel.hpp"
+#include "sim/shard_group.hpp"
+
+namespace hwatch::api {
+
+unsigned shards_from_env() {
+  const char* raw = std::getenv("HWATCH_SHARDS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  const std::string value(raw);
+  const auto bad = [&](const char* why) {
+    throw std::invalid_argument(std::string("HWATCH_SHARDS=\"") + value +
+                                "\": " + why +
+                                " (expected a positive integer)");
+  };
+  std::size_t pos = 0;
+  unsigned long parsed = 0;
+  try {
+    parsed = std::stoul(value, &pos, 10);
+  } catch (const std::invalid_argument&) {
+    bad("not a number");
+  } catch (const std::out_of_range&) {
+    bad("out of range");
+  }
+  if (pos != value.size()) bad("trailing characters");
+  if (parsed == 0) bad("must be >= 1");
+  if (parsed > 1024) bad("out of range");
+  return static_cast<unsigned>(parsed);
+}
+
+ShardedRunner::ShardedRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) threads_ = shards_from_env();
+  if (threads_ == 0) threads_ = 1;
+}
+
+ScenarioResults ShardedRunner::run(FatTreeScenarioConfig cfg) const {
+  cfg.shards = threads_;
+  return run_fat_tree_sharded(cfg);
+}
+
+namespace {
+
+/// One shard's epoch protocol: drain the cross-shard inboxes, then run
+/// the local scheduler through the window.
+struct ShardRun final : sim::ShardTask {
+  sim::SimContext* ctx = nullptr;
+  std::vector<net::CrossShardChannel*>* ingress = nullptr;
+  std::vector<std::pair<net::Node*, net::ShardInbox::Item>> scratch;
+
+  void drain(sim::TimePs) override {
+    net::drain_cross_shard_channels(*ingress, scratch);
+  }
+  void run(sim::TimePs window_end) override {
+    ctx->scheduler().run_until(window_end);
+  }
+};
+
+// Wall time feeds only the manifest `environment` section (excluded
+// from the deterministic dump).
+using WallClock = std::chrono::steady_clock;  // hwlint: allow(nondeterminism)
+
+double wall_ms_since(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0)
+      .count();
+}
+
+sim::Json sharded_aqm_json(const AqmConfig& a) {
+  sim::Json j = sim::Json::object();
+  j.set("kind", to_string(a.kind));
+  j.set("buffer_packets", a.buffer_packets);
+  j.set("mark_threshold_packets", a.mark_threshold_packets);
+  j.set("byte_mode", a.byte_mode);
+  return j;
+}
+
+}  // namespace
+
+ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
+  const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
+  const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const char* trace_dir = std::getenv("HWATCH_TRACE_DIR");
+  const bool trace = cfg.trace_spans || trace_dir != nullptr;
+  const WallClock::time_point wall0 = WallClock::now();
+
+  unsigned workers = cfg.shards;
+  if (workers == 0) workers = shards_from_env();
+  if (workers == 0) workers = 1;
+
+  topo::ShardedFatTreeConfig tcfg;
+  tcfg.k = cfg.k;
+  tcfg.hosts = cfg.hosts;
+  tcfg.link_rate = cfg.link_rate;
+  tcfg.base_rtt = cfg.base_rtt;
+  tcfg.qdisc = cfg.aqm.make_factory(cfg.link_rate);
+  tcfg.seed = cfg.seed;
+  tcfg.inbox_capacity = cfg.inbox_capacity;
+  topo::ShardedFatTree tree = topo::build_sharded_fat_tree(tcfg);
+  const std::size_t shard_count = tree.shards.size();
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    sim::SimContext& ctx = *tree.shards[s].ctx;
+    if (collect) ctx.metrics().set_enabled(true);
+    if (trace) {
+      ctx.tracer().set_id_base(static_cast<std::uint64_t>(s) << 40);
+      ctx.tracer().set_enabled(true);
+    }
+  }
+
+  // HWatch shims, per shard: each host's shim forks from its own
+  // shard's RNG, so the probe schedule is a pure function of
+  // (seed, shard), untouched by worker count.
+  std::vector<std::unique_ptr<core::HypervisorShim>> shims;
+  if (cfg.hwatch_enabled) {
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      auto& shard = tree.shards[s];
+      for (net::Host* host : shard.hosts) {
+        shims.push_back(core::install_hwatch(*shard.net, *host, cfg.hwatch,
+                                             shard.ctx->rng().fork()));
+      }
+    }
+  }
+
+  // Permutation workload.  A flow lives in its SOURCE host's shard (the
+  // sender runs there); the sink runs in the destination shard, bound
+  // to a port allocated by the destination shard's manager.
+  std::vector<std::unique_ptr<workload::TrafficManager>> tms;
+  tms.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    tms.push_back(
+        std::make_unique<workload::TrafficManager>(*tree.shards[s].net));
+  }
+  const std::size_t n_hosts = tree.hosts.size();
+  const std::uint32_t hosts_per_edge = tree.plan.hosts_per_edge;
+  const std::uint64_t total_flows =
+      static_cast<std::uint64_t>(n_hosts) * cfg.flows_per_host;
+  std::uint64_t flow_idx = 0;
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    const std::size_t src_shard = i / hosts_per_edge;
+    const std::size_t j = (i + n_hosts / 2 + 1) % n_hosts;
+    const std::size_t dst_shard = j / hosts_per_edge;
+    for (std::uint32_t f = 0; f < cfg.flows_per_host; ++f, ++flow_idx) {
+      workload::FlowSpec spec;
+      spec.src = tree.hosts[i];
+      spec.dst = tree.hosts[j];
+      spec.dst_net = tree.shards[dst_shard].net.get();
+      spec.dst_port = tms[dst_shard]->next_port(*spec.dst);
+      spec.transport = cfg.transport;
+      spec.tcp = cfg.tcp;
+      spec.bytes = cfg.flow_bytes;
+      spec.start = total_flows > 0
+                       ? static_cast<sim::TimePs>(
+                             (static_cast<std::uint64_t>(cfg.start_spread) *
+                              flow_idx) /
+                             total_flows)
+                       : 0;
+      spec.klass = stats::FlowClass::kShort;
+      spec.epoch = f;
+      tms[src_shard]->add_flow(spec);
+    }
+  }
+
+  // Conservative epochs to the horizon.
+  std::vector<ShardRun> shard_tasks(shard_count);
+  sim::ShardGroup group(workers);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shard_tasks[s].ctx = tree.shards[s].ctx.get();
+    shard_tasks[s].ingress = &tree.shards[s].ingress;
+    group.add(&shard_tasks[s]);
+  }
+  group.run(cfg.duration, tree.lookahead);
+
+  ScenarioResults res;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto records = tms[s]->collect_records();
+    res.records.insert(res.records.end(), records.begin(), records.end());
+    res.fabric_drops += tree.shards[s].net->total_queue_drops();
+    res.retransmits += tms[s]->total_retransmits();
+    res.timeouts += tms[s]->total_timeouts();
+    res.events_executed += tree.shards[s].ctx->scheduler().executed();
+  }
+  for (const auto& shim : shims) {
+    res.shim.probes_injected += shim->stats().probes_injected;
+    res.shim.probe_bytes_injected += shim->stats().probe_bytes_injected;
+    res.shim.synacks_rewritten += shim->stats().synacks_rewritten;
+    res.shim.acks_rewritten += shim->stats().acks_rewritten;
+    res.shim.window_decisions += shim->stats().window_decisions;
+    res.shim.flows_tracked += shim->flow_table().created();
+  }
+
+  const std::string label =
+      cfg.run_label.empty()
+          ? "fat_tree_sharded-seed" + std::to_string(cfg.seed)
+          : cfg.run_label;
+
+  if (collect) {
+    // Per-shard harvest into each shard's own registry, then a pure
+    // merge — no counter ever crosses a context boundary.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      sim::MetricsRegistry& m = tree.shards[s].ctx->metrics();
+      const sim::Scheduler& sched = tree.shards[s].ctx->scheduler();
+      m.counter("sched.events.executed").inc(sched.executed());
+      m.counter("sched.events.scheduled").inc(sched.scheduled());
+      m.counter("sched.events.cancelled").inc(sched.cancelled());
+      m.counter("sched.heap_peak").inc(sched.heap_peak());
+      m.counter("net.fabric_drops")
+          .inc(tree.shards[s].net->total_queue_drops());
+      m.counter("tcp.retransmits").inc(tms[s]->total_retransmits());
+      m.counter("tcp.timeouts").inc(tms[s]->total_timeouts());
+      std::uint64_t pushed = 0, spilled = 0;
+      for (const net::CrossShardChannel* ch : tree.shards[s].ingress) {
+        pushed += ch->inbox().pushed();
+        spilled += ch->inbox().spilled();
+      }
+      m.counter("shard.ingress.pushed").inc(pushed);
+      m.counter("shard.ingress.spilled").inc(spilled);
+    }
+    // FCT histogram over the merged records (bucket counts are
+    // order-independent); hosted by shard 0's registry.
+    sim::Histogram& fct = tree.shards[0].ctx->metrics().histogram(
+        "tcp.fct_ms", sim::Histogram::exponential_bounds(0.05, 2.0, 18));
+    for (const auto& r : res.records) {
+      if (r.completed) fct.record(r.fct_ms());
+    }
+    std::vector<sim::MetricsSnapshot> parts;
+    parts.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      parts.push_back(tree.shards[s].ctx->metrics().snapshot());
+    }
+
+    sim::Json config = sim::Json::object();
+    config.set("k", cfg.k);
+    config.set("hosts_total", static_cast<std::uint64_t>(n_hosts));
+    config.set("hosts_per_edge", hosts_per_edge);
+    config.set("link_rate_gbps", cfg.link_rate.gbits_per_sec());
+    config.set("base_rtt_ps", cfg.base_rtt);
+    config.set("aqm", sharded_aqm_json(cfg.aqm));
+    config.set("flows_per_host", cfg.flows_per_host);
+    config.set("flow_bytes", cfg.flow_bytes);
+    config.set("start_spread_ps", cfg.start_spread);
+    config.set("transport", tcp::to_string(cfg.transport));
+    config.set("hwatch_enabled", cfg.hwatch_enabled);
+    config.set("duration_ps", cfg.duration);
+    config.set("seed", cfg.seed);
+    config.set("shards_logical", tree.plan.shard_count);
+    config.set("lookahead_ps", tree.lookahead);
+    config.set("cross_links", tree.cross_links);
+    config.set("inbox_capacity",
+               static_cast<std::uint64_t>(cfg.inbox_capacity));
+
+    sim::Json results = sim::Json::object();
+    results.set("flows", res.records.size());
+    std::size_t completed = 0;
+    for (const auto& r : res.records) completed += r.completed ? 1 : 0;
+    results.set("completed_flows", completed);
+    results.set("incomplete_short_flows", res.incomplete_short_flows());
+    results.set("fabric_drops", res.fabric_drops);
+    results.set("retransmits", res.retransmits);
+    results.set("timeouts", res.timeouts);
+    results.set("events_executed", res.events_executed);
+    results.set("epochs", group.epochs());
+    sim::Json shim_json = sim::Json::object();
+    shim_json.set("probes_injected", res.shim.probes_injected);
+    shim_json.set("probe_bytes_injected", res.shim.probe_bytes_injected);
+    shim_json.set("synacks_rewritten", res.shim.synacks_rewritten);
+    shim_json.set("acks_rewritten", res.shim.acks_rewritten);
+    shim_json.set("window_decisions", res.shim.window_decisions);
+    shim_json.set("flows_tracked", res.shim.flows_tracked);
+    results.set("shim", std::move(shim_json));
+
+    sim::RunManifest& man = res.manifest;
+    man.name = label;
+    man.scenario_kind = "fat_tree_sharded";
+    man.seed = cfg.seed;
+    man.config = std::move(config);
+    man.results = std::move(results);
+    man.metrics = sim::metrics_json(sim::merge_snapshots(parts));
+    man.wall_time_ms = wall_ms_since(wall0);
+    man.sweep_threads = workers;
+    res.has_manifest = true;
+    if (metrics_dir != nullptr && man.write_file(metrics_dir).empty()) {
+      throw std::runtime_error(
+          std::string("HWATCH_METRICS_DIR=\"") + metrics_dir +
+          "\": cannot create the directory or write the manifest file; "
+          "point HWATCH_METRICS_DIR at a writable path");
+    }
+  }
+
+  if (trace) {
+    std::vector<const sim::SpanTracer*> tracers;
+    tracers.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      tree.shards[s].ctx->tracer().close_open_spans(
+          tree.shards[s].ctx->now());
+      tracers.push_back(&tree.shards[s].ctx->tracer());
+    }
+    std::ostringstream spans;
+    sim::dump_jsonl_merged(tracers, spans);
+    res.trace_spans_jsonl = spans.str();
+    std::ostringstream chrome;
+    sim::export_chrome_merged(tracers, chrome, label);
+    res.trace_chrome = chrome.str();
+    if (trace_dir != nullptr) {
+      const std::string stem = sim::RunManifest::sanitize(label);
+      std::error_code ec;
+      std::filesystem::create_directories(trace_dir, ec);
+      const auto write = [&](const char* suffix, const std::string& body) {
+        const std::filesystem::path path =
+            std::filesystem::path(trace_dir) / (stem + suffix);
+        std::ofstream out(path, std::ios::binary);
+        out << body;
+        if (!out) {
+          throw std::runtime_error(
+              std::string("HWATCH_TRACE_DIR=\"") + trace_dir +
+              "\": cannot create the directory or write \"" +
+              path.string() + "\"; point HWATCH_TRACE_DIR at a writable "
+              "path");
+        }
+      };
+      write(".spans.jsonl", res.trace_spans_jsonl);
+      write(".trace.json", res.trace_chrome);
+    }
+  }
+
+  return res;
+}
+
+}  // namespace hwatch::api

@@ -1,0 +1,86 @@
+// Sharded scenario runner: one large fat-tree fabric executed as a
+// conservative-lookahead parallel simulation (one SimContext per edge
+// shard, ShardGroup time windows bounded by the minimum cross-shard
+// propagation delay).
+//
+// Where SweepRunner parallelizes ACROSS scenarios (one context per
+// sweep point), ShardedRunner parallelizes WITHIN one scenario.  The
+// same determinism contract carries over: the logical partition is
+// fixed by the topology, worker threads only execute it, so the
+// manifest and trace exports are byte-identical for every value of
+// `shards` / HWATCH_SHARDS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/scenario.hpp"
+#include "topo/shard.hpp"
+
+namespace hwatch::api {
+
+struct FatTreeScenarioConfig {
+  std::uint32_t k = 8;      // must be even and >= 2
+  std::uint32_t hosts = 0;  // total hosts; 0 = classic k^3/4
+  sim::DataRate link_rate = sim::DataRate::gbps(10);
+  sim::TimePs base_rtt = sim::microseconds(100);
+  AqmConfig aqm;  // every port
+
+  /// Permutation workload: host i opens `flows_per_host` short flows of
+  /// `flow_bytes` towards host (i + N/2 + 1) mod N — a fixed derangement
+  /// that keeps most traffic cross-pod (and therefore cross-shard).
+  /// Starts are staggered evenly over [0, start_spread).
+  std::uint32_t flows_per_host = 1;
+  std::uint64_t flow_bytes = 100'000;
+  sim::TimePs start_spread = sim::milliseconds(1);
+  tcp::Transport transport = tcp::Transport::kNewReno;
+  tcp::TcpConfig tcp;
+
+  bool hwatch_enabled = false;
+  core::HWatchConfig hwatch;
+
+  sim::TimePs duration = sim::milliseconds(50);
+  std::uint64_t seed = 1;
+
+  /// Worker threads executing the shards; 0 = HWATCH_SHARDS (or 1 when
+  /// unset).  Never changes the logical partition — results are
+  /// byte-identical for every value.
+  unsigned shards = 0;
+  std::size_t inbox_capacity = 1024;
+
+  /// Same semantics as the other scenario configs: forced on by
+  /// HWATCH_METRICS_DIR / HWATCH_TRACE_DIR respectively.
+  bool collect_metrics = false;
+  std::string run_label;
+  bool trace_spans = false;
+};
+
+/// Parses HWATCH_SHARDS: 0 when unset; throws std::invalid_argument
+/// (naming the variable and value) when set but not a positive integer.
+unsigned shards_from_env();
+
+/// Runs the sharded fat-tree scenario.  Flow records are concatenated
+/// in shard order; the manifest merges the per-shard registries
+/// (counters summed, histograms bucket-merged) and the trace export
+/// k-way merges per-shard tracers.  `series` stays empty (no gauge
+/// sampling across shards in v1), and there is no single bottleneck
+/// queue or timeline.
+ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg);
+
+/// Thin fixed-thread-count front end, symmetric with SweepRunner.
+class ShardedRunner {
+ public:
+  /// `threads` = 0 resolves HWATCH_SHARDS at construction (1 when
+  /// unset).
+  explicit ShardedRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs with this runner's thread count (overrides cfg.shards).
+  ScenarioResults run(FatTreeScenarioConfig cfg) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace hwatch::api

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/node.hpp"
+#include "net/shard_channel.hpp"
 
 namespace hwatch::net {
 
@@ -89,6 +90,17 @@ void Link::on_transmission_complete(Packet&& p) {
   // Propagation: the receiver sees the packet prop_delay later.  The
   // transmitter is free immediately (pipelining).
   prop_events_.inc();
+  if (remote_inbox_ != nullptr) {
+    // Cross-shard egress: the destination's scheduler cannot take a
+    // local event, so the packet rides the inbox stamped with its
+    // arrival time.  Pushing at transmission-complete (not arrival)
+    // time is what keeps the conservative window sound: prop_delay_ is
+    // >= the shard lookahead, so the stamp always lands in a window the
+    // destination has not started yet.
+    remote_inbox_->push(ctx_.now() + prop_delay_, std::move(p));
+    start_transmission();
+    return;
+  }
   auto deliver = [dst = dst_, p = std::move(p)]() mutable {
     dst->handle_packet(std::move(p));
   };

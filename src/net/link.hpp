@@ -17,6 +17,7 @@
 namespace hwatch::net {
 
 class Node;
+class ShardInbox;
 
 class Link {
  public:
@@ -47,6 +48,14 @@ class Link {
   /// utilization over [t0,t1] = (busy(t1) - busy(t0)) / (t1 - t0).
   sim::TimePs busy_time() const { return busy_time_; }
 
+  /// Marks this link as a cross-shard egress: the destination node lives
+  /// in another shard, and completed transmissions are pushed into
+  /// `inbox` stamped with their arrival time (now + propagation delay)
+  /// instead of being scheduled as a local propagation event.  The
+  /// intra-shard fast path is untouched when unset (the default).
+  void set_remote_inbox(ShardInbox* inbox) { remote_inbox_ = inbox; }
+  bool is_cross_shard() const { return remote_inbox_ != nullptr; }
+
  private:
   void start_transmission();
   void on_transmission_complete(Packet&& p);
@@ -57,6 +66,7 @@ class Link {
   sim::TimePs prop_delay_;
   std::unique_ptr<QueueDiscipline> qdisc_;
   Node* dst_;
+  ShardInbox* remote_inbox_ = nullptr;
   // Shared per-context event-type counters (one branch when disabled).
   sim::Counter& tx_events_;
   sim::Counter& prop_events_;

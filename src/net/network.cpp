@@ -6,7 +6,7 @@
 namespace hwatch::net {
 
 Host& Network::add_host(const std::string& name) {
-  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const NodeId id = id_base_ + static_cast<NodeId>(nodes_.size());
   auto host = std::make_unique<Host>(id, name);
   Host* ptr = host.get();
   nodes_.push_back(std::move(host));
@@ -16,7 +16,7 @@ Host& Network::add_host(const std::string& name) {
 }
 
 Switch& Network::add_switch(const std::string& name) {
-  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const NodeId id = id_base_ + static_cast<NodeId>(nodes_.size());
   auto sw = std::make_unique<Switch>(id, name);
   Switch* ptr = sw.get();
   nodes_.push_back(std::move(sw));
@@ -36,11 +36,29 @@ Network::DuplexLink Network::connect(Node& a, Node& b, sim::DataRate rate,
   Link* w = bwd.get();
   links_.push_back(std::move(fwd));
   links_.push_back(std::move(bwd));
-  adjacency_[a.id()].push_back(Edge{b.id(), f});
-  adjacency_[b.id()].push_back(Edge{a.id(), w});
+  adjacency_[a.id() - id_base_].push_back(Edge{b.id(), f});
+  adjacency_[b.id() - id_base_].push_back(Edge{a.id(), w});
   if (auto* ha = dynamic_cast<Host*>(&a)) ha->set_nic(f);
   if (auto* hb = dynamic_cast<Host*>(&b)) hb->set_nic(w);
   return DuplexLink{f, w};
+}
+
+Link* Network::connect_cross_shard(Node& local, Node& remote_dst,
+                                   sim::DataRate rate, sim::TimePs prop_delay,
+                                   const QdiscFactory& make_qdisc,
+                                   ShardInbox* inbox) {
+  if (inbox == nullptr) {
+    throw std::invalid_argument("connect_cross_shard: null inbox");
+  }
+  auto link = std::make_unique<Link>(
+      ctx_, local.name() + "->" + remote_dst.name(), rate, prop_delay,
+      make_qdisc(), &remote_dst);
+  link->set_remote_inbox(inbox);
+  Link* raw = link.get();
+  links_.push_back(std::move(link));
+  adjacency_[local.id() - id_base_].push_back(Edge{remote_dst.id(), raw});
+  if (auto* h = dynamic_cast<Host*>(&local)) h->set_nic(raw);
+  return raw;
 }
 
 Host* Network::host(NodeId id) const {
@@ -48,8 +66,8 @@ Host* Network::host(NodeId id) const {
 }
 
 Link* Network::link_between(NodeId a, NodeId b) const {
-  if (a >= adjacency_.size()) return nullptr;
-  for (const Edge& e : adjacency_[a]) {
+  if (a < id_base_ || a - id_base_ >= adjacency_.size()) return nullptr;
+  for (const Edge& e : adjacency_[a - id_base_]) {
     if (e.peer == b) return e.link;
   }
   return nullptr;
@@ -64,28 +82,35 @@ void Network::compute_routes() {
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
   std::vector<std::uint32_t> dist(nodes_.size());
 
+  // dist/adjacency are indexed by local id (global id minus id_base_).
   for (const Host* dst : hosts_) {
     std::fill(dist.begin(), dist.end(), kInf);
-    dist[dst->id()] = 0;
+    const NodeId dst_local = dst->id() - id_base_;
+    dist[dst_local] = 0;
     // Vector-as-queue (head index instead of pop_front): same FIFO
     // visit order as the deque it replaces, no per-node allocation.
-    std::vector<NodeId> frontier{dst->id()};
+    std::vector<NodeId> frontier{dst_local};
     std::size_t head = 0;
     while (head < frontier.size()) {
       const NodeId v = frontier[head++];
       // Hosts other than the destination never forward transit traffic.
-      if (v != dst->id() && dynamic_cast<Host*>(nodes_[v].get())) continue;
+      if (v != dst_local && dynamic_cast<Host*>(nodes_[v].get())) continue;
       for (const Edge& e : adjacency_[v]) {
-        if (dist[e.peer] == kInf) {
-          dist[e.peer] = dist[v] + 1;
-          frontier.push_back(e.peer);
+        if (e.peer < id_base_ || e.peer >= id_end()) continue;
+        const NodeId peer = e.peer - id_base_;
+        if (dist[peer] == kInf) {
+          dist[peer] = dist[v] + 1;
+          frontier.push_back(peer);
         }
       }
     }
     for (Switch* sw : switches_) {
-      if (dist[sw->id()] == kInf) continue;
-      for (const Edge& e : adjacency_[sw->id()]) {
-        if (dist[e.peer] != kInf && dist[e.peer] + 1 == dist[sw->id()]) {
+      const NodeId sw_local = sw->id() - id_base_;
+      if (dist[sw_local] == kInf) continue;
+      for (const Edge& e : adjacency_[sw_local]) {
+        if (e.peer < id_base_ || e.peer >= id_end()) continue;
+        const NodeId peer = e.peer - id_base_;
+        if (dist[peer] != kInf && dist[peer] + 1 == dist[sw_local]) {
           sw->add_route(dst->id(), e.link);
         }
       }

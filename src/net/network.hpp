@@ -18,7 +18,12 @@ namespace hwatch::net {
 
 class Network {
  public:
-  explicit Network(sim::SimContext& ctx) : ctx_(ctx) {}
+  /// `id_base` offsets every NodeId this network assigns: sharded runs
+  /// give each shard's Network a disjoint slice of one global id space,
+  /// so FlowKeys, ip.src/dst and switch routes are meaningful across
+  /// shard boundaries.  Single-network scenarios keep the default 0.
+  explicit Network(sim::SimContext& ctx, NodeId id_base = 0)
+      : ctx_(ctx), id_base_(id_base) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -36,16 +41,36 @@ class Network {
   DuplexLink connect(Node& a, Node& b, sim::DataRate rate,
                      sim::TimePs prop_delay, const QdiscFactory& make_qdisc);
 
+  /// Creates one unidirectional link from `local` (owned by this
+  /// network) to `remote_dst`, a node owned by another shard's network.
+  /// The link — its queue and serializing transmitter — lives on this
+  /// shard's context; completed transmissions are pushed into `inbox`
+  /// (the destination shard's CrossShardChannel) stamped with their
+  /// arrival time instead of being scheduled locally.  compute_routes()
+  /// ignores cross-shard edges; sharded fabrics install structural
+  /// routes instead.
+  Link* connect_cross_shard(Node& local, Node& remote_dst,
+                            sim::DataRate rate, sim::TimePs prop_delay,
+                            const QdiscFactory& make_qdisc,
+                            ShardInbox* inbox);
+
   /// Populates every switch's forwarding table with shortest paths to
   /// every host, keeping all equal-cost next hops (ECMP).  Must be called
   /// after the topology is final and before traffic starts.
   void compute_routes();
 
   Node* node(NodeId id) const {
-    return id < nodes_.size() ? nodes_[id].get() : nullptr;
+    if (id < id_base_) return nullptr;
+    const NodeId local = id - id_base_;
+    return local < nodes_.size() ? nodes_[local].get() : nullptr;
   }
   Host* host(NodeId id) const;
   std::size_t node_count() const { return nodes_.size(); }
+  NodeId id_base() const { return id_base_; }
+  /// First id past this network's slice of the global id space.
+  NodeId id_end() const {
+    return id_base_ + static_cast<NodeId>(nodes_.size());
+  }
 
   const std::vector<Host*>& hosts() const { return hosts_; }
   const std::vector<Switch*>& switches() const { return switches_; }
@@ -72,6 +97,7 @@ class Network {
   };
 
   sim::SimContext& ctx_;
+  NodeId id_base_ = 0;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Host*> hosts_;

@@ -1,18 +1,54 @@
 #include "net/node.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace hwatch::net {
 
-Link* Switch::select_route(const Packet& p) const {
-  auto it = routes_.find(p.ip.dst);
-  if (it == routes_.end() || it->second.empty()) return nullptr;
-  const auto& hops = it->second;
+Link* Switch::pick(const std::vector<Link*>& hops, const Packet& p) {
+  if (hops.empty()) return nullptr;
   if (hops.size() == 1) return hops.front();
   // ECMP: hash the 4-tuple so a flow sticks to one path.
   const std::size_t h = FlowKeyHash{}(flow_key_of(p));
   return hops[h % hops.size()];
+}
+
+void Switch::add_range_route(NodeId lo, NodeId hi, Link* link) {
+  if (lo > hi || link == nullptr) {
+    throw std::invalid_argument("Switch::add_range_route: bad range/link");
+  }
+  if (!range_routes_.empty()) {
+    RangeRoute& last = range_routes_.back();
+    if (last.lo == lo && last.hi == hi) {  // grow the ECMP group
+      last.hops.push_back(link);
+      return;
+    }
+    if (lo <= last.hi) {
+      throw std::invalid_argument(
+          "Switch::add_range_route: ranges must be ascending and disjoint");
+    }
+  }
+  range_routes_.push_back(RangeRoute{lo, hi, {link}});
+}
+
+Link* Switch::select_route(const Packet& p) const {
+  // Lookup order mirrors real forwarding tables: longest-prefix first
+  // (exact host), then aggregates (ranges), then the default ECMP group.
+  const auto it = routes_.find(p.ip.dst);
+  if (it != routes_.end() && !it->second.empty()) {
+    return pick(it->second, p);
+  }
+  if (!range_routes_.empty()) {
+    // Binary search over the sorted disjoint ranges.
+    const auto r = std::lower_bound(
+        range_routes_.begin(), range_routes_.end(), p.ip.dst,
+        [](const RangeRoute& range, NodeId dst) { return range.hi < dst; });
+    if (r != range_routes_.end() && r->lo <= p.ip.dst) {
+      return pick(r->hops, p);
+    }
+  }
+  return pick(default_routes_, p);
 }
 
 void Switch::handle_packet(Packet&& p) {

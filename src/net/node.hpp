@@ -42,17 +42,46 @@ class Switch final : public Node {
   /// Adds `link` as a next hop towards destination host `dst`.
   void add_route(NodeId dst, Link* link) { routes_[dst].push_back(link); }
 
-  void clear_routes() { routes_.clear(); }
+  /// Adds a next hop for every destination in the contiguous global-id
+  /// range [lo, hi] (inclusive).  Ranges must be added in ascending
+  /// order and must not overlap; several links on the same range form an
+  /// ECMP group.  Structural fabrics (fat-tree pods, leaf-spine racks)
+  /// route with a handful of ranges instead of a per-host map — at 10k
+  /// hosts that is the difference between kilobytes and hundreds of
+  /// megabytes of forwarding state.
+  void add_range_route(NodeId lo, NodeId hi, Link* link);
+
+  /// Fallback ECMP group when neither an exact nor a range route
+  /// matches — "everything else goes up" in hierarchical fabrics.
+  void set_default_routes(std::vector<Link*> links) {
+    default_routes_ = std::move(links);
+  }
+
+  void clear_routes() {
+    routes_.clear();
+    range_routes_.clear();
+    default_routes_.clear();
+  }
 
   void handle_packet(Packet&& p) override;
 
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t routeless_drops() const { return routeless_drops_; }
+  std::size_t range_route_count() const { return range_routes_.size(); }
 
  private:
+  struct RangeRoute {
+    NodeId lo;
+    NodeId hi;  // inclusive
+    std::vector<Link*> hops;
+  };
+
   Link* select_route(const Packet& p) const;
+  static Link* pick(const std::vector<Link*>& hops, const Packet& p);
 
   std::unordered_map<NodeId, std::vector<Link*>> routes_;
+  std::vector<RangeRoute> range_routes_;  // sorted by lo, disjoint
+  std::vector<Link*> default_routes_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t routeless_drops_ = 0;
 };

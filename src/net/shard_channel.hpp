@@ -1,0 +1,118 @@
+// Cross-shard packet channels for conservative sharded simulation.
+//
+// A CrossShardChannel is the only sanctioned way for packets — and
+// therefore any state at all — to move between two shards' SimContexts.
+// The producer side is a Link whose destination node lives in another
+// shard: at transmission-complete time it pushes the packet, stamped
+// with its arrival time (now + propagation delay), into the channel's
+// ShardInbox.  The consumer side runs in the destination shard's drain
+// phase: it empties every inbox, sorts the haul by (deliver_time,
+// packet uid) — a deterministic total order independent of which link
+// or thread produced each packet — and schedules the deliveries into
+// the local scheduler.
+//
+// ShardInbox is a lock-free single-producer/single-consumer ring.  The
+// ShardGroup epoch protocol guarantees producers only push during run
+// phases and the consumer only pops during drain phases, with a full
+// barrier between them, so the ring is never contended; the
+// acquire/release atomics make the handoff explicit (and TSan-clean)
+// rather than relying on the barrier alone.  A full ring spills to an
+// overflow vector instead of blocking — spills are counted, never
+// silent, and only touched under the same phase separation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/context.hpp"
+
+namespace hwatch::net {
+
+class Node;
+
+/// SPSC ring of in-flight cross-shard packets.  push() is called by the
+/// source shard's worker (producer), pop() by the destination shard's
+/// worker (consumer); the ShardGroup barrier separates the two roles in
+/// time.
+class ShardInbox {
+ public:
+  struct Item {
+    sim::TimePs deliver_time = 0;
+    Packet pkt;
+  };
+
+  /// `capacity` is rounded up to a power of two (ring slots).  One
+  /// window's worth of transmissions on a single link fits comfortably
+  /// in the default; overflow spills, never drops.
+  explicit ShardInbox(std::size_t capacity = 1024);
+
+  ShardInbox(const ShardInbox&) = delete;
+  ShardInbox& operator=(const ShardInbox&) = delete;
+
+  /// Producer side: enqueue a packet that must surface in the
+  /// destination shard at `deliver_time`.
+  void push(sim::TimePs deliver_time, Packet&& p);
+
+  /// Consumer side: dequeue one item; false when empty.  Ring first,
+  /// then the overflow spill (drain sorts afterwards, so the relative
+  /// order here does not matter).
+  bool pop(Item& out);
+
+  bool ring_empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t popped() const { return popped_; }
+  /// Pushes that missed the ring and took the overflow vector.
+  std::uint64_t spilled() const { return spilled_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  std::vector<Item> ring_;
+  std::size_t mask_ = 0;
+  // Producer-owned tail, consumer-owned head; each loads the other's
+  // index with acquire and publishes its own with release.
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  std::vector<Item> spill_;  // producer-written, consumer-drained
+  std::uint64_t pushed_ = 0;   // producer-side counter
+  std::uint64_t spilled_ = 0;  // producer-side counter
+  std::uint64_t popped_ = 0;   // consumer-side counter
+};
+
+/// One directed cross-shard edge: the inbox plus the destination-shard
+/// identity needed to deliver into it.  Owned by the destination shard;
+/// the source shard's Link holds a pointer to the inbox only.
+class CrossShardChannel {
+ public:
+  /// `dst_ctx`/`dst_node`: the receiving shard's context and the node
+  /// (switch or host) the packets are addressed to — the same node the
+  /// producing Link names as its destination.
+  CrossShardChannel(sim::SimContext& dst_ctx, Node* dst_node,
+                    std::size_t capacity = 1024);
+
+  ShardInbox& inbox() { return inbox_; }
+  const ShardInbox& inbox() const { return inbox_; }
+  Node* dst_node() const { return dst_node_; }
+  sim::SimContext& dst_ctx() { return dst_ctx_; }
+
+ private:
+  sim::SimContext& dst_ctx_;
+  Node* dst_node_;
+  ShardInbox inbox_;
+};
+
+/// Drain phase for one shard: empties every channel, sorts the haul by
+/// (deliver_time, packet uid) and schedules the deliveries into the
+/// destination context's scheduler.  `scratch` is caller-owned reusable
+/// storage so the steady state allocates nothing.  All channels must
+/// target the same shard (context).
+void drain_cross_shard_channels(
+    std::vector<CrossShardChannel*>& channels,
+    std::vector<std::pair<Node*, ShardInbox::Item>>& scratch);
+
+}  // namespace hwatch::net

@@ -51,6 +51,12 @@ class SimContext {
   std::uint64_t next_packet_uid() { return ++packet_uid_; }
   std::uint64_t packet_uids_issued() const { return packet_uid_; }
 
+  /// Stripes the uid space for sharded runs: shard s sets base s<<48, so
+  /// uids stay unique across every shard of one scenario — which is what
+  /// makes the cross-shard inbox drain order (deliver_time, uid) total
+  /// and the merged run deterministic.  Call before any packet exists.
+  void set_packet_uid_base(std::uint64_t base) { packet_uid_ = base; }
+
   /// Per-context log configuration (level + sink).
   SimLog& log() { return log_; }
   const SimLog& log() const { return log_; }

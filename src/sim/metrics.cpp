@@ -1,6 +1,8 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <map>
+#include <stdexcept>
 
 namespace hwatch::sim {
 
@@ -74,6 +76,44 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   std::sort(snap.histograms.begin(), snap.histograms.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
   return snap;
+}
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  // std::map keeps both sections sorted by name, matching snapshot().
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, MetricsSnapshot::HistogramValue> histograms;
+  for (const MetricsSnapshot& part : parts) {
+    for (const auto& c : part.counters) counters[c.name] += c.value;
+    for (const auto& h : part.histograms) {
+      auto [it, inserted] = histograms.emplace(h.name, h);
+      if (inserted) continue;
+      MetricsSnapshot::HistogramValue& acc = it->second;
+      if (acc.bounds != h.bounds) {
+        throw std::invalid_argument("merge_snapshots: histogram \"" +
+                                    h.name +
+                                    "\" has different bounds across shards");
+      }
+      for (std::size_t i = 0; i < acc.bucket_counts.size(); ++i) {
+        acc.bucket_counts[i] += h.bucket_counts[i];
+      }
+      // min()/max() report 0 for empty histograms, so only parts that
+      // saw samples may contribute to the extrema.
+      if (h.count > 0) {
+        if (acc.count == 0 || h.min < acc.min) acc.min = h.min;
+        if (acc.count == 0 || h.max > acc.max) acc.max = h.max;
+      }
+      acc.count += h.count;
+      acc.sum += h.sum;
+    }
+  }
+  MetricsSnapshot out;
+  out.counters.reserve(counters.size());
+  for (auto& [name, value] : counters) {
+    out.counters.push_back(MetricsSnapshot::CounterValue{name, value});
+  }
+  out.histograms.reserve(histograms.size());
+  for (auto& [name, value] : histograms) out.histograms.push_back(value);
+  return out;
 }
 
 }  // namespace hwatch::sim

@@ -131,6 +131,14 @@ struct MetricsSnapshot {
   std::vector<HistogramValue> histograms;
 };
 
+/// Merges per-shard snapshots into one scenario-wide snapshot: counters
+/// with the same name are summed, histograms merged bucket-wise (their
+/// bounds must agree — std::invalid_argument names the histogram if
+/// not), and the output is sorted by name like any snapshot().  Pure,
+/// so the result depends only on the parts, not on which worker thread
+/// produced them.
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

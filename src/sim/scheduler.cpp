@@ -6,21 +6,8 @@
 
 namespace hwatch::sim {
 
-EventId Scheduler::schedule_at(TimePs t, Callback cb) {
-  if (t < now_) {
-    throw std::invalid_argument("Scheduler: event scheduled in the past");
-  }
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    cbs_[slot] = std::move(cb);
-  } else {
-    slot = static_cast<std::uint32_t>(gens_.size());
-    gens_.push_back(0);
-    cbs_.push_back(std::move(cb));
-  }
-  const std::uint32_t gen = gens_[slot];
+EventId Scheduler::push_entry(TimePs t, std::uint32_t slot,
+                              std::uint32_t gen) {
   heap_.push_back(Entry{t, next_seq_++, slot, gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
@@ -28,24 +15,59 @@ EventId Scheduler::schedule_at(TimePs t, Callback cb) {
   return EventId{pack(slot, gen)};
 }
 
+EventId Scheduler::schedule_small(TimePs t, SmallCallback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("Scheduler: event scheduled in the past");
+  }
+  const std::uint32_t idx = small_.acquire(std::move(cb));
+  const std::uint32_t slot = idx | kSmallSlotBit;
+  return push_entry(t, slot, small_.gens[idx]);
+}
+
+EventId Scheduler::schedule_large(TimePs t, Callback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("Scheduler: event scheduled in the past");
+  }
+  const std::uint32_t slot = large_.acquire(std::move(cb));
+  return push_entry(t, slot, large_.gens[slot]);
+}
+
 void Scheduler::retire(const Entry& e) {
-  ++gens_[e.slot];
-  free_slots_.push_back(e.slot);
+  const std::uint32_t idx = e.slot & ~kSmallSlotBit;
+  if (e.slot & kSmallSlotBit) {
+    ++small_.gens[idx];
+    small_.free_slots.push_back(idx);
+  } else {
+    ++large_.gens[idx];
+    large_.free_slots.push_back(idx);
+  }
 }
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
   const std::uint32_t slot = static_cast<std::uint32_t>((id.value >> 32) - 1);
   const std::uint32_t gen = static_cast<std::uint32_t>(id.value);
+  const std::uint32_t idx = slot & ~kSmallSlotBit;
+  const bool small = (slot & kSmallSlotBit) != 0;
   // Only ids whose generation is still current may be cancelled; fired,
   // cancelled or invalid ids are rejected so live_count_ stays accurate.
-  if (slot >= gens_.size() || gens_[slot] != gen) return false;
+  if (small) {
+    if (idx >= small_.gens.size() || small_.gens[idx] != gen) return false;
+  } else {
+    if (idx >= large_.gens.size() || large_.gens[idx] != gen) return false;
+  }
   // The heap entry cannot be removed directly; bumping the generation
   // marks it stale, and it is skipped (or compacted) later.  The
   // callback is destroyed now so captured resources don't linger.
-  ++gens_[slot];
-  cbs_[slot].reset();
-  free_slots_.push_back(slot);
+  if (small) {
+    ++small_.gens[idx];
+    small_.cbs[idx].reset();
+    small_.free_slots.push_back(idx);
+  } else {
+    ++large_.gens[idx];
+    large_.cbs[idx].reset();
+    large_.free_slots.push_back(idx);
+  }
   --live_count_;
   ++cancelled_;
   ++stale_;
@@ -81,15 +103,22 @@ bool Scheduler::step() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const Entry e = heap_.back();
   heap_.pop_back();
-  // Move the callback out before recycling the slot: a callback
-  // scheduled from inside cb() may reuse the slot immediately.
-  Callback cb = std::move(cbs_[e.slot]);
-  retire(e);
   assert(e.time >= now_);
   now_ = e.time;
   --live_count_;
   ++executed_;
-  cb();
+  const std::uint32_t idx = e.slot & ~kSmallSlotBit;
+  // Move the callback out before recycling the slot: a callback
+  // scheduled from inside cb() may reuse the slot immediately.
+  if (e.slot & kSmallSlotBit) {
+    SmallCallback cb = std::move(small_.cbs[idx]);
+    retire(e);
+    cb();
+  } else {
+    Callback cb = std::move(large_.cbs[idx]);
+    retire(e);
+    cb();
+  }
   return true;
 }
 

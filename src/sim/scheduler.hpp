@@ -13,16 +13,25 @@
 // to the number of *live* events, not the events ever scheduled.  Stale
 // heap entries are compacted away once they outnumber live ones.
 //
-// Memory model: callbacks are move-only UniqueFunctions with an inline
-// buffer big enough to carry a net::Packet by value, and they live in a
-// slot-indexed side array (`cbs_`), NOT in the heap entries — heap
-// entries stay 24 bytes, so sift-up/down moves small PODs while the fat
-// callback is written exactly once per event.  In steady state (slots
-// and heap at their high-water marks) schedule/cancel/execute touch the
-// allocator zero times; the allocation-regression test enforces this.
+// Memory model: callbacks are move-only UniqueFunctions that live in
+// slot-indexed side arrays, NOT in the heap entries — heap entries stay
+// 24 bytes, so sift-up/down moves small PODs while the fat callback is
+// written exactly once per event.  Callback slots come in two size
+// classes: a small pool for the common tiny capture (a `this` pointer,
+// a couple of words — timers, flow starts, sampler ticks) and a large
+// pool whose inline buffer carries a net::Packet by value (the link hot
+// path).  schedule_at picks the pool from the callable's size at compile
+// time; with >64k pending timer-style events the working set is ~4x
+// smaller than a single packet-sized pool, which is what the
+// ScheduleRun/100000 micro-bench regression was about.  In steady state
+// (slots and heap at their high-water marks) schedule/cancel/execute
+// touch the allocator zero times; the allocation-regression test
+// enforces this.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -30,10 +39,15 @@
 
 namespace hwatch::sim {
 
-/// Inline capacity of a scheduler callback: sized so a lambda capturing
-/// a net::Packet by value plus a `this` pointer is stored inline (the
-/// link hot path static_asserts exactly that).
+/// Inline capacity of a large scheduler callback: sized so a lambda
+/// capturing a net::Packet by value plus a `this` pointer is stored
+/// inline (the link hot path static_asserts exactly that).
 inline constexpr std::size_t kSchedulerCallbackInline = 176;
+
+/// Inline capacity of a small scheduler callback: a `this` pointer plus
+/// a few captured words.  Timer expiries, flow starts and sampler ticks
+/// all fit; anything bigger routes to the large pool automatically.
+inline constexpr std::size_t kSchedulerSmallCallbackInline = 32;
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
 struct EventId {
@@ -47,6 +61,8 @@ struct EventId {
 class Scheduler {
  public:
   using Callback = UniqueFunction<void(), kSchedulerCallbackInline>;
+  using SmallCallback =
+      UniqueFunction<void(), kSchedulerSmallCallbackInline>;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -60,12 +76,45 @@ class Scheduler {
   TimePs now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (>= now).  Returns a handle that
-  /// can be passed to cancel().
-  EventId schedule_at(TimePs t, Callback cb);
+  /// can be passed to cancel().  An explicit Callback goes to the large
+  /// pool; the templated overload below picks the pool from the
+  /// callable's size at compile time.
+  EventId schedule_at(TimePs t, Callback cb) {
+    return schedule_large(t, std::move(cb));
+  }
+
+  /// Pool-selecting overload: callables that fit the small inline buffer
+  /// use small slots, everything else (e.g. a lambda carrying a Packet)
+  /// uses the packet-sized pool.  Semantics are identical either way.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_at(TimePs t, F&& f) {
+    if constexpr (SmallCallback::fits_inline<F>()) {
+      return schedule_small(t, SmallCallback(std::forward<F>(f)));
+    } else {
+      return schedule_large(t, Callback(std::forward<F>(f)));
+    }
+  }
+
+  EventId schedule_at(TimePs t, SmallCallback cb) {
+    return schedule_small(t, std::move(cb));
+  }
 
   /// Schedules `cb` `delay` picoseconds from now.
   EventId schedule_in(TimePs delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+    return schedule_large(now_ + delay, std::move(cb));
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_in(TimePs delay, F&& f) {
+    return schedule_at(now_ + delay, std::forward<F>(f));
   }
 
   /// Cancels a pending event.  Returns false when the event already fired,
@@ -76,7 +125,11 @@ class Scheduler {
   /// Runs events until the queue is empty or stop() is called.
   void run();
 
-  /// Runs events with time <= `t`, then sets now to `t`.
+  /// Runs events with time <= `t`, then sets now to `t`.  This is the
+  /// conservative time-window primitive ShardGroup builds on: after
+  /// run_until(T) every event a callback schedules lands strictly after
+  /// T, so cross-shard messages generated in window (T-W, T] are safe to
+  /// deliver in the next window.
   void run_until(TimePs t);
 
   /// Executes at most one pending event.  Returns false when none remain.
@@ -86,6 +139,13 @@ class Scheduler {
   void stop() { stopped_ = true; }
 
   bool empty() const { return live_count_ == 0; }
+
+  /// Time of the earliest pending event, or nullopt when none remain.
+  /// Non-const: peeking drops stale (cancelled) entries off the top.
+  std::optional<TimePs> next_event_time() {
+    const Entry* e = peek_next();
+    return e == nullptr ? std::nullopt : std::optional<TimePs>(e->time);
+  }
 
   /// Number of events currently pending (excludes cancelled ones).
   std::size_t pending() const { return live_count_; }
@@ -104,9 +164,22 @@ class Scheduler {
   std::size_t heap_peak() const { return heap_peak_; }
 
   // --- bookkeeping introspection (memory regression tests) -----------
-  /// Generation slots ever allocated; bounded by the peak number of
-  /// simultaneously live events, NOT by the events scheduled over time.
-  std::size_t bookkeeping_slots() const { return gens_.size(); }
+  /// Generation slots ever allocated across both pools; bounded by the
+  /// peak number of simultaneously live events, NOT by the events
+  /// scheduled over time.
+  std::size_t bookkeeping_slots() const {
+    return small_.gens.size() + large_.gens.size();
+  }
+  /// Per-pool slot counts: the small-pool share is what keeps huge
+  /// pending sets of timer-style events cache-warm.
+  std::size_t small_slots() const { return small_.gens.size(); }
+  std::size_t large_slots() const { return large_.gens.size(); }
+  /// Resident callback-slot bytes across both pools (inline buffers
+  /// only; spilled captures are owned by the arena).
+  std::size_t callback_slot_bytes() const {
+    return small_.gens.size() * sizeof(SmallCallback) +
+           large_.gens.size() * sizeof(Callback);
+  }
   /// Heap entries currently held, including not-yet-compacted stale
   /// (cancelled) ones.
   std::size_t heap_entries() const { return heap_.size(); }
@@ -115,7 +188,7 @@ class Scheduler {
   struct Entry {
     TimePs time;
     std::uint64_t seq;  // tie-breaker: FIFO at equal time
-    std::uint32_t slot;
+    std::uint32_t slot;  // high bit: small pool; low 31 bits: index
     std::uint32_t gen;
   };
   struct Later {
@@ -125,11 +198,45 @@ class Scheduler {
     }
   };
 
+  static constexpr std::uint32_t kSmallSlotBit = 0x8000'0000u;
+
+  template <typename CB>
+  struct SlotPool {
+    std::vector<std::uint32_t> gens;
+    std::vector<CB> cbs;  // slot-indexed, parallel to gens
+    std::vector<std::uint32_t> free_slots;
+
+    std::uint32_t acquire(CB cb) {
+      if (!free_slots.empty()) {
+        const std::uint32_t slot = free_slots.back();
+        free_slots.pop_back();
+        cbs[slot] = std::move(cb);
+        return slot;
+      }
+      const auto slot = static_cast<std::uint32_t>(gens.size());
+      gens.push_back(0);
+      cbs.push_back(std::move(cb));
+      return slot;
+    }
+  };
+
   static constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
     return ((static_cast<std::uint64_t>(slot) + 1) << 32) | gen;
   }
 
-  bool is_live(const Entry& e) const { return gens_[e.slot] == e.gen; }
+  EventId schedule_small(TimePs t, SmallCallback cb);
+  EventId schedule_large(TimePs t, Callback cb);
+  EventId push_entry(TimePs t, std::uint32_t slot, std::uint32_t gen);
+
+  std::uint32_t& gen_of(std::uint32_t slot) {
+    return (slot & kSmallSlotBit) ? small_.gens[slot & ~kSmallSlotBit]
+                                  : large_.gens[slot];
+  }
+  bool is_live(const Entry& e) const {
+    const std::uint32_t idx = e.slot & ~kSmallSlotBit;
+    return ((e.slot & kSmallSlotBit) ? small_.gens[idx]
+                                     : large_.gens[idx]) == e.gen;
+  }
   void retire(const Entry& e);  // bump generation, recycle the slot
 
   // Drops stale entries off the top; points at the next live entry.
@@ -138,9 +245,8 @@ class Scheduler {
   void maybe_compact();
 
   std::vector<Entry> heap_;  // min-heap via std::*_heap with Later
-  std::vector<std::uint32_t> gens_;
-  std::vector<Callback> cbs_;  // slot-indexed, parallel to gens_
-  std::vector<std::uint32_t> free_slots_;
+  SlotPool<SmallCallback> small_;
+  SlotPool<Callback> large_;
   std::size_t stale_ = 0;  // cancelled entries still parked in heap_
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,108 @@
+#include "sim/shard_group.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace hwatch::sim {
+
+ShardTask::~ShardTask() = default;
+
+ShardGroup::ShardGroup(unsigned threads)
+    : threads_(threads == 0 ? 1 : threads) {}
+
+ShardGroup::~ShardGroup() = default;
+
+void ShardGroup::add(ShardTask* task) {
+  if (task == nullptr) {
+    throw std::invalid_argument("ShardGroup::add: null task");
+  }
+  tasks_.push_back(task);
+}
+
+void ShardGroup::run(TimePs horizon, TimePs window) {
+  if (window <= 0) {
+    throw std::invalid_argument(
+        "ShardGroup::run: window (lookahead) must be > 0 ps");
+  }
+  if (tasks_.empty() || horizon <= now_) {
+    now_ = std::max(now_, horizon);
+    return;
+  }
+  if (threads_ <= 1 || tasks_.size() == 1) {
+    run_sequential(horizon, window);
+  } else {
+    run_parallel(horizon, window);
+  }
+  now_ = horizon;
+}
+
+void ShardGroup::run_sequential(TimePs horizon, TimePs window) {
+  for (TimePs t = now_; t < horizon;) {
+    const TimePs end = std::min(horizon, t + window);
+    for (ShardTask* task : tasks_) task->drain(t);
+    for (ShardTask* task : tasks_) task->run(end);
+    ++epochs_;
+    t = end;
+  }
+}
+
+void ShardGroup::run_parallel(TimePs horizon, TimePs window) {
+  const std::size_t n = tasks_.size();
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+  std::barrier<> sync(static_cast<std::ptrdiff_t>(workers));
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto guard = [&](auto&& fn) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    try {
+      fn();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  // Static shard ownership: worker w always runs shards w, w+workers,
+  // ... — the assignment (and with it every per-shard event order) does
+  // not depend on scheduling luck.  On error, workers keep arriving at
+  // the barriers (skipping the work) so nobody deadlocks.
+  const auto worker = [&](unsigned w) {
+    for (TimePs t = now_; t < horizon;) {
+      const TimePs end = std::min(horizon, t + window);
+      for (std::size_t s = w; s < n; s += workers) {
+        guard([&] { tasks_[s]->drain(t); });
+      }
+      sync.arrive_and_wait();
+      for (std::size_t s = w; s < n; s += workers) {
+        guard([&] { tasks_[s]->run(end); });
+      }
+      sync.arrive_and_wait();
+      t = end;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) {
+    pool.emplace_back(worker, w);
+  }
+  worker(0);
+  for (std::thread& th : pool) th.join();
+
+  for (TimePs t = now_; t < horizon;) {
+    t = std::min(horizon, t + window);
+    ++epochs_;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hwatch::sim

@@ -1,0 +1,94 @@
+// ShardGroup — conservative time-window coordinator for sharded runs.
+//
+// Classic conservative parallel discrete-event simulation: the fabric is
+// partitioned into shards, each owning its own SimContext (scheduler,
+// RNG stream, metrics, tracer), and simulated time advances in windows
+// of at most `lookahead` picoseconds — the minimum propagation delay of
+// any cross-shard link.  Within a window shards run independently; a
+// packet sent across a shard boundary during window (T, T+W] arrives no
+// earlier than T+W (its link's propagation delay is >= W), so it is
+// enqueued into the destination shard's inbox and delivered in a later
+// window.  No shard can ever receive an event in its past.
+//
+// Each epoch runs in two barrier-separated phases:
+//   1. drain(T):  every shard empties its inboxes, scheduling the
+//      received packets into its own scheduler (sorted by
+//      (deliver_time, packet uid) for determinism);
+//   2. run(T+W):  every shard executes its events through T+W.
+// The barrier between the phases is what makes the schedule
+// deterministic: all cross-shard pushes of window N are published
+// before any shard starts window N+1, so the set of packets a drain
+// observes — and therefore every scheduler sequence number — is a pure
+// function of (config, seed), independent of thread count or timing.
+//
+// Threads vs shards: the logical partition is fixed by the topology;
+// the thread count only decides how many workers execute the shard
+// tasks.  Shard i is always handled by worker (i mod threads) — static
+// ownership, no work stealing — so byte-identical results across
+// HWATCH_SHARDS=1/2/4 are structural, not incidental.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hwatch::sim {
+
+/// One shard's view of the epoch protocol.  Implementations wrap a
+/// SimContext plus its cross-shard inboxes; the coordinator never
+/// touches shard internals (the hwlint cross-shard-state rule enforces
+/// the inverse: shard code never touches another shard's context).
+class ShardTask {
+ public:
+  virtual ~ShardTask();
+
+  /// Phase 1: drain every inbox into the local scheduler.  `window_start`
+  /// is the epoch's opening time T (== the local scheduler's now).
+  virtual void drain(TimePs window_start) = 0;
+
+  /// Phase 2: advance the local scheduler through `window_end`
+  /// (run_until semantics: events <= window_end execute, now becomes
+  /// window_end).
+  virtual void run(TimePs window_end) = 0;
+};
+
+class ShardGroup {
+ public:
+  /// `threads` = worker threads executing the shard tasks; values above
+  /// the shard count are clamped.  1 runs everything sequentially on
+  /// the calling thread (the determinism baseline — no thread machinery
+  /// at all).
+  explicit ShardGroup(unsigned threads = 1);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  /// Registers a shard.  Must happen before run(); tasks are identified
+  /// by registration order (shard id).
+  void add(ShardTask* task);
+
+  /// Advances all shards to `horizon` in conservative windows of
+  /// `window` picoseconds (the lookahead).  May be called repeatedly;
+  /// each call resumes from the previous horizon.
+  void run(TimePs horizon, TimePs window);
+
+  unsigned threads() const { return threads_; }
+  std::size_t shard_count() const { return tasks_.size(); }
+
+  /// Epochs executed so far (one drain+run round per window).
+  std::uint64_t epochs() const { return epochs_; }
+
+ private:
+  void run_sequential(TimePs horizon, TimePs window);
+  void run_parallel(TimePs horizon, TimePs window);
+
+  unsigned threads_;
+  std::vector<ShardTask*> tasks_;
+  TimePs now_ = 0;  // horizon reached by the previous run() call
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace hwatch::sim

@@ -345,4 +345,103 @@ void SpanTracer::export_chrome(std::ostream& os,
   os << "\n]}\n";
 }
 
+void dump_jsonl_merged(const std::vector<const SpanTracer*>& parts,
+                       std::ostream& os) {
+  for (const SpanTracer* p : parts) p->dump_jsonl(os);
+}
+
+void export_chrome_merged(const std::vector<const SpanTracer*>& parts,
+                          std::ostream& os, std::string_view process_name) {
+  std::uint64_t dropped = 0;
+  for (const SpanTracer* p : parts) dropped += p->dropped();
+  os << "{\"schema\":\"hwatch.trace_export/v1\",\"displayTimeUnit\":\"ms\""
+     << ",\"dropped_events\":" << dropped << ",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_sep = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata (ph "M", exempt from the ts-sorted invariant) up front: one
+  // process per shard, one flow track per flow within its shard.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> tid_of(
+      parts.size());
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    const std::uint64_t pid = s + 1;
+    emit_sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << process_name << "/shard" << s
+       << "\"}}";
+    std::uint64_t next_tid = 1;
+    for (const SpanTracer::FlowInfo& f : parts[s]->flows()) {
+      if (tid_of[s].emplace(f.span, next_tid).second) {
+        emit_sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << next_tid << ",\"args\":{\"name\":\"";
+        write_flow_name(os, f);
+        os << "\"}}";
+        ++next_tid;
+      }
+    }
+  }
+  const auto tid_for = [&](std::size_t s,
+                           std::uint64_t flow_span) -> std::uint64_t {
+    const auto it = tid_of[s].find(flow_span);
+    return it == tid_of[s].end() ? 0 : it->second;
+  };
+
+  // K-way merge by (t, shard index); within a shard events are already
+  // in recording order (nondecreasing t), so global ts stays sorted.
+  std::vector<std::size_t> cursor(parts.size(), 0);
+  TimePs t_end = 0;
+  for (;;) {
+    std::size_t best = parts.size();
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      if (cursor[s] >= parts[s]->events().size()) continue;
+      if (best == parts.size() ||
+          parts[s]->events()[cursor[s]].t < parts[best]->events()[cursor[best]].t) {
+        best = s;
+      }
+    }
+    if (best == parts.size()) break;
+    const TraceEvent& ev = parts[best]->events()[cursor[best]++];
+    if (ev.t > t_end) t_end = ev.t;
+    emit_sep();
+    os << "{\"name\":\"" << to_string(ev.kind) << "\",\"cat\":\"span\""
+       << ",\"ph\":\"" << ev.phase << "\",\"ts\":";
+    write_ts_us(os, ev.t);
+    os << ",\"pid\":" << (best + 1) << ",\"tid\":" << tid_for(best, ev.flow);
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"span\":" << ev.span << ",\"parent\":" << ev.parent;
+    write_named_args(os, SpanTracer::arg_names(ev.kind), ev,
+                     /*leading_comma=*/true);
+    os << "}}";
+  }
+
+  // Latency breakdowns last, all timestamped at the global end so ts
+  // stays sorted.
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    for (const SpanTracer::FlowInfo& f : parts[s]->flows()) {
+      const SpanTracer::LatencyAccum* acc = parts[s]->latency_of(f.span);
+      if (acc == nullptr) continue;
+      emit_sep();
+      os << "{\"name\":\"latency_breakdown\",\"cat\":\"latency\""
+         << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      write_ts_us(os, t_end);
+      os << ",\"pid\":" << (s + 1) << ",\"tid\":" << tid_for(s, f.span)
+         << ",\"args\":{";
+      for (std::size_t c = 0; c < kLatencyComponents; ++c) {
+        const auto name = to_string(static_cast<LatencyComponent>(c));
+        if (c > 0) os << ',';
+        os << '"' << name << "_ps\":" << acc->total_ps[c] << ",\"" << name
+           << "_samples\":" << acc->samples[c];
+      }
+      os << "}}";
+    }
+  }
+
+  os << "\n]}\n";
+}
+
 }  // namespace hwatch::sim

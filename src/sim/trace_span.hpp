@@ -93,6 +93,11 @@ class SpanTracer {
   void set_max_events(std::size_t n) { max_events_ = n; }
   std::uint64_t dropped() const { return dropped_; }
 
+  /// Stripes the span-id space for sharded runs (shard s passes s<<40):
+  /// every id any shard mints is globally unique, so merged dumps never
+  /// alias spans.  Call before any span is opened.
+  void set_id_base(std::uint64_t base) { next_id_ = base; }
+
   /// Opens a span and returns its id (0 when disabled).  A kFlow span
   /// becomes its own `flow` (it is the track everything else nests on).
   std::uint64_t begin_span(TimePs t, SpanKind kind, std::uint64_t parent,
@@ -198,5 +203,18 @@ class SpanTracer {
              kLatencyComponents>
       latency_hist_{};
 };
+
+/// Merged JSONL dump for sharded runs: the per-shard sections in shard
+/// order (the order of `parts`, which the topology fixes), so the bytes
+/// are identical for every worker-thread count.  Span ids are globally
+/// unique when each shard striped its id space via set_id_base.
+void dump_jsonl_merged(const std::vector<const SpanTracer*>& parts,
+                       std::ostream& os);
+
+/// Merged Chrome export: one pid per shard (shard s -> pid s+1), all
+/// span events k-way merged by (timestamp, shard index) so `ts` stays
+/// globally sorted — the invariant the CI trace checker enforces.
+void export_chrome_merged(const std::vector<const SpanTracer*>& parts,
+                          std::ostream& os, std::string_view process_name);
 
 }  // namespace hwatch::sim

@@ -28,12 +28,19 @@ TcpConnection::TcpConnection(net::Network& net, net::Host& src,
                              net::Host& dst, std::uint16_t src_port,
                              std::uint16_t dst_port, Transport transport,
                              TcpConfig config)
+    : TcpConnection(net, net, src, dst, src_port, dst_port, transport,
+                    std::move(config)) {}
+
+TcpConnection::TcpConnection(net::Network& src_net, net::Network& dst_net,
+                             net::Host& src, net::Host& dst,
+                             std::uint16_t src_port, std::uint16_t dst_port,
+                             Transport transport, TcpConfig config)
     : transport_(transport) {
   TcpConfig sink_cfg = config;
   if (transport == Transport::kDctcp) sink_cfg.ecn = EcnMode::kDctcp;
-  sink_ = std::make_unique<TcpSink>(net, dst, dst_port, sink_cfg);
-  sender_ = make_sender(transport, net, src, src_port, dst.id(), dst_port,
-                        config);
+  sink_ = std::make_unique<TcpSink>(dst_net, dst, dst_port, sink_cfg);
+  sender_ = make_sender(transport, src_net, src, src_port, dst.id(),
+                        dst_port, config);
 }
 
 }  // namespace hwatch::tcp

@@ -30,6 +30,15 @@ class TcpConnection {
                 std::uint16_t src_port, std::uint16_t dst_port,
                 Transport transport, TcpConfig config);
 
+  /// Cross-shard form: the sender lives on `src_net`'s context, the sink
+  /// on `dst_net`'s — so ACK generation and delayed-ACK timers run in the
+  /// destination shard, where the data packets arrive.  `src_net` and
+  /// `dst_net` may be the same network (then this is the classic form).
+  TcpConnection(net::Network& src_net, net::Network& dst_net, net::Host& src,
+                net::Host& dst, std::uint16_t src_port,
+                std::uint16_t dst_port, Transport transport,
+                TcpConfig config);
+
   /// Begins the transfer immediately.
   void start(std::uint64_t bytes) { sender_->start(bytes); }
 

@@ -5,12 +5,32 @@
 
 namespace hwatch::topo {
 
-FatTree build_fat_tree(net::Network& net, const FatTreeConfig& cfg) {
-  if (cfg.k < 2 || cfg.k % 2 != 0) {
-    throw std::invalid_argument("fat_tree: k must be even and >= 2");
+std::uint32_t fat_tree_hosts_per_edge(std::uint32_t k,
+                                      std::uint32_t hosts) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument(
+        "FatTreeConfig.k: must be even and >= 2 (got " + std::to_string(k) +
+        ")");
   }
+  const std::uint32_t edge_count = k * (k / 2);
+  if (hosts == 0) return k / 2;  // classic k^3/4 total
+  if (hosts % edge_count != 0) {
+    throw std::invalid_argument(
+        "FatTreeConfig.hosts: " + std::to_string(hosts) +
+        " hosts do not divide evenly across the " +
+        std::to_string(edge_count) + " edge switches of a k=" +
+        std::to_string(k) + " fat-tree (hosts must be a multiple of " +
+        std::to_string(edge_count) + ")");
+  }
+  return hosts / edge_count;
+}
+
+FatTree build_fat_tree(net::Network& net, const FatTreeConfig& cfg) {
+  const std::uint32_t hosts_per_edge =
+      fat_tree_hosts_per_edge(cfg.k, cfg.hosts);
   if (!cfg.qdisc) {
-    throw std::invalid_argument("fat_tree: qdisc factory is required");
+    throw std::invalid_argument(
+        "FatTreeConfig.qdisc: a qdisc factory is required");
   }
   const std::uint32_t k = cfg.k;
   const std::uint32_t half = k / 2;
@@ -19,6 +39,7 @@ FatTree build_fat_tree(net::Network& net, const FatTreeConfig& cfg) {
 
   FatTree t;
   t.k = k;
+  t.hosts_per_edge = hosts_per_edge;
 
   for (std::uint32_t c = 0; c < half * half; ++c) {
     t.cores.push_back(&net.add_switch("core" + std::to_string(c)));
@@ -43,7 +64,7 @@ FatTree build_fat_tree(net::Network& net, const FatTreeConfig& cfg) {
         net.connect(edge, *t.aggregations[pod * half + a], cfg.link_rate,
                     per_link, cfg.qdisc);
       }
-      for (std::uint32_t h = 0; h < half; ++h) {
+      for (std::uint32_t h = 0; h < hosts_per_edge; ++h) {
         net::Host& host = net.add_host("p" + ps + "e" + std::to_string(e) +
                                        "h" + std::to_string(h));
         net.connect(host, edge, cfg.link_rate, per_link, cfg.qdisc);

@@ -4,7 +4,10 @@
 // genuine ECMP path diversity.
 //
 // Layout for even k: (k/2)^2 core switches; k pods, each with k/2
-// aggregation and k/2 edge switches; each edge switch serves k/2 hosts.
+// aggregation and k/2 edge switches; each edge switch serves
+// hosts_per_edge hosts (k/2 in the classic layout; `hosts` overrides the
+// total for scale studies, as long as it divides evenly across the
+// k*(k/2) edge switches).
 #pragma once
 
 #include <cstdint>
@@ -15,7 +18,8 @@
 namespace hwatch::topo {
 
 struct FatTreeConfig {
-  std::uint32_t k = 4;  // must be even and >= 2
+  std::uint32_t k = 4;      // must be even and >= 2
+  std::uint32_t hosts = 0;  // total hosts; 0 = classic k^3/4
   sim::DataRate link_rate = sim::DataRate::gbps(10);
   sim::TimePs base_rtt = sim::microseconds(100);
   net::QdiscFactory qdisc;  // used on every port
@@ -28,8 +32,16 @@ struct FatTree {
   std::vector<net::Switch*> cores;         // (k/2)^2
 
   std::uint32_t k = 0;
-  std::uint32_t hosts_per_pod() const { return (k / 2) * (k / 2); }
+  std::uint32_t hosts_per_edge = 0;
+  std::uint32_t hosts_per_pod() const { return (k / 2) * hosts_per_edge; }
 };
+
+/// Validates a fat-tree shape and returns the per-edge host count.
+/// `hosts` = 0 means the classic k^3/4.  Throws std::invalid_argument
+/// with a message naming the offending parameter when k is odd, zero or
+/// < 2, or when `hosts` does not divide evenly across the k*(k/2) edge
+/// switches.
+std::uint32_t fat_tree_hosts_per_edge(std::uint32_t k, std::uint32_t hosts);
 
 FatTree build_fat_tree(net::Network& net, const FatTreeConfig& cfg);
 

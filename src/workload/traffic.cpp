@@ -10,10 +10,14 @@ void TrafficManager::add_flow(const FlowSpec& spec) {
   if (spec.src == nullptr || spec.dst == nullptr) {
     throw std::invalid_argument("add_flow: null endpoint");
   }
-  const std::uint16_t sport = next_port(*spec.src);
-  const std::uint16_t dport = next_port(*spec.dst);
+  const std::uint16_t sport =
+      spec.src_port != 0 ? spec.src_port : next_port(*spec.src);
+  const std::uint16_t dport =
+      spec.dst_port != 0 ? spec.dst_port : next_port(*spec.dst);
+  net::Network& dst_net = spec.dst_net != nullptr ? *spec.dst_net : net_;
   auto conn = std::make_unique<tcp::TcpConnection>(
-      net_, *spec.src, *spec.dst, sport, dport, spec.transport, spec.tcp);
+      net_, dst_net, *spec.src, *spec.dst, sport, dport, spec.transport,
+      spec.tcp);
 
   const std::size_t index = entries_.size();
   conn->sender().set_on_complete([this, index](const tcp::TcpSender&) {

@@ -19,6 +19,14 @@ namespace hwatch::workload {
 struct FlowSpec {
   net::Host* src = nullptr;
   net::Host* dst = nullptr;
+  /// Network owning `dst` when it lives in another shard; nullptr means
+  /// the TrafficManager's own network (classic single-context case).
+  net::Network* dst_net = nullptr;
+  /// Explicit ports; 0 = allocate from this manager.  Cross-shard flows
+  /// must pass a dst_port allocated by the DESTINATION shard's manager,
+  /// so two shards never hand out the same (dst, port) pair.
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
   tcp::Transport transport = tcp::Transport::kNewReno;
   tcp::TcpConfig tcp;
   std::uint64_t bytes = 0;  // TcpSender::kUnlimited for long-lived

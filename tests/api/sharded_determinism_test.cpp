@@ -1,0 +1,111 @@
+// Sharded-run determinism: the headline invariant of the sharded
+// runner is that the worker-thread count (cfg.shards / HWATCH_SHARDS)
+// changes nothing but wall time — manifests and trace exports are
+// byte-identical across 1, 2 and 4 threads because the logical
+// partition and every event order are pure functions of (config, seed).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "api/sharded.hpp"
+
+namespace hwatch {
+namespace {
+
+api::FatTreeScenarioConfig small_config() {
+  api::FatTreeScenarioConfig cfg;
+  cfg.k = 4;  // 16 hosts, 8 shards
+  cfg.aqm.kind = api::AqmKind::kDctcpStep;
+  cfg.flows_per_host = 1;
+  cfg.flow_bytes = 50'000;
+  cfg.start_spread = sim::milliseconds(1);
+  cfg.transport = tcp::Transport::kDctcp;
+  cfg.duration = sim::milliseconds(20);
+  cfg.seed = 7;
+  cfg.collect_metrics = true;
+  cfg.trace_spans = true;
+  cfg.run_label = "sharded-determinism";
+  return cfg;
+}
+
+TEST(ShardedDeterminism, ByteIdenticalAcrossThreadCounts) {
+  api::FatTreeScenarioConfig cfg = small_config();
+  cfg.shards = 1;
+  const api::ScenarioResults base = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(base.has_manifest);
+  ASSERT_FALSE(base.records.empty());
+  EXPECT_EQ(base.incomplete_short_flows(), 0u);
+  const std::string base_manifest = base.manifest.deterministic_dump();
+  ASSERT_FALSE(base_manifest.empty());
+  ASSERT_FALSE(base.trace_spans_jsonl.empty());
+  ASSERT_FALSE(base.trace_chrome.empty());
+
+  for (unsigned threads : {2u, 4u}) {
+    cfg.shards = threads;
+    const api::ScenarioResults run = api::run_fat_tree_sharded(cfg);
+    ASSERT_TRUE(run.has_manifest);
+    EXPECT_EQ(run.manifest.deterministic_dump(), base_manifest)
+        << "manifest differs at " << threads << " worker threads";
+    EXPECT_EQ(run.trace_spans_jsonl, base.trace_spans_jsonl)
+        << "span dump differs at " << threads << " worker threads";
+    EXPECT_EQ(run.trace_chrome, base.trace_chrome)
+        << "chrome export differs at " << threads << " worker threads";
+  }
+}
+
+TEST(ShardedScenario, CrossShardFlowsComplete) {
+  api::FatTreeScenarioConfig cfg = small_config();
+  cfg.collect_metrics = false;
+  cfg.trace_spans = false;
+  cfg.shards = 2;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  EXPECT_EQ(res.records.size(), 16u);
+  EXPECT_EQ(res.incomplete_short_flows(), 0u);
+  EXPECT_GT(res.events_executed, 0u);
+  for (const auto& r : res.records) {
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.fct, 0);
+  }
+}
+
+TEST(ShardedScenario, HwatchShimsRunAcrossShards) {
+  api::FatTreeScenarioConfig cfg = small_config();
+  cfg.collect_metrics = false;
+  cfg.trace_spans = false;
+  cfg.hwatch_enabled = true;
+  cfg.shards = 2;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  EXPECT_EQ(res.incomplete_short_flows(), 0u);
+  EXPECT_GT(res.shim.flows_tracked, 0u);
+}
+
+TEST(ShardedEnv, ShardsFromEnvValidation) {
+  ::unsetenv("HWATCH_SHARDS");
+  EXPECT_EQ(api::shards_from_env(), 0u);
+  ::setenv("HWATCH_SHARDS", "3", 1);
+  EXPECT_EQ(api::shards_from_env(), 3u);
+  for (const char* bad : {"", "0", "-1", "2x", "abc", "99999999999"}) {
+    ::setenv("HWATCH_SHARDS", bad, 1);
+    if (*bad == '\0') {
+      EXPECT_EQ(api::shards_from_env(), 0u);
+    } else {
+      EXPECT_THROW(api::shards_from_env(), std::invalid_argument) << bad;
+    }
+  }
+  ::unsetenv("HWATCH_SHARDS");
+}
+
+TEST(ShardedEnv, RunnerResolvesEnv) {
+  ::setenv("HWATCH_SHARDS", "2", 1);
+  const api::ShardedRunner runner;
+  EXPECT_EQ(runner.threads(), 2u);
+  ::unsetenv("HWATCH_SHARDS");
+  const api::ShardedRunner one;
+  EXPECT_EQ(one.threads(), 1u);
+  const api::ShardedRunner four(4);
+  EXPECT_EQ(four.threads(), 4u);
+}
+
+}  // namespace
+}  // namespace hwatch

@@ -1,0 +1,19 @@
+// Fixture: seeded cross-shard-state violations — ad-hoc threading
+// primitives outside the sanctioned shard_group/shard_channel files.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct SharedRunner {
+  std::atomic<int> progress{0};
+  std::mutex results_mu;
+
+  void go() {
+    std::thread worker([this] { progress.store(1); });
+    worker.join();
+  }
+};
+
+}  // namespace fixture

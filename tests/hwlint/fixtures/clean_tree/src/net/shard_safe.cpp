@@ -1,0 +1,17 @@
+// Fixture: near-misses for the cross-shard-state rule — project names
+// that merely sound like threading primitives must not be flagged.
+namespace fixture {
+
+struct mutex {};  // a project type, not std::mutex
+
+struct Loom {
+  mutex weave_lock;  // unqualified project type
+  int thread = 0;    // a weaving thread, not std::thread
+  int atomic_ops = 0;
+
+  int spin() const { return thread + atomic_ops; }
+};
+
+inline int barrier(int x) { return x; }  // project function named barrier
+
+}  // namespace fixture

@@ -235,6 +235,54 @@ TEST(HwlintRules, UnorderedNamesCrossFiles) {
   EXPECT_EQ(vs[0].rule, hwlint::kRuleUnorderedIter);
 }
 
+// ---------------------------------------------------- cross-shard-state
+
+TEST(HwlintRules, FlagsThreadingPrimitivesInSrc) {
+  const auto vs = check(
+      "src/api/runner.cpp",
+      "#include <atomic>\n"
+      "std::atomic<int> done{0};\n"
+      "void f() { std::mutex mu; std::thread t([] {}); t.join(); }\n"
+      "std::barrier<> sync(2);\n"
+      "std::condition_variable cv;\n");
+  ASSERT_EQ(vs.size(), 5u);
+  for (const auto& v : vs) {
+    EXPECT_EQ(v.rule, hwlint::kRuleCrossShardState) << v.message;
+  }
+}
+
+TEST(HwlintRules, CrossShardStateAppliesOnlyToSrc) {
+  const std::string src = "std::mutex mu;\nstd::thread t;\n";
+  EXPECT_EQ(check("src/sim/x.cpp", src).size(), 2u);
+  // Tests, benches and tools may thread freely.
+  EXPECT_TRUE(check("tests/api/x.cpp", src).empty());
+  EXPECT_TRUE(check("bench/x.cpp", src).empty());
+  EXPECT_TRUE(check("tools/x.cpp", src).empty());
+}
+
+TEST(HwlintRules, ProjectNamesResemblingPrimitivesPass) {
+  const auto vs = check(
+      "src/net/loom.cpp",
+      "struct mutex {};\n"  // project type, unqualified
+      "struct Loom {\n"
+      "  mutex weave_lock;\n"
+      "  int thread = 0;\n"  // a weaving thread
+      "};\n"
+      "int barrier(int x) { return x; }\n"
+      "int f(const net::atomic& a) { return a.v; }\n");  // net::, not std::
+  EXPECT_TRUE(vs.empty()) << vs[0].message;
+}
+
+TEST(HwlintRules, CrossShardStateSuppressible) {
+  std::size_t suppressed = 0;
+  const auto vs = check("src/net/ring.cpp",
+                        "// hwlint: allow(cross-shard-state)\n"
+                        "std::atomic<std::size_t> head{0};\n",
+                        &suppressed);
+  EXPECT_TRUE(vs.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
 // ------------------------------------------------------- mutable-global
 
 TEST(HwlintRules, FlagsMutableNamespaceScopeState) {
@@ -362,7 +410,7 @@ TEST(HwlintDriver, CleanFixtureTreePasses) {
   std::ostringstream err;
   EXPECT_EQ(hwlint::run_lint(opts, report, err), 0) << err.str();
   EXPECT_TRUE(report.violations.empty());
-  EXPECT_EQ(report.files_scanned, 3u);
+  EXPECT_EQ(report.files_scanned, 4u);
 }
 
 TEST(HwlintDriver, ViolationsAreSorted) {
@@ -422,7 +470,7 @@ TEST(HwlintCli, JsonReportRoundTripsThroughSimJson) {
   const auto* violations = doc.find("violations");
   ASSERT_NE(violations, nullptr);
   ASSERT_TRUE(violations->is_array());
-  EXPECT_EQ(violations->items().size(), 18u);
+  EXPECT_EQ(violations->items().size(), 21u);
   std::set<std::string> rules;
   for (const auto& v : violations->items()) {
     ASSERT_TRUE(v.is_object());

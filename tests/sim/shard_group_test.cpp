@@ -1,0 +1,142 @@
+// ShardGroup epoch protocol: the drain/run call sequence each task sees
+// must be a pure function of (horizon, window) — identical whether the
+// group runs sequentially or across worker threads, resumable across
+// run() calls, and with errors from any shard rethrown to the caller.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/shard_group.hpp"
+#include "sim/time.hpp"
+
+namespace hwatch::sim {
+namespace {
+
+struct RecordingTask final : ShardTask {
+  struct Call {
+    char phase;  // 'd' = drain, 'r' = run
+    TimePs t;
+    friend bool operator==(const Call&, const Call&) = default;
+  };
+  std::vector<Call> calls;
+
+  void drain(TimePs window_start) override {
+    calls.push_back({'d', window_start});
+  }
+  void run(TimePs window_end) override { calls.push_back({'r', window_end}); }
+};
+
+TEST(ShardGroupTest, SequentialWindowsClampAtHorizon) {
+  ShardGroup g(1);
+  RecordingTask a;
+  RecordingTask b;
+  g.add(&a);
+  g.add(&b);
+  g.run(100, 30);
+  // Windows (0,30] (30,60] (60,90] (90,100]: the last clamps to the
+  // horizon instead of overshooting it.
+  const std::vector<RecordingTask::Call> expect = {
+      {'d', 0},  {'r', 30}, {'d', 30}, {'r', 60},
+      {'d', 60}, {'r', 90}, {'d', 90}, {'r', 100},
+  };
+  EXPECT_EQ(a.calls, expect);
+  EXPECT_EQ(b.calls, expect);
+  EXPECT_EQ(g.epochs(), 4u);
+}
+
+TEST(ShardGroupTest, ParallelSeesSameCallSequence) {
+  ShardGroup seq(1);
+  ShardGroup par(3);
+  std::vector<RecordingTask> st(4);
+  std::vector<RecordingTask> pt(4);
+  for (auto& t : st) seq.add(&t);
+  for (auto& t : pt) par.add(&t);
+  seq.run(sim::microseconds(1), 70);
+  par.run(sim::microseconds(1), 70);
+  EXPECT_EQ(seq.epochs(), par.epochs());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    EXPECT_EQ(pt[i].calls, st[i].calls) << "shard " << i;
+  }
+}
+
+TEST(ShardGroupTest, ThreadsAboveShardCountStillAgree) {
+  ShardGroup seq(1);
+  ShardGroup par(16);  // clamped to the 2 registered shards
+  RecordingTask s0, s1, p0, p1;
+  seq.add(&s0);
+  seq.add(&s1);
+  par.add(&p0);
+  par.add(&p1);
+  seq.run(90, 40);
+  par.run(90, 40);
+  EXPECT_EQ(p0.calls, s0.calls);
+  EXPECT_EQ(p1.calls, s1.calls);
+  EXPECT_EQ(par.threads(), 16u);  // the accessor reports the request
+}
+
+TEST(ShardGroupTest, ResumesFromPreviousHorizon) {
+  ShardGroup g(1);
+  RecordingTask t;
+  g.add(&t);
+  g.run(50, 30);
+  EXPECT_EQ(g.epochs(), 2u);
+  g.run(100, 30);  // resumes at 50, not at 0
+  const std::vector<RecordingTask::Call> expect = {
+      {'d', 0},  {'r', 30}, {'d', 30}, {'r', 50},
+      {'d', 50}, {'r', 80}, {'d', 80}, {'r', 100},
+  };
+  EXPECT_EQ(t.calls, expect);
+  EXPECT_EQ(g.epochs(), 4u);
+
+  // A horizon at or before the reached time is a no-op.
+  g.run(100, 30);
+  g.run(60, 30);
+  EXPECT_EQ(t.calls.size(), expect.size());
+  EXPECT_EQ(g.epochs(), 4u);
+}
+
+TEST(ShardGroupTest, RejectsBadArguments) {
+  ShardGroup g(2);
+  EXPECT_THROW(g.add(nullptr), std::invalid_argument);
+  RecordingTask t;
+  g.add(&t);
+  EXPECT_THROW(g.run(100, 0), std::invalid_argument);
+  EXPECT_THROW(g.run(100, -5), std::invalid_argument);
+  EXPECT_TRUE(t.calls.empty());  // nothing ran
+}
+
+struct ThrowingTask final : ShardTask {
+  void drain(TimePs) override {}
+  void run(TimePs window_end) override {
+    if (window_end >= 60) throw std::runtime_error("shard blew up");
+  }
+};
+
+TEST(ShardGroupTest, SequentialRethrowsTaskError) {
+  ShardGroup g(1);
+  ThrowingTask bad;
+  g.add(&bad);
+  EXPECT_THROW(g.run(100, 30), std::runtime_error);
+}
+
+TEST(ShardGroupTest, ParallelRethrowsTaskError) {
+  ShardGroup g(2);
+  RecordingTask ok;
+  ThrowingTask bad;
+  g.add(&ok);
+  g.add(&bad);
+  // Workers keep arriving at the barriers after a failure, so this must
+  // rethrow rather than deadlock.
+  EXPECT_THROW(g.run(100, 30), std::runtime_error);
+}
+
+TEST(ShardGroupTest, EmptyGroupAdvancesTime) {
+  ShardGroup g(4);
+  g.run(100, 30);
+  EXPECT_EQ(g.epochs(), 0u);
+  EXPECT_EQ(g.shard_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hwatch::sim

@@ -43,6 +43,19 @@
 //                      lookups (find/insert/erase) stay fine.  Applies
 //                      to src/ and tools/.
 //
+//   cross-shard-state  std:: threading / shared-state primitives
+//                      (std::thread, std::mutex, std::atomic,
+//                      std::barrier, std::condition_variable, futures,
+//                      semaphores, ...) anywhere in src/.  Shards own
+//                      disjoint SimContexts and may only exchange state
+//                      through net::CrossShardChannel under the
+//                      sim::ShardGroup epoch barrier; any other shared
+//                      state silently breaks the byte-identical-
+//                      across-thread-counts invariant.  The sanctioned
+//                      implementations (shard_group, shard_channel, the
+//                      sweep thread pool, the self-profiler counter)
+//                      are covered by the checked-in allowlist.
+//
 //   mutable-global     mutable namespace-scope state (static,
 //                      thread_local, extern or anonymous-namespace
 //                      variables that are not const/constexpr) in src/
@@ -112,6 +125,7 @@ inline constexpr std::string_view kRuleNondeterminism = "nondeterminism";
 inline constexpr std::string_view kRuleHotPathContainer = "hot-path-container";
 inline constexpr std::string_view kRuleHotPathAlloc = "hot-path-alloc";
 inline constexpr std::string_view kRuleUnorderedIter = "unordered-iter";
+inline constexpr std::string_view kRuleCrossShardState = "cross-shard-state";
 inline constexpr std::string_view kRuleMutableGlobal = "mutable-global";
 inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
 

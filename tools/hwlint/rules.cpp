@@ -91,6 +91,10 @@ bool mutable_global_applies(std::string_view rel) {
   return starts_with(rel, "src/") && !starts_with(rel, "src/sim/");
 }
 
+bool cross_shard_state_applies(std::string_view rel) {
+  return starts_with(rel, "src/");
+}
+
 // ------------------------------------------------------ nondeterminism
 
 const std::unordered_set<std::string>& banned_qualified() {
@@ -194,6 +198,41 @@ void check_hot_path_alloc(const std::string& rel, const Toks& t,
                          "()` in a hot-path dir; the hot path must not "
                          "touch the global allocator"});
     }
+  }
+}
+
+// ---------------------------------------------------- cross-shard-state
+
+/// Only std::-qualified names are matched: a project type or parameter
+/// that happens to be called `mutex` or `thread` is not shared state.
+void check_cross_shard_state(const std::string& rel, const Toks& t,
+                             std::vector<Violation>& out) {
+  static const std::unordered_set<std::string> kBanned = {
+      "std::thread",          "std::jthread",
+      "std::mutex",           "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex",    "std::shared_timed_mutex",
+      "std::condition_variable", "std::condition_variable_any",
+      "std::atomic",          "std::atomic_flag",
+      "std::atomic_ref",      "std::atomic_thread_fence",
+      "std::barrier",         "std::latch",
+      "std::counting_semaphore", "std::binary_semaphore",
+      "std::future",          "std::shared_future",
+      "std::promise",         "std::packaged_task",
+      "std::async",           "std::stop_source",
+      "std::stop_token",
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    const std::string qn = qualified_name(t, i);
+    if (kBanned.count(qn) == 0) continue;
+    out.push_back(
+        {rel, t[i].line, std::string(kRuleCrossShardState),
+         "`" + qn +
+             "` shares state across threads; shards own disjoint "
+             "SimContexts and communicate only through "
+             "net::CrossShardChannel under the sim::ShardGroup barrier "
+             "(sanctioned implementations are allowlisted)"});
   }
 }
 
@@ -420,7 +459,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       std::string(kRuleNondeterminism),    std::string(kRuleHotPathContainer),
       std::string(kRuleHotPathAlloc),      std::string(kRuleUnorderedIter),
-      std::string(kRuleMutableGlobal),     std::string(kRuleBadSuppression)};
+      std::string(kRuleCrossShardState),   std::string(kRuleMutableGlobal),
+      std::string(kRuleBadSuppression)};
   return kRules;
 }
 
@@ -437,6 +477,9 @@ std::vector<Violation> check_source(
   }
   if (unordered_iter_applies(rel)) {
     check_unordered_iter(rel, lexed.tokens, unordered_names, raw);
+  }
+  if (cross_shard_state_applies(rel)) {
+    check_cross_shard_state(rel, lexed.tokens, raw);
   }
   if (mutable_global_applies(rel)) {
     check_mutable_global(rel, lexed.tokens, raw);
