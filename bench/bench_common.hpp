@@ -147,6 +147,9 @@ inline void write_bench_json(const std::string& name,
     p.set("name", sim::Json(c.name));
     p.set("events",
           sim::Json(static_cast<std::int64_t>(c.results.events_executed)));
+    // Sharded points only (0 otherwise): per-epoch max/mean shard
+    // events — check_perf.py --report surfaces it next to events/s.
+    p.set("imbalance", sim::Json(c.results.shard_imbalance));
     pts.push_back(std::move(p));
   }
   sim::Json doc = sim::Json::object();

@@ -39,6 +39,9 @@ hwatch::api::FatTreeScenarioConfig scale_config(std::uint32_t k,
   cfg.duration = sim::milliseconds(50);
   cfg.seed = 20;
   cfg.shards = threads;
+  // Deterministic counter plane only (no gauges/traces): feeds the
+  // imbalance column and the bench report at zero extra events.
+  cfg.shard_telemetry = true;
   // Same CI smoke knob as the figure benches.
   if (const char* ms = std::getenv("HWATCH_BENCH_DURATION_MS")) {
     cfg.duration = sim::milliseconds(std::atol(ms));
@@ -98,7 +101,7 @@ int main() {
   }
 
   stats::Table t({"point", "hosts", "workers", "flows", "unfinished",
-                  "events", "wall(s)", "events/s"});
+                  "events", "wall(s)", "events/s", "imbalance"});
   for (std::size_t i = 0; i < curves.size(); ++i) {
     const auto& r = curves[i].results;
     const double rate =
@@ -112,7 +115,8 @@ int main() {
                std::to_string(r.records.size()),
                std::to_string(r.incomplete_short_flows()),
                std::to_string(r.events_executed),
-               stats::Table::num(walls[i], 2), stats::Table::num(rate, 0)});
+               stats::Table::num(walls[i], 2), stats::Table::num(rate, 0),
+               stats::Table::num(r.shard_imbalance, 2) + "x"});
   }
   t.print(std::cout);
 

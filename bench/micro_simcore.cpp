@@ -4,6 +4,8 @@
 // large a datacenter the simulator can sweep per CPU-second.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "api/scenario.hpp"
 #include "api/sweep.hpp"
 #include "net/checksum.hpp"
@@ -11,6 +13,8 @@
 #include "sim/context.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/self_profiler.hpp"
+#include "sim/shard_group.hpp"
+#include "sim/shard_telemetry.hpp"
 #include "sim/trace_span.hpp"
 #include "tcp/connection.hpp"
 #include "topo/dumbbell.hpp"
@@ -350,6 +354,56 @@ void BM_DropTailChurnWithHistogram(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DropTailChurnWithHistogram)->Arg(0)->Arg(1);
+
+/// ShardGroup epoch loop with the telemetry hooks detached (Arg 0) vs
+/// attached with deterministic counters only (Arg 1).  The contract for
+/// the detached path is ONE predictable branch per hook site — no call,
+/// no clock read, no allocation — so Arg(0) must match the
+/// pre-telemetry epoch cost; Arg(1) bounds what the counter plane adds
+/// per (epoch x shard).  Tasks are no-ops: the measurement isolates the
+/// coordinator + hook overhead, not simulated work.
+void BM_ShardGroupEpochs(benchmark::State& state) {
+  constexpr std::size_t kShards = 8;
+  struct NoopTask final : sim::ShardTask {
+    sim::ShardTelemetry* telemetry = nullptr;
+    std::size_t shard_id = 0;
+    std::uint64_t events = 0;
+    void drain(sim::TimePs start) override {
+      if (telemetry != nullptr) {
+        telemetry->shard_drain(shard_id, start, {});
+      }
+    }
+    void run(sim::TimePs end) override {
+      ++events;
+      if (telemetry != nullptr) {
+        telemetry->shard_run(shard_id, end, events);
+      }
+    }
+  };
+  const bool attached = state.range(0) != 0;
+  std::uint64_t epochs = 0;
+  for (auto _ : state) {
+    std::optional<sim::ShardTelemetry> tel;
+    if (attached) {
+      sim::ShardTelemetry::Config tc;
+      tc.shard_count = kShards;
+      tc.label = "bench";
+      tel.emplace(std::move(tc));
+    }
+    sim::ShardGroup group(1);
+    NoopTask tasks[kShards];
+    for (std::size_t s = 0; s < kShards; ++s) {
+      tasks[s].telemetry = tel ? &*tel : nullptr;
+      tasks[s].shard_id = s;
+      group.add(&tasks[s]);
+    }
+    group.set_telemetry(tel ? &*tel : nullptr);
+    group.run(1'000'000, 100);  // 10k epochs x 8 shards
+    epochs += group.epochs();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(epochs * kShards));
+}
+BENCHMARK(BM_ShardGroupEpochs)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -78,6 +78,10 @@ def main():
                     help="allowed fractional regression (default 0.10)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite baselines from the current reports")
+    ap.add_argument("--report", action="store_true",
+                    help="print a per-bench summary line (events/s plus "
+                         "the worst per-point shard imbalance) before "
+                         "the gate results")
     ap.add_argument("names", nargs="*",
                     help="benchmark names to check (default: all present)")
     args = ap.parse_args()
@@ -105,6 +109,19 @@ def main():
                 fh.write("\n")
             print(f"baseline updated: {out}")
         return 0
+
+    if args.report:
+        for name, doc in sorted(reports.items()):
+            rate = float(doc.get("events_per_s", 0))
+            imbalances = [float(p.get("imbalance", 0))
+                          for p in doc.get("points", [])]
+            worst = max(imbalances, default=0.0)
+            line = f"{name}: {rate / 1e6:.2f}M events/s"
+            if worst > 0:
+                # Sharded points only; 1.0 = perfectly balanced shards.
+                line += f", shard imbalance {worst:.2f}x (worst point)"
+            print(line)
+        print()
 
     failures = []
     for name, doc in sorted(reports.items()):

@@ -94,6 +94,16 @@ struct ScenarioResults {
   std::string trace_chrome;
   std::string trace_spans_jsonl;
 
+  /// Sharded runs only: per-worker drain/run/barrier epoch timelines as
+  /// Chrome trace-event JSON (same hwatch.trace_export/v1 schema).
+  /// Wall-clock data, so it is a SEPARATE artifact — never merged into
+  /// `trace_chrome`, which is byte-compared across worker counts.
+  std::string trace_workers_chrome;
+  /// Sharded runs only: per-epoch max/mean shard-events ratio (1.0 =
+  /// perfectly balanced, 0 = no events / not a sharded run).
+  /// Deterministic — derived from event counts, not wall time.
+  double shard_imbalance = 0.0;
+
   // ---- convenience views ----
   std::vector<stats::FlowRecord> short_flows() const;
   std::vector<stats::FlowRecord> long_flows() const;

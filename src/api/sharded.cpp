@@ -1,10 +1,13 @@
 #include "api/sharded.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -12,7 +15,9 @@
 #include <vector>
 
 #include "net/shard_channel.hpp"
+#include "sim/self_profiler.hpp"
 #include "sim/shard_group.hpp"
+#include "sim/shard_telemetry.hpp"
 
 namespace hwatch::api {
 
@@ -53,17 +58,38 @@ ScenarioResults ShardedRunner::run(FatTreeScenarioConfig cfg) const {
 namespace {
 
 /// One shard's epoch protocol: drain the cross-shard inboxes, then run
-/// the local scheduler through the window.
+/// the local scheduler through the window.  The telemetry hooks cost
+/// one predictable null-check each when detached.
 struct ShardRun final : sim::ShardTask {
   sim::SimContext* ctx = nullptr;
   std::vector<net::CrossShardChannel*>* ingress = nullptr;
   std::vector<std::pair<net::Node*, net::ShardInbox::Item>> scratch;
+  sim::ShardTelemetry* telemetry = nullptr;
+  std::size_t shard_id = 0;
 
-  void drain(sim::TimePs) override {
+  void drain(sim::TimePs window_start) override {
+    if (telemetry != nullptr) {
+      // Producers are quiescent across the drain barrier, so the
+      // producer-owned counters (pushed / spilled / peak depth) are
+      // safe to read here — and ONLY here (see ShardInbox).
+      sim::ShardTelemetry::IngressSample in;
+      for (const net::CrossShardChannel* ch : *ingress) {
+        const net::ShardInbox& inbox = ch->inbox();
+        in.pushed += inbox.pushed();
+        in.spilled += inbox.spilled();
+        in.peak_depth = std::max(in.peak_depth, inbox.peak_depth());
+        in.depth += inbox.depth();
+      }
+      telemetry->shard_drain(shard_id, window_start, in);
+    }
     net::drain_cross_shard_channels(*ingress, scratch);
   }
   void run(sim::TimePs window_end) override {
     ctx->scheduler().run_until(window_end);
+    if (telemetry != nullptr) {
+      telemetry->shard_run(shard_id, window_end,
+                           ctx->scheduler().executed());
+    }
   }
 };
 
@@ -76,6 +102,13 @@ double wall_ms_since(WallClock::time_point t0) {
       .count();
 }
 
+/// True when `name` is set to anything but "" or "0".
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && *raw != '\0' &&
+         !(raw[0] == '0' && raw[1] == '\0');
+}
+
 sim::Json sharded_aqm_json(const AqmConfig& a) {
   sim::Json j = sim::Json::object();
   j.set("kind", to_string(a.kind));
@@ -85,6 +118,30 @@ sim::Json sharded_aqm_json(const AqmConfig& a) {
   return j;
 }
 
+/// Merges every shard's sampler output into one name-sorted series
+/// object (names are unique: each carries its "shard<N>." prefix).
+sim::Json merged_series_json(
+    const std::vector<std::unique_ptr<stats::MetricsSampler>>& samplers) {
+  std::vector<const stats::MetricsSampler::GaugeSeries*> sorted;
+  for (const auto& sampler : samplers) {
+    for (const auto& g : sampler->series()) sorted.push_back(&g);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->name < b->name; });
+  sim::Json out = sim::Json::object();
+  for (const auto* g : sorted) {
+    sim::Json arr = sim::Json::array();
+    for (const auto& p : g->series) {
+      sim::Json point = sim::Json::array();
+      point.push_back(sim::Json(p.time));
+      point.push_back(sim::Json(p.value));
+      arr.push_back(std::move(point));
+    }
+    out.set(g->name, std::move(arr));
+  }
+  return out;
+}
+
 }  // namespace
 
 ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
@@ -92,11 +149,22 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
   const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
   const char* trace_dir = std::getenv("HWATCH_TRACE_DIR");
   const bool trace = cfg.trace_spans || trace_dir != nullptr;
+  const bool profile = cfg.profile || env_flag("HWATCH_PROFILE");
+  const bool progress = env_flag("HWATCH_PROGRESS");
+  const char* flight_dir = std::getenv("HWATCH_FLIGHT_DIR");
+  const bool flight_forced = env_flag("HWATCH_FLIGHT_DUMP");
+  const std::uint64_t epoch_budget_ms =
+      sim::ShardTelemetry::epoch_budget_ms_from_env();
   const WallClock::time_point wall0 = WallClock::now();
 
   unsigned workers = cfg.shards;
   if (workers == 0) workers = shards_from_env();
   if (workers == 0) workers = 1;
+
+  const std::string label =
+      cfg.run_label.empty()
+          ? "fat_tree_sharded-seed" + std::to_string(cfg.seed)
+          : cfg.run_label;
 
   topo::ShardedFatTreeConfig tcfg;
   tcfg.k = cfg.k;
@@ -116,19 +184,44 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
       ctx.tracer().set_id_base(static_cast<std::uint64_t>(s) << 40);
       ctx.tracer().set_enabled(true);
     }
+    if (profile) ctx.profiler().set_enabled(true);
+  }
+
+  // Shard telemetry: deterministic counters whenever the manifest wants
+  // them, wall-clock timelines only for the wall-clock consumers.
+  const bool wall_spans = trace || profile;
+  const bool telemetry_on = cfg.shard_telemetry || collect || wall_spans ||
+                            progress || epoch_budget_ms > 0 ||
+                            flight_dir != nullptr || flight_forced;
+  std::optional<sim::ShardTelemetry> tel;
+  if (telemetry_on) {
+    sim::ShardTelemetry::Config tc;
+    tc.shard_count = shard_count;
+    tc.workers = workers;
+    tc.label = label;
+    tc.lookahead = tree.lookahead;
+    tc.wall_spans = wall_spans;
+    tc.progress = progress;
+    tc.epoch_budget_ms = epoch_budget_ms;
+    if (flight_dir != nullptr) tc.flight_dir = flight_dir;
+    tel.emplace(std::move(tc));
   }
 
   // HWatch shims, per shard: each host's shim forks from its own
   // shard's RNG, so the probe schedule is a pure function of
   // (seed, shard), untouched by worker count.
   std::vector<std::unique_ptr<core::HypervisorShim>> shims;
+  std::vector<std::pair<std::size_t, std::size_t>> shim_range(shard_count,
+                                                             {0, 0});
   if (cfg.hwatch_enabled) {
     for (std::size_t s = 0; s < shard_count; ++s) {
       auto& shard = tree.shards[s];
+      shim_range[s].first = shims.size();
       for (net::Host* host : shard.hosts) {
         shims.push_back(core::install_hwatch(*shard.net, *host, cfg.hwatch,
                                              shard.ctx->rng().fork()));
       }
+      shim_range[s].second = shims.size();
     }
   }
 
@@ -171,15 +264,74 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     }
   }
 
+  // Per-shard gauges + samplers.  Every closure reads only shard-local
+  // deterministic state (the shard's links, transports, shims, and the
+  // consumer-side drained counter), and each sampler ticks on its own
+  // shard's scheduler — so the series are byte-identical across worker
+  // counts.  Inbox DEPTH is deliberately not a gauge: mid-run it
+  // depends on producer timing.
+  std::vector<std::unique_ptr<stats::MetricsSampler>> samplers;
+  if (collect) {
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      auto& shard = tree.shards[s];
+      sim::MetricsRegistry& m = shard.ctx->metrics();
+      const std::string prefix = "shard" + std::to_string(s) + ".";
+      const net::Network* net = shard.net.get();
+      m.register_gauge(prefix + "net.queued_pkts_total", [net] {
+        std::size_t n = 0;
+        for (const auto& l : net->links()) n += l->qdisc().len_packets();
+        return static_cast<double>(n);
+      });
+      const workload::TrafficManager* tm = tms[s].get();
+      m.register_gauge(prefix + "tcp.bytes_in_flight", [tm] {
+        return static_cast<double>(tm->total_bytes_in_flight());
+      });
+      const std::vector<net::CrossShardChannel*>* ingress = &shard.ingress;
+      m.register_gauge(prefix + "shard.ingress.drained", [ingress] {
+        std::uint64_t n = 0;
+        for (const net::CrossShardChannel* ch : *ingress) {
+          n += ch->inbox().popped();
+        }
+        return static_cast<double>(n);
+      });
+      if (cfg.hwatch_enabled) {
+        const std::size_t lo = shim_range[s].first;
+        const std::size_t hi = shim_range[s].second;
+        const auto* all = &shims;
+        m.register_gauge(prefix + "hwatch.flow_table_entries",
+                         [all, lo, hi] {
+                           std::size_t n = 0;
+                           for (std::size_t i = lo; i < hi; ++i) {
+                             n += (*all)[i]->flow_table().size();
+                           }
+                           return static_cast<double>(n);
+                         });
+      }
+      samplers.push_back(std::make_unique<stats::MetricsSampler>(
+          *shard.ctx, cfg.sample_interval, cfg.duration));
+    }
+  }
+
   // Conservative epochs to the horizon.
   std::vector<ShardRun> shard_tasks(shard_count);
   sim::ShardGroup group(workers);
   for (std::size_t s = 0; s < shard_count; ++s) {
     shard_tasks[s].ctx = tree.shards[s].ctx.get();
     shard_tasks[s].ingress = &tree.shards[s].ingress;
+    shard_tasks[s].telemetry = tel ? &*tel : nullptr;
+    shard_tasks[s].shard_id = s;
     group.add(&shard_tasks[s]);
   }
-  group.run(cfg.duration, tree.lookahead);
+  group.set_telemetry(tel ? &*tel : nullptr);
+  std::uint64_t run_wall_ns = 0;
+  if (profile) {
+    const std::uint64_t t0 = tree.shards[0].ctx->profiler().now_ns();
+    group.run(cfg.duration, tree.lookahead);
+    run_wall_ns = tree.shards[0].ctx->profiler().now_ns() - t0;
+  } else {
+    group.run(cfg.duration, tree.lookahead);
+  }
+  if (flight_forced && tel) tel->dump_flight("forced");
 
   ScenarioResults res;
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -198,15 +350,12 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     res.shim.window_decisions += shim->stats().window_decisions;
     res.shim.flows_tracked += shim->flow_table().created();
   }
-
-  const std::string label =
-      cfg.run_label.empty()
-          ? "fat_tree_sharded-seed" + std::to_string(cfg.seed)
-          : cfg.run_label;
+  if (tel) res.shard_imbalance = tel->imbalance_ratio();
 
   if (collect) {
     // Per-shard harvest into each shard's own registry, then a pure
     // merge — no counter ever crosses a context boundary.
+    std::uint64_t peak_depth_max = 0;
     for (std::size_t s = 0; s < shard_count; ++s) {
       sim::MetricsRegistry& m = tree.shards[s].ctx->metrics();
       const sim::Scheduler& sched = tree.shards[s].ctx->scheduler();
@@ -218,14 +367,22 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
           .inc(tree.shards[s].net->total_queue_drops());
       m.counter("tcp.retransmits").inc(tms[s]->total_retransmits());
       m.counter("tcp.timeouts").inc(tms[s]->total_timeouts());
-      std::uint64_t pushed = 0, spilled = 0;
+      std::uint64_t pushed = 0, spilled = 0, drained = 0;
       for (const net::CrossShardChannel* ch : tree.shards[s].ingress) {
         pushed += ch->inbox().pushed();
         spilled += ch->inbox().spilled();
+        drained += ch->inbox().popped();
+        peak_depth_max =
+            std::max(peak_depth_max, ch->inbox().peak_depth());
       }
       m.counter("shard.ingress.pushed").inc(pushed);
       m.counter("shard.ingress.spilled").inc(spilled);
+      m.counter("shard.ingress.drained").inc(drained);
     }
+    // Global maxima don't merge by summation, so shard 0's registry
+    // hosts them (like the FCT histogram below).
+    tree.shards[0].ctx->metrics().counter("shard.ingress.peak_depth")
+        .inc(peak_depth_max);
     // FCT histogram over the merged records (bucket counts are
     // order-independent); hosted by shard 0's registry.
     sim::Histogram& fct = tree.shards[0].ctx->metrics().histogram(
@@ -252,6 +409,7 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     config.set("transport", tcp::to_string(cfg.transport));
     config.set("hwatch_enabled", cfg.hwatch_enabled);
     config.set("duration_ps", cfg.duration);
+    config.set("sample_interval_ps", cfg.sample_interval);
     config.set("seed", cfg.seed);
     config.set("shards_logical", tree.plan.shard_count);
     config.set("lookahead_ps", tree.lookahead);
@@ -270,6 +428,7 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     results.set("timeouts", res.timeouts);
     results.set("events_executed", res.events_executed);
     results.set("epochs", group.epochs());
+    results.set("shard_imbalance", res.shard_imbalance);
     sim::Json shim_json = sim::Json::object();
     shim_json.set("probes_injected", res.shim.probes_injected);
     shim_json.set("probe_bytes_injected", res.shim.probe_bytes_injected);
@@ -285,7 +444,9 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     man.seed = cfg.seed;
     man.config = std::move(config);
     man.results = std::move(results);
+    if (tel) man.shards = tel->shards_json();
     man.metrics = sim::metrics_json(sim::merge_snapshots(parts));
+    man.series = merged_series_json(samplers);
     man.wall_time_ms = wall_ms_since(wall0);
     man.sweep_threads = workers;
     res.has_manifest = true;
@@ -311,6 +472,13 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     std::ostringstream chrome;
     sim::export_chrome_merged(tracers, chrome, label);
     res.trace_chrome = chrome.str();
+    // The per-worker epoch timeline is wall-clock data: a separate
+    // artifact, never merged into the byte-compared exports above.
+    if (tel) {
+      std::ostringstream wtrace;
+      tel->export_chrome_workers(wtrace, label);
+      res.trace_workers_chrome = wtrace.str();
+    }
     if (trace_dir != nullptr) {
       const std::string stem = sim::RunManifest::sanitize(label);
       std::error_code ec;
@@ -330,7 +498,27 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
       };
       write(".spans.jsonl", res.trace_spans_jsonl);
       write(".trace.json", res.trace_chrome);
+      if (!res.trace_workers_chrome.empty()) {
+        write(".workers.trace.json", res.trace_workers_chrome);
+      }
     }
+  }
+
+  if (profile) {
+    // One merged self-profile across the shards (stderr: wall times
+    // never belong in result streams), then the straggler report.
+    sim::SelfProfiler merged;
+    sim::EventLoopStats loop;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      merged.merge_from(tree.shards[s].ctx->profiler());
+      const sim::Scheduler& sched = tree.shards[s].ctx->scheduler();
+      loop.events_executed += sched.executed();
+      loop.events_scheduled += sched.scheduled();
+      loop.heap_peak = std::max(loop.heap_peak, sched.heap_peak());
+    }
+    loop.wall_ns = run_wall_ns;
+    merged.report(std::cerr, &loop);
+    if (tel) tel->report(std::cerr);
   }
 
   return res;

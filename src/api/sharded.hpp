@@ -40,6 +40,9 @@ struct FatTreeScenarioConfig {
   core::HWatchConfig hwatch;
 
   sim::TimePs duration = sim::milliseconds(50);
+  /// Gauge-sampling interval (per-shard MetricsSampler ticks on each
+  /// shard's own scheduler — deterministic, unlike wall-clock sampling).
+  sim::TimePs sample_interval = sim::milliseconds(1);
   std::uint64_t seed = 1;
 
   /// Worker threads executing the shards; 0 = HWATCH_SHARDS (or 1 when
@@ -53,6 +56,16 @@ struct FatTreeScenarioConfig {
   bool collect_metrics = false;
   std::string run_label;
   bool trace_spans = false;
+  /// Enables the per-shard self-profilers (merged into one stderr
+  /// report) plus the shard-telemetry straggler report.  Also forced on
+  /// by HWATCH_PROFILE=1.
+  bool profile = false;
+  /// Enables just the deterministic shard-telemetry counter plane
+  /// (results.shard_imbalance and the manifest `shards` section input)
+  /// without metrics/gauges/traces — zero extra scheduler events, so
+  /// bench event counts stay untouched.  Implied by collect_metrics,
+  /// trace_spans, profile and the telemetry env knobs.
+  bool shard_telemetry = false;
 };
 
 /// Parses HWATCH_SHARDS: 0 when unset; throws std::invalid_argument
@@ -61,10 +74,17 @@ unsigned shards_from_env();
 
 /// Runs the sharded fat-tree scenario.  Flow records are concatenated
 /// in shard order; the manifest merges the per-shard registries
-/// (counters summed, histograms bucket-merged) and the trace export
-/// k-way merges per-shard tracers.  `series` stays empty (no gauge
-/// sampling across shards in v1), and there is no single bottleneck
-/// queue or timeline.
+/// (counters summed, histograms bucket-merged), carries a `shards`
+/// section (per-shard per-epoch telemetry + imbalance stats, schema
+/// hwatch.shard_telemetry/v1) and shard-prefixed gauge series; the
+/// trace export k-way merges per-shard tracers.  All of it is
+/// byte-identical across worker counts.  Wall-clock observability —
+/// the per-worker epoch timeline (results.trace_workers_chrome, also
+/// written as "<label>.workers.trace.json" under HWATCH_TRACE_DIR),
+/// the HWATCH_PROGRESS heartbeat, the HWATCH_EPOCH_BUDGET_MS flight
+/// watchdog (dumps hwatch.shard_flight/v1 JSON to HWATCH_FLIGHT_DIR or
+/// stderr; HWATCH_FLIGHT_DUMP=1 forces a dump at end of run) — stays
+/// out of every deterministic artifact.
 ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg);
 
 /// Thin fixed-thread-count front end, symmetric with SweepRunner.

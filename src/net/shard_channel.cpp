@@ -28,6 +28,11 @@ void ShardInbox::push(sim::TimePs deliver_time, Packet&& p) {
   ++pushed_;
   const std::size_t tail = tail_.load(std::memory_order_relaxed);
   const std::size_t head = head_.load(std::memory_order_acquire);
+  // Depth after this push, counting the overflow spill: the high-water
+  // mark behind peak_depth() and the telemetry grow-capacity advice.
+  const std::uint64_t depth_after =
+      static_cast<std::uint64_t>(tail - head) + spill_.size() + 1;
+  if (depth_after > peak_depth_) peak_depth_ = depth_after;
   if (tail - head >= ring_.size()) {
     // Ring full: spill instead of blocking.  The spill vector is only
     // touched by the producer during run phases and by the consumer

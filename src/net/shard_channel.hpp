@@ -71,6 +71,21 @@ class ShardInbox {
   std::uint64_t spilled() const { return spilled_; }
   std::size_t capacity() const { return ring_.size(); }
 
+  /// High-water mark of the inbox depth (ring + spill) observed at push
+  /// time — the number a grow-capacity decision needs.  Producer-owned
+  /// like pushed()/spilled(): read it from the consumer side only during
+  /// a drain phase (the epoch barrier orders the access).
+  std::uint64_t peak_depth() const { return peak_depth_; }
+
+  /// Items currently pending (ring + spill).  Consumer-side drain-phase
+  /// view: producers are quiescent, so this is exactly what the next
+  /// drain will pop.
+  std::size_t depth() const {
+    return (tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire)) +
+           spill_.size();
+  }
+
  private:
   std::vector<Item> ring_;
   std::size_t mask_ = 0;
@@ -79,9 +94,10 @@ class ShardInbox {
   std::atomic<std::size_t> head_{0};
   std::atomic<std::size_t> tail_{0};
   std::vector<Item> spill_;  // producer-written, consumer-drained
-  std::uint64_t pushed_ = 0;   // producer-side counter
-  std::uint64_t spilled_ = 0;  // producer-side counter
-  std::uint64_t popped_ = 0;   // consumer-side counter
+  std::uint64_t pushed_ = 0;      // producer-side counter
+  std::uint64_t spilled_ = 0;     // producer-side counter
+  std::uint64_t peak_depth_ = 0;  // producer-side high-water mark
+  std::uint64_t popped_ = 0;      // consumer-side counter
 };
 
 /// One directed cross-shard edge: the inbox plus the destination-shard

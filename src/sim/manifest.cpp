@@ -40,6 +40,7 @@ Json RunManifest::to_json(bool include_environment) const {
   j.set("seed", Json(seed));
   j.set("config", config);
   j.set("results", results);
+  if (shards.size() != 0) j.set("shards", shards);
   j.set("metrics", metrics);
   j.set("series", series);
   if (include_environment) {

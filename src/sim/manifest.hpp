@@ -32,6 +32,11 @@ struct RunManifest {
   std::uint64_t seed = 0;
   Json config = Json::object();   // scenario configuration
   Json results = Json::object();  // headline per-run results
+  /// Sharded runs only (schema hwatch.shard_telemetry/v1): per-shard
+  /// per-epoch deterministic telemetry and derived imbalance stats.
+  /// Omitted from the document while empty, so single-context manifests
+  /// are byte-identical to their pre-telemetry form.
+  Json shards = Json::object();
   Json metrics = Json::object();  // counters + histograms (sorted)
   Json series = Json::object();   // gauge name -> [[t_ps, value], ...]
 

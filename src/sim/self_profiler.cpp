@@ -52,6 +52,19 @@ void SelfProfiler::record(ProfComponent c, std::uint64_t t0_ns) {
   ++s.hist[bucket];
 }
 
+void SelfProfiler::merge_from(const SelfProfiler& other) {
+  for (std::size_t i = 0; i < kProfComponents; ++i) {
+    ComponentStats& dst = stats_[i];
+    const ComponentStats& src = other.stats_[i];
+    dst.calls += src.calls;
+    dst.total_ns += src.total_ns;
+    dst.max_ns = std::max(dst.max_ns, src.max_ns);
+    for (std::size_t b = 0; b < dst.hist.size(); ++b) {
+      dst.hist[b] += src.hist[b];
+    }
+  }
+}
+
 const std::array<double, SelfProfiler::kBuckets>&
 SelfProfiler::bucket_bounds_ns() {
   // 32 ns .. ~1 ms, doubling: handlers run tens of ns to (pathological)

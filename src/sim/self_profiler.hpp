@@ -73,6 +73,12 @@ class SelfProfiler {
   }
   static const std::array<double, kBuckets>& bucket_bounds_ns();
 
+  /// Folds another profiler's per-component stats into this one (calls
+  /// and histograms summed, max of max) — how the sharded runner
+  /// aggregates its per-shard profilers into one report.  Call after
+  /// the run, never while `other` is still recording.
+  void merge_from(const SelfProfiler& other);
+
   /// Human-readable report (per-component table + event-loop line when
   /// `loop` is non-null).  Wall times, so stderr-only by convention.
   void report(std::ostream& os, const EventLoopStats* loop) const;

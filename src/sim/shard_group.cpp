@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/shard_telemetry.hpp"
+
 namespace hwatch::sim {
 
 ShardTask::~ShardTask() = default;
@@ -41,14 +43,36 @@ void ShardGroup::run(TimePs horizon, TimePs window) {
   now_ = horizon;
 }
 
-void ShardGroup::run_sequential(TimePs horizon, TimePs window) {
-  for (TimePs t = now_; t < horizon;) {
-    const TimePs end = std::min(horizon, t + window);
-    for (ShardTask* task : tasks_) task->drain(t);
-    for (ShardTask* task : tasks_) task->run(end);
-    ++epochs_;
-    t = end;
+void ShardGroup::dump_flight_on_error(const std::exception_ptr& error) {
+  if (telemetry_ == nullptr) return;
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    telemetry_->note_error(e.what());
+  } catch (...) {
+    telemetry_->note_error("unknown exception");
   }
+  telemetry_->dump_flight("shard_exception");
+}
+
+void ShardGroup::run_sequential(TimePs horizon, TimePs window) {
+  ShardTelemetry* const tel = telemetry_;
+  try {
+    for (TimePs t = now_; t < horizon;) {
+      const TimePs end = std::min(horizon, t + window);
+      if (tel != nullptr) tel->worker_mark(0, ShardTelemetry::Mark::kDrain);
+      for (ShardTask* task : tasks_) task->drain(t);
+      if (tel != nullptr) tel->worker_mark(0, ShardTelemetry::Mark::kRun);
+      for (ShardTask* task : tasks_) task->run(end);
+      if (tel != nullptr) tel->epoch_end(end, horizon);
+      ++epochs_;
+      t = end;
+    }
+  } catch (...) {
+    dump_flight_on_error(std::current_exception());
+    throw;
+  }
+  if (tel != nullptr) tel->worker_mark(0, ShardTelemetry::Mark::kEnd);
 }
 
 void ShardGroup::run_parallel(TimePs horizon, TimePs window) {
@@ -75,19 +99,43 @@ void ShardGroup::run_parallel(TimePs horizon, TimePs window) {
   // ... — the assignment (and with it every per-shard event order) does
   // not depend on scheduling luck.  On error, workers keep arriving at
   // the barriers (skipping the work) so nobody deadlocks.
+  //
+  // Telemetry hooks: each worker marks its own phase transitions (one
+  // predictable branch when detached); the coordinator (worker 0)
+  // closes the epoch after the run-phase barrier — every shard record
+  // of epoch N was published before that barrier, and worker 0 can lag
+  // the others by at most one barrier phase, so the epoch's flight-ring
+  // slots stay stable while it reads them.
+  ShardTelemetry* const tel = telemetry_;
   const auto worker = [&](unsigned w) {
     for (TimePs t = now_; t < horizon;) {
       const TimePs end = std::min(horizon, t + window);
+      if (tel != nullptr) tel->worker_mark(w, ShardTelemetry::Mark::kDrain);
       for (std::size_t s = w; s < n; s += workers) {
         guard([&] { tasks_[s]->drain(t); });
       }
+      if (tel != nullptr) {
+        tel->worker_mark(w, ShardTelemetry::Mark::kBarrier);
+      }
       sync.arrive_and_wait();
+      if (tel != nullptr) tel->worker_mark(w, ShardTelemetry::Mark::kRun);
       for (std::size_t s = w; s < n; s += workers) {
         guard([&] { tasks_[s]->run(end); });
       }
+      if (tel != nullptr) {
+        tel->worker_mark(w, ShardTelemetry::Mark::kBarrier);
+      }
       sync.arrive_and_wait();
+      // Stop closing epochs once a shard failed: the remaining epochs
+      // are no-ops (guard skips the work), and freezing the epoch
+      // counter keeps the flight ring anchored at the failure.
+      if (tel != nullptr && w == 0 &&
+          !failed.load(std::memory_order_relaxed)) {
+        tel->epoch_end(end, horizon);
+      }
       t = end;
     }
+    if (tel != nullptr) tel->worker_mark(w, ShardTelemetry::Mark::kEnd);
   };
 
   std::vector<std::thread> pool;
@@ -102,7 +150,10 @@ void ShardGroup::run_parallel(TimePs horizon, TimePs window) {
     t = std::min(horizon, t + window);
     ++epochs_;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    dump_flight_on_error(first_error);
+    std::rethrow_exception(first_error);
+  }
 }
 
 }  // namespace hwatch::sim

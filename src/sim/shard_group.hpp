@@ -29,12 +29,15 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace hwatch::sim {
+
+class ShardTelemetry;
 
 /// One shard's view of the epoch protocol.  Implementations wrap a
 /// SimContext plus its cross-shard inboxes; the coordinator never
@@ -78,15 +81,25 @@ class ShardGroup {
   unsigned threads() const { return threads_; }
   std::size_t shard_count() const { return tasks_.size(); }
 
+  /// Attaches a telemetry sink (nullptr detaches — the default).  When
+  /// attached, every worker marks its drain/barrier/run transitions and
+  /// the coordinator closes each epoch; a failing shard task triggers a
+  /// flight-recorder dump before the exception is rethrown.  Detached,
+  /// each hook site costs one predictable branch.  The telemetry must
+  /// outlive run().
+  void set_telemetry(ShardTelemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Epochs executed so far (one drain+run round per window).
   std::uint64_t epochs() const { return epochs_; }
 
  private:
   void run_sequential(TimePs horizon, TimePs window);
   void run_parallel(TimePs horizon, TimePs window);
+  void dump_flight_on_error(const std::exception_ptr& error);
 
   unsigned threads_;
   std::vector<ShardTask*> tasks_;
+  ShardTelemetry* telemetry_ = nullptr;
   TimePs now_ = 0;  // horizon reached by the previous run() call
   std::uint64_t epochs_ = 0;
 };

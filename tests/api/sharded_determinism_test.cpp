@@ -7,8 +7,10 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "api/sharded.hpp"
+#include "sim/json.hpp"
 
 namespace hwatch {
 namespace {
@@ -40,6 +42,13 @@ TEST(ShardedDeterminism, ByteIdenticalAcrossThreadCounts) {
   ASSERT_FALSE(base_manifest.empty());
   ASSERT_FALSE(base.trace_spans_jsonl.empty());
   ASSERT_FALSE(base.trace_chrome.empty());
+  // The shards telemetry section and gauge series ride in the
+  // deterministic dump, so the loop below byte-compares them too.
+  EXPECT_NE(base_manifest.find("hwatch.shard_telemetry/v1"),
+            std::string::npos);
+  EXPECT_NE(base_manifest.find("shard0.net.queued_pkts_total"),
+            std::string::npos);
+  EXPECT_GE(base.shard_imbalance, 1.0);
 
   for (unsigned threads : {2u, 4u}) {
     cfg.shards = threads;
@@ -51,7 +60,95 @@ TEST(ShardedDeterminism, ByteIdenticalAcrossThreadCounts) {
         << "span dump differs at " << threads << " worker threads";
     EXPECT_EQ(run.trace_chrome, base.trace_chrome)
         << "chrome export differs at " << threads << " worker threads";
+    EXPECT_DOUBLE_EQ(run.shard_imbalance, base.shard_imbalance);
   }
+}
+
+TEST(ShardedDeterminism, ShardsSectionIsWellFormed) {
+  api::FatTreeScenarioConfig cfg = small_config();
+  cfg.trace_spans = false;
+  cfg.shards = 2;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(res.has_manifest);
+  const sim::Json& shards = res.manifest.shards;
+  ASSERT_TRUE(shards.is_object());
+  ASSERT_NE(shards.find("schema"), nullptr);
+  EXPECT_EQ(shards.find("schema")->as_string(), "hwatch.shard_telemetry/v1");
+  EXPECT_EQ(shards.find("shard_count")->as_uint(), 8u);
+  EXPECT_GT(shards.find("epochs")->as_uint(), 0u);
+  const sim::Json* per_shard = shards.find("per_shard");
+  ASSERT_NE(per_shard, nullptr);
+  ASSERT_EQ(per_shard->size(), 8u);
+  // The per-shard events sum to the run total and cross-shard traffic
+  // is conserved: everything pushed was drained (no packet stranded).
+  std::uint64_t events = 0, pushed = 0, drained = 0;
+  for (const sim::Json& s : per_shard->items()) {
+    events += s.find("events")->as_uint();
+    pushed += s.find("ingress")->find("pushed")->as_uint();
+    drained += s.find("ingress")->find("drained")->as_uint();
+  }
+  EXPECT_EQ(events, shards.find("events")->find("total")->as_uint());
+  EXPECT_EQ(events, res.events_executed);
+  EXPECT_GT(pushed, 0u);
+  EXPECT_EQ(pushed, drained);
+  // Gauge series cover every shard; counters carry the drain totals.
+  EXPECT_EQ(res.manifest.series.size(), 8u * 3u);
+  const sim::Json* counters = res.manifest.metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("shard.ingress.drained")->as_uint(), drained);
+  ASSERT_NE(counters->find("shard.ingress.peak_depth"), nullptr);
+}
+
+TEST(ShardedDeterminism, EmptyWorkloadStaysByteIdentical) {
+  api::FatTreeScenarioConfig cfg = small_config();
+  cfg.trace_spans = false;
+  cfg.flows_per_host = 0;  // telemetry over empty epochs
+  // Push the first gauge tick past the horizon: sampler events would
+  // otherwise be the only scheduler activity.
+  cfg.sample_interval = sim::seconds(1);
+  cfg.run_label = "sharded-empty";
+  cfg.shards = 1;
+  const api::ScenarioResults base = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(base.has_manifest);
+  EXPECT_TRUE(base.records.empty());
+  EXPECT_EQ(base.shard_imbalance, 0.0);
+  const sim::Json& shards = base.manifest.shards;
+  ASSERT_TRUE(shards.is_object());
+  EXPECT_GT(shards.find("epochs")->as_uint(), 0u);
+  EXPECT_EQ(shards.find("events")->find("total")->as_uint(), 0u);
+  EXPECT_EQ(shards.find("stragglers")->size(), 0u);
+  const std::string dump = base.manifest.deterministic_dump();
+  for (unsigned threads : {2u, 4u}) {
+    cfg.shards = threads;
+    const api::ScenarioResults run = api::run_fat_tree_sharded(cfg);
+    EXPECT_EQ(run.manifest.deterministic_dump(), dump)
+        << "empty-workload manifest differs at " << threads << " threads";
+  }
+}
+
+TEST(ShardedScenario, ProfileReportsWithoutDisturbingResults) {
+  api::FatTreeScenarioConfig cfg = small_config();
+  cfg.trace_spans = false;
+  cfg.shards = 2;
+  const api::ScenarioResults plain = api::run_fat_tree_sharded(cfg);
+  cfg.profile = true;  // stderr report only
+  const api::ScenarioResults profiled = api::run_fat_tree_sharded(cfg);
+  EXPECT_EQ(profiled.manifest.deterministic_dump(),
+            plain.manifest.deterministic_dump());
+}
+
+TEST(ShardedScenario, WorkersTimelineIsSeparateFromMergedTrace) {
+  api::FatTreeScenarioConfig cfg = small_config();
+  cfg.shards = 2;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  ASSERT_FALSE(res.trace_workers_chrome.empty());
+  std::string err;
+  const sim::Json j = sim::Json::parse(res.trace_workers_chrome, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(j.find("schema")->as_string(), "hwatch.trace_export/v1");
+  EXPECT_GT(j.find("traceEvents")->size(), 0u);
+  // Wall-clock data never leaks into the merged (byte-compared) export.
+  EXPECT_EQ(res.trace_chrome.find("worker0"), std::string::npos);
 }
 
 TEST(ShardedScenario, CrossShardFlowsComplete) {
