@@ -68,19 +68,20 @@ void Link::start_transmission() {
     attribute_latency(ctx_.tracer(), *next,
                       sim::LatencyComponent::kTransmission, tx);
   }
-  // The packet rides inside the callback by move; the scheduler's
-  // inline buffer must fit it or this hop would hit the allocator.
-  auto complete = [this, p = std::move(*next)]() mutable {
-    on_transmission_complete(std::move(p));
-  };
-  static_assert(sim::Scheduler::Callback::fits_inline<decltype(complete)>(),
-                "tx-complete event must be allocation-free");
+  // The packet joins the in-flight train; the event itself is just a
+  // `this` capture, so it rides the scheduler's small-callback pool.
+  flight_.push_back(std::move(*next));
+  auto complete = [this] { on_transmission_complete(); };
+  static_assert(
+      sim::Scheduler::SmallCallback::fits_inline<decltype(complete)>(),
+      "tx-complete event must ride the small pool");
   ctx_.scheduler().schedule_in(tx, std::move(complete));
 }
 
-void Link::on_transmission_complete(Packet&& p) {
+void Link::on_transmission_complete() {
   sim::ProfScope prof(ctx_.profiler(), sim::ProfComponent::kLinkTx);
   transmitting_ = false;
+  Packet& p = flight_.at(tx_done_);
   bytes_delivered_ += p.size_bytes();
   ++packets_delivered_;
   if (ctx_.tracer().enabled()) {
@@ -96,18 +97,26 @@ void Link::on_transmission_complete(Packet&& p) {
     // arrival time.  Pushing at transmission-complete (not arrival)
     // time is what keeps the conservative window sound: prop_delay_ is
     // >= the shard lookahead, so the stamp always lands in a window the
-    // destination has not started yet.
-    remote_inbox_->push(ctx_.now() + prop_delay_, std::move(p));
+    // destination has not started yet.  Every packet leaves the train
+    // here, so tx_done_ stays 0 on a cross-shard link.
+    remote_inbox_->push(ctx_.now() + prop_delay_, flight_.pop_front());
     start_transmission();
     return;
   }
-  auto deliver = [dst = dst_, p = std::move(p)]() mutable {
-    dst->handle_packet(std::move(p));
-  };
-  static_assert(sim::Scheduler::Callback::fits_inline<decltype(deliver)>(),
-                "propagation event must be allocation-free");
+  ++tx_done_;
+  auto deliver = [this] { deliver_front(); };
+  static_assert(sim::Scheduler::SmallCallback::fits_inline<decltype(deliver)>(),
+                "propagation event must ride the small pool");
   ctx_.scheduler().schedule_in(prop_delay_, std::move(deliver));
   start_transmission();
+}
+
+void Link::deliver_front() {
+  // Pop before dispatch: handle_packet may re-enter this link's
+  // transmit() and push a new train entry.
+  Packet p = flight_.pop_front();
+  --tx_done_;
+  dst_->handle_packet(std::move(p));
 }
 
 }  // namespace hwatch::net

@@ -4,12 +4,21 @@
 // queue discipline are serialized one at a time at the link rate, then
 // delivered to the destination node after the propagation delay.  Busy
 // time is accumulated so samplers can report utilization exactly.
+//
+// In-flight packets form a train: once dequeued from the qdisc they
+// live in `flight_` (a FIFO ring) until delivery, so the per-packet
+// tx-complete and propagation events are tiny `[this]` captures in the
+// scheduler's small-callback pool instead of 176-byte packet-carrying
+// closures.  Event times, counts and ordering are identical to the
+// packet-in-callback formulation — the train only changes where the
+// bytes wait — so traces and manifests do not move by a byte.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 #include "sim/context.hpp"
 #include "sim/units.hpp"
@@ -58,7 +67,8 @@ class Link {
 
  private:
   void start_transmission();
-  void on_transmission_complete(Packet&& p);
+  void on_transmission_complete();
+  void deliver_front();
 
   sim::SimContext& ctx_;
   std::string name_;
@@ -70,6 +80,13 @@ class Link {
   // Shared per-context event-type counters (one branch when disabled).
   sim::Counter& tx_events_;
   sim::Counter& prop_events_;
+  // The packet train: entries [0, tx_done_) have finished serializing
+  // and are propagating towards dst_ (oldest first); the entry at
+  // tx_done_, if any, is on the wire.  Deliveries pop the front —
+  // tx-end times are monotone along one link, so propagation arrivals
+  // are FIFO and the ring order is the delivery order.
+  PacketRing flight_;
+  std::size_t tx_done_ = 0;
   bool transmitting_ = false;
   sim::TimePs busy_time_ = 0;
   std::uint64_t bytes_delivered_ = 0;

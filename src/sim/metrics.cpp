@@ -80,7 +80,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
   // std::map keeps both sections sorted by name, matching snapshot().
+  // hwlint: allow(hot-path-container) — end-of-run merge, never per event
   std::map<std::string, std::uint64_t> counters;
+  // hwlint: allow(hot-path-container)
   std::map<std::string, MetricsSnapshot::HistogramValue> histograms;
   for (const MetricsSnapshot& part : parts) {
     for (const auto& c : part.counters) counters[c.name] += c.value;

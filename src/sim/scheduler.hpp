@@ -1,35 +1,62 @@
-// Discrete-event scheduler.
+// Discrete-event scheduler: calendar-wheel front end + overflow heap.
 //
 // The heart of the simulator: a cancellable priority queue of callbacks
 // keyed by (time, insertion sequence).  The sequence number makes event
 // ordering at equal timestamps FIFO and therefore fully deterministic,
 // which the reproducibility tests rely on.
 //
+// Two structures share that one logical queue:
+//
+//   * a calendar wheel of kWheelBuckets buckets, each kWheelBucketPs
+//     picoseconds wide, covering the near horizon
+//     [now, now + kWheelBuckets * kWheelBucketPs).  The events that
+//     dominate every scenario — link serialization boundaries,
+//     propagation arrivals, per-packet timer ticks — land a few
+//     microseconds ahead and go here with O(1) insert and O(1)
+//     amortized extract (buckets are sorted once when the clock reaches
+//     them; typical occupancy is a handful of entries, stored in one
+//     fixed slab so the wheel never allocates past its first insert);
+//
+//   * the binary min-heap, kept as the far-future overflow for
+//     everything past the wheel horizon (retransmission timers,
+//     sampler ticks, flow starts).  Far events pay O(log far-pending),
+//     near events no longer pay O(log total-pending).
+//
+// Extraction compares the wheel's earliest live entry with the heap top
+// under the same (time, seq) key, so the execution order is exactly the
+// single-heap order — the determinism contract is structural, and the
+// differential test in tests/sim/scheduler_differential_test.cpp pins
+// it against a naive reference heap.
+//
 // Cancellation is O(1) per event via generation-tagged slots: an EventId
 // packs a slot index and the slot's generation at scheduling time;
-// cancelling (or executing) an event bumps the generation, so stale heap
-// entries are recognised and skipped when they surface.  Slots are
-// recycled through a free list, keeping bookkeeping memory proportional
-// to the number of *live* events, not the events ever scheduled.  Stale
-// heap entries are compacted away once they outnumber live ones.
+// cancelling (or executing) an event bumps the generation, so stale
+// entries are recognised and skipped when they surface in either
+// structure.  Slots are recycled through a free list, keeping
+// bookkeeping memory proportional to the number of *live* events, not
+// the events ever scheduled.  Stale entries are compacted away (from
+// wheel buckets and heap alike) once they outnumber live ones; the
+// stale counter, the compaction trigger and the parked-entry peak are
+// all kept combined across the two structures so `heap_peak()` and the
+// manifest `sched.heap_peak` counter are byte-identical to the
+// pre-wheel tree.
 //
 // Memory model: callbacks are move-only UniqueFunctions that live in
-// slot-indexed side arrays, NOT in the heap entries — heap entries stay
-// 24 bytes, so sift-up/down moves small PODs while the fat callback is
-// written exactly once per event.  Callback slots come in two size
-// classes: a small pool for the common tiny capture (a `this` pointer,
-// a couple of words — timers, flow starts, sampler ticks) and a large
-// pool whose inline buffer carries a net::Packet by value (the link hot
-// path).  schedule_at picks the pool from the callable's size at compile
-// time; with >64k pending timer-style events the working set is ~4x
-// smaller than a single packet-sized pool, which is what the
-// ScheduleRun/100000 micro-bench regression was about.  In steady state
-// (slots and heap at their high-water marks) schedule/cancel/execute
-// touch the allocator zero times; the allocation-regression test
-// enforces this.
+// slot-indexed side arrays, NOT in the wheel/heap entries — entries
+// stay 24 bytes, so bucket sorts and sift-up/down move small PODs while
+// the fat callback is written exactly once per event.  Callback slots
+// come in two size classes: a small pool for the common tiny capture (a
+// `this` pointer, a couple of words — timers, flow starts, sampler
+// ticks, link train boundaries) and a large pool whose inline buffer
+// carries a net::Packet by value.  schedule_at picks the pool from the
+// callable's size at compile time.  In steady state (slots, buckets and
+// heap at their high-water marks) schedule/cancel/execute touch the
+// allocator zero times; the allocation-regression test enforces this.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <vector>
@@ -48,6 +75,26 @@ inline constexpr std::size_t kSchedulerCallbackInline = 176;
 /// a few captured words.  Timer expiries, flow starts and sampler ticks
 /// all fit; anything bigger routes to the large pool automatically.
 inline constexpr std::size_t kSchedulerSmallCallbackInline = 32;
+
+/// Calendar-wheel geometry.  Bucket width 2^16 ps (~65.5 ns) x 2048
+/// buckets spans ~134 us — generously past the serialization +
+/// propagation delays that produce the per-packet event churn, while
+/// millisecond-scale timers (RTO, delayed ACK, samplers) overflow to
+/// the heap.  Both are powers of two so bucket indexing is shift+mask.
+inline constexpr unsigned kWheelBucketShift = 16;
+inline constexpr TimePs kWheelBucketPs = TimePs{1} << kWheelBucketShift;
+inline constexpr std::size_t kWheelBuckets = 2048;
+inline constexpr TimePs kWheelSpanPs =
+    kWheelBucketPs * static_cast<TimePs>(kWheelBuckets);
+
+/// Fixed per-bucket capacity: bucket storage is one lazily-allocated
+/// slab (kWheelBuckets x kWheelBucketCapacity entries, ~768 KiB), so
+/// the wheel NEVER allocates after its first insert — a bucket that
+/// fills up overflows to the heap, which already handles arbitrary
+/// entries and warms to its high-water mark like the single-heap core
+/// did.  That keeps the steady-state zero-allocation guarantee exactly
+/// as strong as before the wheel existed.
+inline constexpr std::size_t kWheelBucketCapacity = 16;
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
 struct EventId {
@@ -129,7 +176,10 @@ class Scheduler {
   /// conservative time-window primitive ShardGroup builds on: after
   /// run_until(T) every event a callback schedules lands strictly after
   /// T, so cross-shard messages generated in window (T-W, T] are safe to
-  /// deliver in the next window.
+  /// deliver in the next window.  The epoch window (the topology's
+  /// lookahead, typically a microsecond-scale fraction of the base RTT)
+  /// is far inside the wheel horizon, so epoch-resident events keep the
+  /// O(1) path and the boundary peek is a bitmap scan.
   void run_until(TimePs t);
 
   /// Executes at most one pending event.  Returns false when none remain.
@@ -141,7 +191,8 @@ class Scheduler {
   bool empty() const { return live_count_ == 0; }
 
   /// Time of the earliest pending event, or nullopt when none remain.
-  /// Non-const: peeking drops stale (cancelled) entries off the top.
+  /// Non-const: peeking drops stale (cancelled) entries off the front of
+  /// both structures.
   std::optional<TimePs> next_event_time() {
     const Entry* e = peek_next();
     return e == nullptr ? std::nullopt : std::optional<TimePs>(e->time);
@@ -159,9 +210,12 @@ class Scheduler {
   /// Total number of successful cancellations.
   std::uint64_t cancelled() const { return cancelled_; }
 
-  /// High-water mark of the heap (pending + stale entries) — the
-  /// scheduler's peak memory footprint in events.
-  std::size_t heap_peak() const { return heap_peak_; }
+  /// High-water mark of parked entries across BOTH structures (wheel
+  /// buckets + overflow heap, live and not-yet-dropped cancelled alike)
+  /// — the scheduler's peak memory footprint in events.  The combined
+  /// accounting makes the value independent of the wheel/heap split and
+  /// byte-identical to the pre-wheel single-heap peak.
+  std::size_t heap_peak() const { return entries_peak_; }
 
   // --- bookkeeping introspection (memory regression tests) -----------
   /// Generation slots ever allocated across both pools; bounded by the
@@ -180,9 +234,16 @@ class Scheduler {
     return small_.gens.size() * sizeof(SmallCallback) +
            large_.gens.size() * sizeof(Callback);
   }
-  /// Heap entries currently held, including not-yet-compacted stale
-  /// (cancelled) ones.
+  /// Entries currently parked in the overflow heap, including
+  /// not-yet-compacted stale (cancelled) ones.
   std::size_t heap_entries() const { return heap_.size(); }
+  /// Entries currently parked in wheel buckets, including
+  /// not-yet-dropped stale ones (the consumed prefix of the active
+  /// bucket is excluded — those events are already history).
+  std::size_t wheel_entries() const { return wheel_count_; }
+  /// Combined parked entries (what heap_entries() reported before the
+  /// wheel existed).
+  std::size_t total_entries() const { return wheel_count_ + heap_.size(); }
 
  private:
   struct Entry {
@@ -199,6 +260,7 @@ class Scheduler {
   };
 
   static constexpr std::uint32_t kSmallSlotBit = 0x8000'0000u;
+  static constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
 
   template <typename CB>
   struct SlotPool {
@@ -224,6 +286,13 @@ class Scheduler {
     return ((static_cast<std::uint64_t>(slot) + 1) << 32) | gen;
   }
 
+  static constexpr std::uint64_t bucket_of(TimePs t) {
+    return static_cast<std::uint64_t>(t) >> kWheelBucketShift;
+  }
+  static constexpr std::size_t slot_index(std::uint64_t bucket) {
+    return static_cast<std::size_t>(bucket & (kWheelBuckets - 1));
+  }
+
   EventId schedule_small(TimePs t, SmallCallback cb);
   EventId schedule_large(TimePs t, Callback cb);
   EventId push_entry(TimePs t, std::uint32_t slot, std::uint32_t gen);
@@ -239,20 +308,66 @@ class Scheduler {
   }
   void retire(const Entry& e);  // bump generation, recycle the slot
 
-  // Drops stale entries off the top; points at the next live entry.
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // --- wheel internals ----------------------------------------------
+  Entry* bucket_data(std::size_t idx) {
+    return slab_.get() + idx * kWheelBucketCapacity;
+  }
+  /// Parks `e` in its wheel bucket; false when the bucket is full (the
+  /// caller overflows to the heap — never allocate in the wheel).
+  bool wheel_insert(const Entry& e, std::uint64_t bucket);
+  /// Earliest parked wheel entry (live or stale), sorting/activating
+  /// its bucket on first touch; nullptr when the wheel is empty.
+  const Entry* wheel_front_entry();
+  /// Removes the entry wheel_front_entry() returned; recycles the
+  /// bucket once drained.  Counter upkeep beyond wheel_count_
+  /// (wheel_live_ / stale_) is the caller's job.
+  void wheel_drop_front();
+  /// Ring distance from slot `start` to the first occupied bucket slot;
+  /// kWheelBuckets when the whole wheel is empty.
+  std::size_t occupied_distance(std::size_t start) const;
+
+  void set_occupied(std::size_t i) {
+    occupied_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void clear_occupied(std::size_t i) {
+    occupied_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  bool is_occupied(std::size_t i) const {
+    return (occupied_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  // Finds the next live entry across both structures; remembers where
+  // it lives (next_from_wheel_) for step().  Stale entries are dropped
+  // exactly when they surface as the GLOBAL minimum — the same instants
+  // the single-heap implementation dropped them — which keeps the
+  // combined parked count, and with it heap_peak(), byte-identical.
   const Entry* peek_next();
-  void drop_top();
+  void heap_drop_top();
+  void execute_next();  // pops + runs the entry peek_next() found
   void maybe_compact();
 
-  std::vector<Entry> heap_;  // min-heap via std::*_heap with Later
+  std::vector<Entry> heap_;  // far-future + overflow min-heap
+  std::unique_ptr<Entry[]> slab_;  // bucket storage, allocated on first use
+  std::array<std::uint8_t, kWheelBuckets> bucket_sizes_{};
+  std::array<std::uint64_t, kWheelBuckets / 64> occupied_{};
+  std::uint64_t wheel_front_ = 0;   // no wheel entries below this bucket
+  std::uint64_t active_bucket_ = kNoBucket;  // sorted, partially consumed
+  std::size_t active_pos_ = 0;      // consumed prefix of the active bucket
+  std::size_t wheel_count_ = 0;     // parked wheel entries (live + stale)
+  bool next_from_wheel_ = false;    // where peek_next found the minimum
   SlotPool<SmallCallback> small_;
   SlotPool<Callback> large_;
-  std::size_t stale_ = 0;  // cancelled entries still parked in heap_
+  std::size_t stale_ = 0;  // cancelled entries parked in wheel or heap
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
-  std::size_t heap_peak_ = 0;
+  std::size_t entries_peak_ = 0;  // combined wheel+heap high-water mark
   std::size_t live_count_ = 0;
   bool stopped_ = false;
 };

@@ -195,6 +195,7 @@ class SpanTracer {
   std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
   // Ordered so close_open_spans is deterministic and LIFO by id.
+  // hwlint: allow(hot-path-container) — tracing only, off unless enabled
   std::map<std::uint64_t, OpenSpan> open_;
   std::vector<FlowInfo> flows_;
   std::unordered_map<std::uint64_t, std::uint64_t> flow_index_;  // mixed key

@@ -16,6 +16,10 @@ namespace hwatch::tcp {
 
 class IntervalSet {
  public:
+  // SACK scoreboard: entry count is bounded by the loss-hole count and
+  // ordered lower_bound coalescing is the point; a flat structure would
+  // shift on every mid-range fill.
+  // hwlint: allow(hot-path-container)
   using Map = std::map<std::uint64_t, std::uint64_t>;
 
   /// Inserts [start, end), merging with neighbours.  Returns the number

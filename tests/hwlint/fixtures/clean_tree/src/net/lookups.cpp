@@ -9,6 +9,7 @@ namespace fixture {
 
 struct Table {
   std::unordered_map<std::uint64_t, double> index;
+  // hwlint: allow(hot-path-container) — fixture needs an ordered map
   std::map<std::uint64_t, double> ordered;
 
   double lookup(std::uint64_t k) const {

@@ -148,14 +148,27 @@ TEST(HwlintRules, FlagsBannedContainersOnlyInHotPathDirs) {
       "#include <deque>\n"
       "std::deque<int> q;\n"
       "std::function<void()> cb;\n"
-      "std::list<int> l;\n";
-  EXPECT_EQ(check("src/net/hot.cpp", src).size(), 3u);
-  EXPECT_EQ(check("src/sim/hot.cpp", src).size(), 3u);
-  EXPECT_EQ(check("src/tcp/hot.cpp", src).size(), 3u);
-  EXPECT_EQ(check("src/hwatch/hot.cpp", src).size(), 3u);
+      "std::list<int> l;\n"
+      "std::map<long, int> m;\n"
+      "std::multimap<long, int> mm;\n";
+  EXPECT_EQ(check("src/net/hot.cpp", src).size(), 5u);
+  EXPECT_EQ(check("src/sim/hot.cpp", src).size(), 5u);
+  EXPECT_EQ(check("src/tcp/hot.cpp", src).size(), 5u);
+  EXPECT_EQ(check("src/hwatch/hot.cpp", src).size(), 5u);
   // stats, api, tools and tests are not hot-path dirs.
   EXPECT_TRUE(check("src/stats/cold.cpp", src).empty());
   EXPECT_TRUE(check("tools/cold.cpp", src).empty());
+}
+
+// A std::map-based calendar queue — the tempting "simple" event core —
+// must be flagged in the scheduler's directory: a red-black tree pays
+// one node allocation per scheduled event.
+TEST(HwlintRules, FlagsMapCalendarQueueInScheduler) {
+  const auto vs = check("src/sim/scheduler.cpp",
+                        "std::multimap<long, int> calendar;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleHotPathContainer);
+  EXPECT_NE(vs[0].message.find("calendar"), std::string::npos);
 }
 
 // ------------------------------------------------------- hot-path alloc
@@ -470,7 +483,7 @@ TEST(HwlintCli, JsonReportRoundTripsThroughSimJson) {
   const auto* violations = doc.find("violations");
   ASSERT_NE(violations, nullptr);
   ASSERT_TRUE(violations->is_array());
-  EXPECT_EQ(violations->items().size(), 21u);
+  EXPECT_EQ(violations->items().size(), 23u);
   std::set<std::string> rules;
   for (const auto& v : violations->items()) {
     ASSERT_TRUE(v.is_object());

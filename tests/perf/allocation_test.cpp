@@ -62,9 +62,12 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 
 #include "net/network.hpp"
 #include "net/queue.hpp"
+#include "net/shard_channel.hpp"
 #include "sim/context.hpp"
 #include "tcp/connection.hpp"
 #include "topo/dumbbell.hpp"
+#include "topo/shard.hpp"
+#include "workload/traffic.hpp"
 
 namespace {
 
@@ -114,6 +117,87 @@ TEST(AllocationRegression, SteadyStateHopIsAllocationFree) {
   // The acceptance criterion: zero heap allocations across every packet
   // hop in the measurement window.
   EXPECT_EQ(allocs, 0u) << "steady-state hops allocated " << allocs
+                        << " times over " << events << " events";
+}
+
+/// Sharded fat-tree slice: a k=4 fabric (16 hosts, 8 edge shards) with
+/// one long-lived cross-shard DCTCP flow per host, driven through the
+/// same conservative drain/run epoch protocol the ShardGroup workers
+/// execute.  Proves the wheel and packet-train paths stay
+/// allocation-free under PDES epochs — window-boundary run_until jumps,
+/// cross-shard inbox pushes at tx-complete, and inbox drains included —
+/// not just in the single-context dumbbell.
+TEST(AllocationRegression, ShardedSteadyStateEpochsAreAllocationFree) {
+  topo::ShardedFatTreeConfig tcfg;
+  tcfg.k = 4;
+  tcfg.qdisc = net::make_dctcp_factory(250, 50);
+  tcfg.seed = 7;
+  topo::ShardedFatTree tree = topo::build_sharded_fat_tree(tcfg);
+  const std::size_t shards = tree.shards.size();
+  ASSERT_GT(shards, 1u);
+
+  // Permutation workload, every flow cross-shard capable and long-lived.
+  tcp::TcpConfig t;
+  t.ecn = tcp::EcnMode::kDctcp;
+  std::vector<std::unique_ptr<workload::TrafficManager>> tms;
+  for (std::size_t s = 0; s < shards; ++s) {
+    tms.push_back(
+        std::make_unique<workload::TrafficManager>(*tree.shards[s].net));
+  }
+  const std::size_t n_hosts = tree.hosts.size();
+  const std::uint32_t hosts_per_edge = tree.plan.hosts_per_edge;
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    const std::size_t j = (i + n_hosts / 2 + 1) % n_hosts;
+    workload::FlowSpec spec;
+    spec.src = tree.hosts[i];
+    spec.dst = tree.hosts[j];
+    spec.dst_net = tree.shards[j / hosts_per_edge].net.get();
+    spec.dst_port = tms[j / hosts_per_edge]->next_port(*spec.dst);
+    spec.transport = tcp::Transport::kDctcp;
+    spec.tcp = t;
+    spec.bytes = tcp::TcpSender::kUnlimited;
+    spec.klass = stats::FlowClass::kLong;
+    tms[i / hosts_per_edge]->add_flow(spec);
+  }
+
+  // The sequential arm of the ShardGroup epoch protocol: drain every
+  // shard's ingress at the window start barrier, then run every shard
+  // to the window end.
+  std::vector<std::vector<std::pair<net::Node*, net::ShardInbox::Item>>>
+      scratch(shards);
+  auto run_epochs_until = [&](sim::TimePs horizon) {
+    sim::TimePs t = tree.shards[0].ctx->scheduler().now();
+    while (t < horizon) {
+      const sim::TimePs end = std::min(horizon, t + tree.lookahead);
+      for (std::size_t s = 0; s < shards; ++s) {
+        net::drain_cross_shard_channels(tree.shards[s].ingress, scratch[s]);
+      }
+      for (std::size_t s = 0; s < shards; ++s) {
+        tree.shards[s].ctx->scheduler().run_until(end);
+      }
+      t = end;
+    }
+  };
+
+  // Warm-up: handshakes, slow start, and every grow-only structure
+  // (wheel slab, flight rings, inbox rings, pools) reaching its peak.
+  run_epochs_until(sim::milliseconds(20));
+
+  std::uint64_t events_before = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    events_before += tree.shards[s].ctx->scheduler().executed();
+  }
+  const std::uint64_t allocs_before = new_calls();
+  run_epochs_until(sim::milliseconds(40));
+  std::uint64_t events = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    events += tree.shards[s].ctx->scheduler().executed();
+  }
+  events -= events_before;
+  const std::uint64_t allocs = new_calls() - allocs_before;
+
+  EXPECT_GT(events, 50'000u);
+  EXPECT_EQ(allocs, 0u) << "sharded steady-state epochs allocated " << allocs
                         << " times over " << events << " events";
 }
 

@@ -148,7 +148,8 @@ void check_nondeterminism(const std::string& rel, const Toks& t,
 void check_hot_path_container(const std::string& rel, const Toks& t,
                               std::vector<Violation>& out) {
   static const std::unordered_set<std::string> kBanned = {
-      "std::function", "std::deque", "std::list"};
+      "std::function", "std::deque", "std::list", "std::map",
+      "std::multimap"};
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (!is_ident(t[i])) continue;
     const std::string qn = qualified_name(t, i);
@@ -156,6 +157,10 @@ void check_hot_path_container(const std::string& rel, const Toks& t,
     const char* alt =
         qn == "std::function"
             ? "sim::UniqueFunction (move-only, SBO, no per-event heap)"
+        : (qn == "std::map" || qn == "std::multimap")
+            ? "a flat slab / wheel / sorted vector (a red-black tree "
+              "allocates one node per insert — a std::map calendar "
+              "queue would undo the scheduler's zero-alloc fast path)"
             : "net::PacketRing / std::vector (deque and list allocate "
               "per node)";
     out.push_back({rel, t[i].line, std::string(kRuleHotPathContainer),
