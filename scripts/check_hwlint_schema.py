@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates a hwlint --json report against hwatch.hwlint_report/v2.
+
+Usage:
+    hwlint --root . --json | scripts/check_hwlint_schema.py
+    scripts/check_hwlint_schema.py hwlint_report.json
+
+CI pipes the machine-readable report through this checker so schema
+drift (renamed fields, unsorted violations, a pass name the report does
+not declare) fails the lint job even on a tree with zero violations.
+Exits 0 on a valid report, 1 on drift, 2 on unreadable input.
+"""
+
+import json
+import sys
+
+SCHEMA = "hwatch.hwlint_report/v2"
+
+# Every rule and pass the v2 linter can emit.  Additions here must land
+# together with the C++ side (all_rules()/all_passes() in rules.cpp).
+KNOWN_RULES = {
+    "nondeterminism",
+    "hot-path-container",
+    "hot-path-alloc",
+    "unordered-iter",
+    "cross-shard-state",
+    "mutable-global",
+    "bad-suppression",
+    "layering",
+    "shard-confinement",
+    "fp-determinism",
+}
+KNOWN_PASSES = {"token", "include-graph", "shard-confinement", "fp-determinism"}
+
+TOP_KEYS = ("schema", "root", "files_scanned", "suppressed", "allowlisted",
+            "rules", "passes", "violations")
+VIOLATION_KEYS = ("file", "line", "rule", "pass", "message", "evidence")
+
+
+def fail(msg):
+    print(f"check_hwlint_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        if len(sys.argv) == 2:
+            with open(sys.argv[1]) as fh:
+                doc = json.load(fh)
+        else:
+            doc = json.load(sys.stdin)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_hwlint_schema: unreadable report: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    for key in TOP_KEYS:
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    if doc["schema"] != SCHEMA:
+        fail(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    for key in ("files_scanned", "suppressed", "allowlisted"):
+        if not isinstance(doc[key], int) or doc[key] < 0:
+            fail(f"{key} is not a non-negative integer")
+
+    # The report must declare exactly the vocabulary this checker knows;
+    # a new rule/pass on either side without the other is drift.
+    if set(doc["rules"]) != KNOWN_RULES:
+        fail(f"rules vocabulary drifted: {sorted(set(doc['rules']) ^ KNOWN_RULES)}")
+    if set(doc["passes"]) != KNOWN_PASSES:
+        fail(f"passes vocabulary drifted: "
+             f"{sorted(set(doc['passes']) ^ KNOWN_PASSES)}")
+
+    violations = doc["violations"]
+    if not isinstance(violations, list):
+        fail("violations is not an array")
+    prev_key = None
+    for i, v in enumerate(violations):
+        where = f"violations[{i}]"
+        if not isinstance(v, dict):
+            fail(f"{where} is not an object")
+        for key in VIOLATION_KEYS:
+            if key not in v:
+                fail(f"{where} missing {key!r}")
+        if not isinstance(v["line"], int) or v["line"] < 1:
+            fail(f"{where} line {v['line']!r} is not a positive integer")
+        if v["rule"] not in KNOWN_RULES:
+            fail(f"{where} names unknown rule {v['rule']!r}")
+        if v["pass"] not in KNOWN_PASSES:
+            fail(f"{where} names unknown pass {v['pass']!r}")
+        if not v["message"]:
+            fail(f"{where} has an empty message")
+        key = (v["file"], v["line"], v["rule"], v["evidence"])
+        if prev_key is not None and key < prev_key:
+            fail(f"{where} breaks (file, line, rule, evidence) order: "
+                 f"{key} after {prev_key}")
+        prev_key = key
+
+    print(f"check_hwlint_schema: ok ({doc['files_scanned']} files, "
+          f"{len(violations)} violations, {doc['suppressed']} suppressed, "
+          f"{doc['allowlisted']} allowlisted)")
+
+
+if __name__ == "__main__":
+    main()

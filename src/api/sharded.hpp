@@ -15,6 +15,7 @@
 #include <string>
 
 #include "api/scenario.hpp"
+#include "sim/annotations.hpp"
 #include "topo/shard.hpp"
 
 namespace hwatch::api {
@@ -88,7 +89,7 @@ unsigned shards_from_env();
 ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg);
 
 /// Thin fixed-thread-count front end, symmetric with SweepRunner.
-class ShardedRunner {
+class HWATCH_SHARD_SHARED ShardedRunner {
  public:
   /// `threads` = 0 resolves HWATCH_SHARDS at construction (1 when
   /// unset).

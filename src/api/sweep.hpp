@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "api/scenario.hpp"
+#include "sim/annotations.hpp"
 
 namespace hwatch::api {
 
@@ -29,7 +30,7 @@ namespace hwatch::api {
 /// seed (splitmix64 finalizer); deterministic and platform-stable.
 std::uint64_t derive_point_seed(std::uint64_t base_seed, std::uint64_t index);
 
-class SweepRunner {
+class HWATCH_SHARD_SHARED SweepRunner {
  public:
   /// `threads` == 0 picks std::thread::hardware_concurrency() (at least
   /// 1).  One SimContext lives per in-flight point, created inside the

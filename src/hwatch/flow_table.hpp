@@ -14,6 +14,7 @@
 
 #include "hwatch/delay_watcher.hpp"
 #include "net/packet.hpp"
+#include "sim/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace hwatch::core {
@@ -90,7 +91,7 @@ struct FlowEntry {
   }
 };
 
-class FlowTable {
+class HWATCH_SHARD_CONFINED FlowTable {
  public:
   /// Finds or creates the entry for a data-direction key.
   FlowEntry& upsert(const net::FlowKey& key, FlowRole role);

@@ -29,6 +29,7 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "net/packet_ring.hpp"
+#include "sim/annotations.hpp"
 #include "sim/context.hpp"
 #include "sim/random.hpp"
 
@@ -122,7 +123,7 @@ struct ShimStats {
   std::uint64_t flows_cleaned = 0;
 };
 
-class HypervisorShim final : public net::PacketFilter {
+class HWATCH_SHARD_CONFINED HypervisorShim final : public net::PacketFilter {
  public:
   HypervisorShim(net::Network& net, net::Host& host, HWatchConfig config,
                  sim::Rng rng);

@@ -20,6 +20,7 @@
 
 #include "net/packet_ring.hpp"
 #include "net/queue.hpp"
+#include "sim/annotations.hpp"
 #include "sim/context.hpp"
 #include "sim/units.hpp"
 
@@ -28,7 +29,7 @@ namespace hwatch::net {
 class Node;
 class ShardInbox;
 
-class Link {
+class HWATCH_SHARD_CONFINED Link {
  public:
   Link(sim::SimContext& ctx, std::string name, sim::DataRate rate,
        sim::TimePs prop_delay, std::unique_ptr<QueueDiscipline> qdisc,

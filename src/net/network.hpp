@@ -11,12 +11,13 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/queue.hpp"
+#include "sim/annotations.hpp"
 #include "sim/context.hpp"
 #include "sim/units.hpp"
 
 namespace hwatch::net {
 
-class Network {
+class HWATCH_SHARD_CONFINED Network {
  public:
   /// `id_base` offsets every NodeId this network assigns: sharded runs
   /// give each shard's Network a disjoint slice of one global id space,

@@ -129,6 +129,8 @@ void RedQueue::update_avg(sim::TimePs now) {
     const double m =
         idle_span / static_cast<double>(std::max<sim::TimePs>(
                         cfg_.mean_pkt_time, 1));
+    // Floyd's idle decay is defined via pow; the reproduction's
+    // reference platform is x86-64/glibc.  hwlint: allow(fp-determinism)
     avg_ *= std::pow(1.0 - cfg_.weight, m);
     idle_ = false;
   } else {

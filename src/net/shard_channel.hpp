@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/annotations.hpp"
 #include "sim/context.hpp"
 
 namespace hwatch::net {
@@ -36,7 +37,7 @@ class Node;
 /// source shard's worker (producer), pop() by the destination shard's
 /// worker (consumer); the ShardGroup barrier separates the two roles in
 /// time.
-class ShardInbox {
+class HWATCH_SHARD_SHARED ShardInbox {
  public:
   struct Item {
     sim::TimePs deliver_time = 0;
@@ -103,7 +104,7 @@ class ShardInbox {
 /// One directed cross-shard edge: the inbox plus the destination-shard
 /// identity needed to deliver into it.  Owned by the destination shard;
 /// the source shard's Link holds a pointer to the inbox only.
-class CrossShardChannel {
+class HWATCH_SHARD_SHARED CrossShardChannel {
  public:
   /// `dst_ctx`/`dst_node`: the receiving shard's context and the node
   /// (switch or host) the packets are addressed to — the same node the

@@ -1,0 +1,45 @@
+// Shard-confinement and determinism-plane annotations.
+//
+// These macros expand to nothing — they exist for hwlint's
+// shard-confinement pass (tools/hwlint), which collects them tree-wide
+// and then proves three architectural invariants the compiler cannot:
+//
+//   HWATCH_SHARD_CONFINED
+//     Placed between the class-key and the class name
+//     (`class HWATCH_SHARD_CONFINED SimContext { ... };`).  Instances
+//     belong to exactly one shard's SimContext and must never be
+//     touched from another thread.  hwlint flags any reference to a
+//     confined type from a translation unit that uses std:: threading
+//     primitives, except the sanctioned cross-shard machinery
+//     (shard_group / shard_channel / sweep — see
+//     tools/hwlint/allowlist.txt).
+//
+//   HWATCH_SHARD_SHARED
+//     The explicit opposite: a type (same position as above) or a
+//     namespace-scope variable (first token of the declaration) that is
+//     deliberately shared across threads, with its synchronization
+//     story documented at the declaration.  Mutable namespace-scope
+//     state in src/sim *must* carry this marker — an unannotated
+//     mutable static there is a shard-confinement violation (outside
+//     src/sim the stricter mutable-global rule applies and the marker
+//     grants nothing).
+//
+//   HWATCH_DETERMINISTIC_PLANE
+//     Placed before a function declaration.  The function is part of
+//     the deterministic plane: its behaviour must be a pure function of
+//     simulation state, so its definition may not read wall clocks,
+//     construct entropy sources or reseed RNG engines — even inside
+//     translation units that hold a nondeterminism allowlist entry
+//     (self_profiler.cpp, shard_telemetry.cpp).  hwlint matches
+//     definitions by function name tree-wide, so keep annotated names
+//     distinctive.
+//
+// The markers are deliberately not attributes: they must survive every
+// compiler and cost nothing.  hwlint reads them from the token stream;
+// renaming one here without updating tools/hwlint/rules.cpp silently
+// disables the pass, so don't.
+#pragma once
+
+#define HWATCH_SHARD_CONFINED
+#define HWATCH_SHARD_SHARED
+#define HWATCH_DETERMINISTIC_PLANE

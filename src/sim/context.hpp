@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "sim/annotations.hpp"
 #include "sim/log.hpp"
 #include "sim/metrics.hpp"
 #include "sim/pool.hpp"
@@ -26,7 +27,7 @@
 
 namespace hwatch::sim {
 
-class SimContext {
+class HWATCH_SHARD_CONFINED SimContext {
  public:
   explicit SimContext(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
 

@@ -2,11 +2,16 @@
 
 #include <iostream>
 
+#include "sim/annotations.hpp"
+
 namespace hwatch::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-std::ostream* g_sink = nullptr;
+// Process-wide log configuration: written by set_level/set_sink before
+// any shard or sweep threads start, read-only while workers run — the
+// launch barrier in ShardGroup/SweepRunner is the synchronization.
+HWATCH_SHARD_SHARED LogLevel g_level = LogLevel::kWarn;
+HWATCH_SHARD_SHARED std::ostream* g_sink = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {

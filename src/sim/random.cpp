@@ -9,12 +9,14 @@ double Rng::bounded_pareto(double shape, double lo, double hi) {
   if (!(shape > 0) || !(lo > 0) || !(hi > lo)) {
     throw std::invalid_argument("bounded_pareto: need shape>0, 0<lo<hi");
   }
-  // Inverse-CDF sampling of the bounded Pareto distribution.
+  // Inverse-CDF sampling of the bounded Pareto distribution.  The pow
+  // calls are inherent to the distribution; the reproduction's
+  // reference platform is x86-64/glibc.
   const double u = uniform();
-  const double la = std::pow(lo, shape);
-  const double ha = std::pow(hi, shape);
+  const double la = std::pow(lo, shape);    // hwlint: allow(fp-determinism)
+  const double ha = std::pow(hi, shape);    // hwlint: allow(fp-determinism)
   const double x = -(u * ha - u * la - ha) / (ha * la);
-  return std::pow(x, -1.0 / shape);
+  return std::pow(x, -1.0 / shape);         // hwlint: allow(fp-determinism)
 }
 
 }  // namespace hwatch::sim

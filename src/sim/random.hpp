@@ -9,11 +9,12 @@
 #include <random>
 #include <vector>
 
+#include "sim/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace hwatch::sim {
 
-class Rng {
+class HWATCH_SHARD_CONFINED Rng {
  public:
   explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
 

@@ -61,6 +61,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/annotations.hpp"
 #include "sim/time.hpp"
 #include "sim/unique_function.hpp"
 
@@ -105,7 +106,7 @@ struct EventId {
   }
 };
 
-class Scheduler {
+class HWATCH_SHARD_CONFINED Scheduler {
  public:
   using Callback = UniqueFunction<void(), kSchedulerCallbackInline>;
   using SmallCallback =
@@ -180,7 +181,7 @@ class Scheduler {
   /// lookahead, typically a microsecond-scale fraction of the base RTT)
   /// is far inside the wheel horizon, so epoch-resident events keep the
   /// O(1) path and the boundary peek is a bitmap scan.
-  void run_until(TimePs t);
+  HWATCH_DETERMINISTIC_PLANE void run_until(TimePs t);
 
   /// Executes at most one pending event.  Returns false when none remain.
   bool step();

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace hwatch::sim {
@@ -43,7 +44,7 @@ class ShardTelemetry;
 /// SimContext plus its cross-shard inboxes; the coordinator never
 /// touches shard internals (the hwlint cross-shard-state rule enforces
 /// the inverse: shard code never touches another shard's context).
-class ShardTask {
+class HWATCH_SHARD_CONFINED ShardTask {
  public:
   virtual ~ShardTask();
 
@@ -57,7 +58,7 @@ class ShardTask {
   virtual void run(TimePs window_end) = 0;
 };
 
-class ShardGroup {
+class HWATCH_SHARD_SHARED ShardGroup {
  public:
   /// `threads` = worker threads executing the shard tasks; values above
   /// the shard count are clamped.  1 runs everything sequentially on

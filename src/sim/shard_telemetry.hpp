@@ -40,12 +40,13 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/annotations.hpp"
 #include "sim/json.hpp"
 #include "sim/time.hpp"
 
 namespace hwatch::sim {
 
-class ShardTelemetry {
+class HWATCH_SHARD_SHARED ShardTelemetry {
  public:
   static constexpr const char* kFlightSchemaId = "hwatch.shard_flight/v1";
   static constexpr const char* kShardsSchemaId = "hwatch.shard_telemetry/v1";
@@ -127,16 +128,19 @@ class ShardTelemetry {
   /// Average per-epoch max-shard events over average per-epoch mean
   /// events: 1.0 = perfectly balanced, S = one shard does everything.
   /// 0 when no events were recorded.
-  double imbalance_ratio() const;
+  HWATCH_DETERMINISTIC_PLANE double imbalance_ratio() const;
 
   /// Top-`n` shards by total events, descending (ties: lower id first);
   /// empty when no events were recorded.
+  HWATCH_DETERMINISTIC_PLANE
   std::vector<std::uint32_t> top_stragglers(std::size_t n) const;
 
   /// The manifest `shards` section (schema hwatch.shard_telemetry/v1):
   /// run totals, derived imbalance stats and the per-shard breakdown.
-  /// Pure function of the deterministic counters.
-  Json shards_json() const;
+  /// Pure function of the deterministic counters — this TU holds a
+  /// nondeterminism allowlist entry for its wall-clock half, and these
+  /// markers are what keeps the clock out of the manifest half.
+  HWATCH_DETERMINISTIC_PLANE Json shards_json() const;
 
   // ---- wall-clock outputs (stderr / separate files only) -------------
 

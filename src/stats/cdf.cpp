@@ -95,7 +95,7 @@ Percentiles percentiles(const std::vector<double>& bounds,
     double cum = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
       const double c = static_cast<double>(counts[i]);
-      if (cum + c < target || c == 0) {
+      if (cum + c < target || counts[i] == 0) {
         cum += c;
         continue;
       }

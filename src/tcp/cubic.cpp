@@ -46,6 +46,8 @@ void CubicSender::grow_window(std::uint64_t newly_acked) {
     epoch_start_ = t_now;
     const double w_cur = cwnd_ / mss();
     if (w_max_ < w_cur) w_max_ = w_cur;
+    // RFC 8312's K is defined via cbrt; the reproduction's reference
+    // platform is x86-64/glibc.  hwlint: allow(fp-determinism)
     k_seconds_ = std::cbrt(w_max_ * (1.0 - params_.beta) / params_.c);
     w_est_ = w_cur;
     acked_since_epoch_ = 0;

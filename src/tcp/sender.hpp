@@ -12,6 +12,7 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "sim/annotations.hpp"
 #include "sim/timer.hpp"
 #include "tcp/common.hpp"
 #include "tcp/interval_set.hpp"
@@ -39,7 +40,7 @@ struct SenderStats {
   std::uint64_t ecn_reductions = 0;  // window cuts triggered by ECE
 };
 
-class TcpSender {
+class HWATCH_SHARD_CONFINED TcpSender {
  public:
   /// `port` is the local (source) port; ACKs arrive addressed to it.
   TcpSender(net::Network& net, net::Host& host, std::uint16_t port,

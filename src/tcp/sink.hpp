@@ -21,6 +21,7 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/annotations.hpp"
 #include "sim/timer.hpp"
 #include "tcp/common.hpp"
 #include "tcp/interval_set.hpp"
@@ -37,7 +38,7 @@ struct SinkStats {
   sim::TimePs last_data_time = 0;
 };
 
-class TcpSink {
+class HWATCH_SHARD_CONFINED TcpSink {
  public:
   /// Binds to `port` on `host`.  `ecn_echo` should match the peer
   /// sender's EcnMode.

@@ -1,0 +1,8 @@
+// Top-layer header that a lower layer wrongly reaches up to include.
+#pragma once
+
+namespace fixture::api {
+struct Surface {
+  int knobs = 0;
+};
+}  // namespace fixture::api

@@ -1,0 +1,16 @@
+// Seeded violation: a translation unit that spins threads (a threading
+// context) touching a HWATCH_SHARD_CONFINED type (rule
+// shard-confinement) — plus the std:: primitives themselves (rule
+// cross-shard-state).
+#include <thread>
+
+#include "sim/confined.hpp"
+
+namespace fixture::api {
+
+void drain_on_worker(fixture::sim::EventCore& core) {
+  std::thread worker([&core] { core.drain(); });
+  worker.join();
+}
+
+}  // namespace fixture::api

@@ -1,0 +1,12 @@
+// Seeded violation: member of a three-header include cycle
+// (cycle_a -> cycle_b -> cycle_c -> cycle_a); the report is attributed
+// here, the lexicographically smallest member.
+#pragma once
+
+#include "net/cycle_b.hpp"
+
+namespace fixture::net {
+struct A {
+  int a = 0;
+};
+}  // namespace fixture::net

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "net/cycle_c.hpp"
+
+namespace fixture::net {
+struct B {
+  int b = 0;
+};
+}  // namespace fixture::net

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "net/cycle_a.hpp"
+
+namespace fixture::net {
+struct C {
+  int c = 0;
+};
+}  // namespace fixture::net

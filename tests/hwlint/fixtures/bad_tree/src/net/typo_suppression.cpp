@@ -1,0 +1,9 @@
+// Seeded violation: a well-formed allow(...) marker naming a rule that
+// does not exist.  The typo must be reported (rule bad-suppression),
+// not silently ignored — otherwise the gate is off and nobody knows.
+namespace fixture::net {
+
+// hwlint: allow(layerng)
+inline int layered() { return 1; }
+
+}  // namespace fixture::net

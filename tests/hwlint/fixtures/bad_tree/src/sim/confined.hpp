@@ -1,0 +1,18 @@
+// Declares a shard-confined type; the declaring file itself is exempt
+// from the confinement check.  thread_pool.cpp (a threading context)
+// references it and is flagged.
+#pragma once
+
+#define HWATCH_SHARD_CONFINED
+
+namespace fixture::sim {
+
+class HWATCH_SHARD_CONFINED EventCore {
+ public:
+  int drain() { return ++drained_; }
+
+ private:
+  int drained_ = 0;
+};
+
+}  // namespace fixture::sim

@@ -1,0 +1,14 @@
+// Seeded violation: a HWATCH_DETERMINISTIC_PLANE function whose
+// definition reads the wall clock (rule shard-confinement; the time()
+// call also trips nondeterminism on its own).
+#include <ctime>
+
+#define HWATCH_DETERMINISTIC_PLANE
+
+namespace fixture::sim {
+
+HWATCH_DETERMINISTIC_PLANE long drain_window();
+
+long drain_window() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fixture::sim

@@ -1,0 +1,10 @@
+// Seeded violation: the base layer includes the api layer — an upward
+// edge in the sim -> net -> tcp/hwatch -> topo/stats/workload -> api
+// order (rule layering, pass include-graph).
+#pragma once
+
+#include "api/surface.hpp"
+
+namespace fixture::sim {
+inline int knob_count(const fixture::api::Surface& s) { return s.knobs; }
+}  // namespace fixture::sim

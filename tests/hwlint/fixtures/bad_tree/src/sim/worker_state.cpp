@@ -1,0 +1,10 @@
+// Seeded violation: mutable namespace-scope state in src/sim without an
+// explicit HWATCH_SHARD_SHARED marker (rule shard-confinement).
+namespace fixture::sim {
+namespace {
+long g_epoch = 0;
+}  // namespace
+
+long bump_epoch() { return ++g_epoch; }
+
+}  // namespace fixture::sim

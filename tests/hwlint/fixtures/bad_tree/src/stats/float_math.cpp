@@ -1,0 +1,23 @@
+// Seeded violations for the fp-determinism pass: direct ==/!= on
+// floating operands, a non-portable libm call, and float accumulation
+// over a container declared unordered (which also trips unordered-iter).
+#include <cmath>
+#include <unordered_map>
+
+namespace fixture::stats {
+
+std::unordered_map<int, double> samples;
+
+bool same(double a, double b) { return a == b; }
+
+double spread(double base) { return std::pow(base, 2.0); }
+
+double total() {
+  double sum = 0;
+  for (const auto& [k, v] : samples) {
+    sum += v;
+  }
+  return sum;
+}
+
+}  // namespace fixture::stats

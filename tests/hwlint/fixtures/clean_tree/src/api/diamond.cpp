@@ -1,0 +1,11 @@
+// Downward diamond (api -> net -> sim twice over) plus an include that
+// resolves to no scanned file — both must pass: diamonds are ordinary
+// DAG sharing, and unresolvable includes (system or generated headers)
+// are tolerated.
+#include "net/left.hpp"
+#include "net/right.hpp"
+#include "third_party/generated_tables.hpp"
+
+namespace fixture::api {
+int span() { return fixture::net::kLeft + fixture::net::kRight; }
+}  // namespace fixture::api

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/base.hpp"
+
+namespace fixture::net {
+inline constexpr int kLeft = fixture::sim::kBase + 1;
+}  // namespace fixture::net

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/base.hpp"
+
+namespace fixture::net {
+inline constexpr int kRight = fixture::sim::kBase + 2;
+}  // namespace fixture::net

@@ -1,0 +1,8 @@
+// Diamond base: included by both net/left.hpp and net/right.hpp.  The
+// include-graph pass must treat the diamond as ordinary DAG sharing,
+// not a cycle.
+#pragma once
+
+namespace fixture::sim {
+inline constexpr int kBase = 1;
+}  // namespace fixture::sim

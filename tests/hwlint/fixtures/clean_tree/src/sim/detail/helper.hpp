@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::sim::detail {
+inline constexpr int kHelper = 7;
+}  // namespace fixture::sim::detail

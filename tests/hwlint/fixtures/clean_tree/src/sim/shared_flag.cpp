@@ -1,0 +1,27 @@
+// Near-misses for the shard-confinement pass: mutable namespace-scope
+// state in src/sim is fine when it carries the explicit
+// HWATCH_SHARD_SHARED marker, and a confined type may be referenced
+// freely inside its own declaring file.
+#define HWATCH_SHARD_CONFINED
+#define HWATCH_SHARD_SHARED
+
+namespace fixture::sim {
+namespace {
+// Written once at startup, read-only afterwards.
+HWATCH_SHARD_SHARED int g_verbosity = 0;
+}  // namespace
+
+class HWATCH_SHARD_CONFINED LocalCore {
+ public:
+  int poke() { return ++pokes_ + g_verbosity; }
+
+ private:
+  int pokes_ = 0;
+};
+
+int poke_local() {
+  LocalCore core;
+  return core.poke();
+}
+
+}  // namespace fixture::sim

@@ -1,0 +1,10 @@
+// Quoted includes resolve relative to the including file's directory
+// first — this spelling has no "sim/" prefix and must still land on
+// src/sim/detail/helper.hpp.
+#pragma once
+
+#include "detail/helper.hpp"
+
+namespace fixture::sim {
+inline constexpr int kViaRelative = detail::kHelper;
+}  // namespace fixture::sim

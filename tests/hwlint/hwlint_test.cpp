@@ -8,9 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "hwlint/hwlint.hpp"
@@ -23,9 +26,7 @@ using hwlint::Violation;
 std::vector<Violation> check(const std::string& rel_path,
                              std::string_view source,
                              std::size_t* suppressed = nullptr) {
-  const auto lr = hwlint::lex(source);
-  const auto names = hwlint::collect_unordered_names(lr.tokens);
-  return hwlint::check_source(rel_path, source, names, suppressed);
+  return hwlint::check_source(rel_path, source, suppressed);
 }
 
 std::vector<std::string> rules_of(const std::vector<Violation>& vs) {
@@ -211,10 +212,15 @@ TEST(HwlintRules, FlagsIterationOverUnorderedContainers) {
       "    s += it->second;\n"
       "  return s;\n"
       "}\n");
-  ASSERT_EQ(vs.size(), 2u);
-  EXPECT_EQ(vs[0].rule, hwlint::kRuleUnorderedIter);
+  // Line 5 draws both passes: the iteration itself (unordered-iter) and
+  // the float accumulation over it (fp-determinism).
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleFpDeterminism);
   EXPECT_EQ(vs[0].line, 5);
-  EXPECT_EQ(vs[1].line, 6);
+  EXPECT_EQ(vs[1].rule, hwlint::kRuleUnorderedIter);
+  EXPECT_EQ(vs[1].line, 5);
+  EXPECT_EQ(vs[2].rule, hwlint::kRuleUnorderedIter);
+  EXPECT_EQ(vs[2].line, 6);
 }
 
 TEST(HwlintRules, PointLookupsAndOrderedIterationPass) {
@@ -236,16 +242,19 @@ TEST(HwlintRules, PointLookupsAndOrderedIterationPass) {
 
 TEST(HwlintRules, UnorderedNamesCrossFiles) {
   // A member declared in a header is caught when iterated in the .cpp:
-  // the driver collects names tree-wide first.  Simulate that here.
+  // the driver folds every file into the TreeIndex before checking.
   const auto header = hwlint::lex(
       "struct Table { std::unordered_map<int, int> live_ports; };\n");
-  auto names = hwlint::collect_unordered_names(header.tokens);
-  EXPECT_TRUE(names.count("live_ports"));
+  hwlint::TreeIndex index;
+  hwlint::index_file("src/hwatch/table.hpp", header, index);
+  EXPECT_TRUE(index.unordered_names.count("live_ports"));
   const std::string cpp =
       "void walk(Table& t) { for (auto& kv : t.live_ports) (void)kv; }\n";
-  const auto vs = hwlint::check_source("src/stats/walk.cpp", cpp, names);
+  const auto lexed = hwlint::lex(cpp);
+  const auto vs = hwlint::check_file("src/stats/walk.cpp", lexed, index);
   ASSERT_EQ(vs.size(), 1u);
   EXPECT_EQ(vs[0].rule, hwlint::kRuleUnorderedIter);
+  EXPECT_EQ(vs[0].pass, hwlint::kPassToken);
 }
 
 // ---------------------------------------------------- cross-shard-state
@@ -315,9 +324,19 @@ TEST(HwlintRules, ConstantsLocalsAndSimInternalsPass) {
       "static constexpr double kAlpha = 0.125;\n"
       "int f() { static int local = 0; return ++local; }\n";
   EXPECT_TRUE(check("src/api/consts.cpp", consts).empty());
-  // src/sim internals (log sinks, arenas) are exempt by path.
+  // src/sim internals are exempt from mutable-global by path, but the
+  // shard-confinement pass demands an explicit HWATCH_SHARD_SHARED
+  // marker there instead.
+  {
+    const auto vs =
+        check("src/sim/log.cpp", "static int g_sink_depth = 0;\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, hwlint::kRuleShardConfinement);
+  }
   EXPECT_TRUE(
-      check("src/sim/log.cpp", "static int g_sink_depth = 0;\n").empty());
+      check("src/sim/log.cpp",
+            "HWATCH_SHARD_SHARED int g_sink_depth = 0;\n")
+          .empty());
 }
 
 // -------------------------------------------------- suppression handling
@@ -359,6 +378,331 @@ TEST(HwlintSuppression, MalformedMarkerIsAViolation) {
   EXPECT_EQ(vs[1].rule, hwlint::kRuleHotPathContainer);
 }
 
+// --------------------------------------------------- include-graph pass
+
+using LexedFiles = std::map<std::string, hwlint::LexResult>;
+
+std::vector<Violation> run_graph(const LexedFiles& files,
+                                 std::size_t* suppressed = nullptr) {
+  std::map<std::string, const hwlint::LexResult*> view;
+  for (const auto& [rel, lexed] : files) view.emplace(rel, &lexed);
+  return hwlint::check_include_graph(view, suppressed);
+}
+
+LexedFiles lex_files(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  LexedFiles out;
+  for (const auto& [rel, src] : sources) out.emplace(rel, hwlint::lex(src));
+  return out;
+}
+
+TEST(HwlintIncludeGraph, LayerRanks) {
+  EXPECT_EQ(hwlint::layer_rank("src/sim/context.hpp"), 0);
+  EXPECT_EQ(hwlint::layer_rank("src/net/link.hpp"), 1);
+  EXPECT_EQ(hwlint::layer_rank("src/tcp/sender.hpp"), 2);
+  EXPECT_EQ(hwlint::layer_rank("src/hwatch/shim.hpp"), 2);
+  EXPECT_EQ(hwlint::layer_rank("src/topo/fat_tree.hpp"), 3);
+  EXPECT_EQ(hwlint::layer_rank("src/stats/cdf.hpp"), 3);
+  EXPECT_EQ(hwlint::layer_rank("src/workload/tenant.hpp"), 3);
+  EXPECT_EQ(hwlint::layer_rank("src/api/scenario.hpp"), 4);
+  // Unknown dirs and out-of-src files take no part in layering.
+  EXPECT_EQ(hwlint::layer_rank("src/unknown/x.hpp"), -1);
+  EXPECT_EQ(hwlint::layer_rank("tools/hwlint/hwlint.hpp"), -1);
+  EXPECT_EQ(hwlint::layer_rank("src/toplevel.hpp"), -1);
+}
+
+TEST(HwlintIncludeGraph, ResolvesRelativeThenRootThenVerbatim) {
+  const std::set<std::string> known = {
+      "src/sim/detail/helper.hpp", "src/sim/user.hpp", "src/net/link.hpp",
+      "tools/hwlint/hwlint.hpp"};
+  // Relative to the including file's directory wins.
+  EXPECT_EQ(hwlint::resolve_include("src/sim/user.hpp", "detail/helper.hpp",
+                                    known),
+            "src/sim/detail/helper.hpp");
+  // Then the src/ include root.
+  EXPECT_EQ(hwlint::resolve_include("src/sim/user.hpp", "net/link.hpp", known),
+            "src/net/link.hpp");
+  // Then verbatim from the repo root.
+  EXPECT_EQ(hwlint::resolve_include("src/sim/user.hpp",
+                                    "tools/hwlint/hwlint.hpp", known),
+            "tools/hwlint/hwlint.hpp");
+  // `..` segments collapse.
+  EXPECT_EQ(hwlint::resolve_include("src/sim/detail/helper.hpp",
+                                    "../user.hpp", known),
+            "src/sim/user.hpp");
+  // Unresolvable spellings are tolerated ("" = not part of the graph).
+  EXPECT_EQ(hwlint::resolve_include("src/sim/user.hpp", "no/such/file.hpp",
+                                    known),
+            "");
+}
+
+TEST(HwlintIncludeGraph, UpwardIncludeFlagged) {
+  const auto vs = run_graph(lex_files({
+      {"src/sim/core.hpp", "#include \"api/surface.hpp\"\n"},
+      {"src/api/surface.hpp", "struct S {};\n"},
+  }));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleLayering);
+  EXPECT_EQ(vs[0].pass, hwlint::kPassIncludeGraph);
+  EXPECT_EQ(vs[0].file, "src/sim/core.hpp");
+  EXPECT_EQ(vs[0].line, 1);
+  EXPECT_EQ(vs[0].evidence, "src/sim/core.hpp -> src/api/surface.hpp");
+}
+
+TEST(HwlintIncludeGraph, SameLayerAndDownwardIncludesPass) {
+  const auto vs = run_graph(lex_files({
+      // Downward: api -> net -> sim.
+      {"src/api/top.hpp", "#include \"net/mid.hpp\"\n"},
+      {"src/net/mid.hpp", "#include \"sim/base.hpp\"\n"},
+      {"src/sim/base.hpp", "struct B {};\n"},
+      // Same rank: hwatch -> tcp is legitimate.
+      {"src/hwatch/shim2.hpp", "#include \"tcp/sender2.hpp\"\n"},
+      {"src/tcp/sender2.hpp", "struct T {};\n"},
+  }));
+  EXPECT_TRUE(vs.empty()) << vs[0].message;
+}
+
+TEST(HwlintIncludeGraph, SelfIncludeIsACycle) {
+  const auto vs = run_graph(lex_files({
+      {"src/net/self.hpp", "#include \"net/self.hpp\"\nstruct S {};\n"},
+  }));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleLayering);
+  EXPECT_NE(vs[0].message.find("cycle"), std::string::npos);
+  EXPECT_EQ(vs[0].evidence, "src/net/self.hpp -> src/net/self.hpp");
+}
+
+TEST(HwlintIncludeGraph, DiamondIsNotACycle) {
+  const auto vs = run_graph(lex_files({
+      {"src/api/top.hpp",
+       "#include \"net/left.hpp\"\n#include \"net/right.hpp\"\n"},
+      {"src/net/left.hpp", "#include \"sim/base.hpp\"\n"},
+      {"src/net/right.hpp", "#include \"sim/base.hpp\"\n"},
+      {"src/sim/base.hpp", "struct B {};\n"},
+  }));
+  EXPECT_TRUE(vs.empty()) << vs[0].message;
+}
+
+TEST(HwlintIncludeGraph, ThreeHeaderCycleReportedOnceWithFullPath) {
+  const auto vs = run_graph(lex_files({
+      {"src/net/a.hpp", "#include \"net/b.hpp\"\n"},
+      {"src/net/b.hpp", "#include \"net/c.hpp\"\n"},
+      {"src/net/c.hpp", "#include \"net/a.hpp\"\n"},
+  }));
+  ASSERT_EQ(vs.size(), 1u);  // one cycle, one report
+  EXPECT_EQ(vs[0].file, "src/net/a.hpp");  // smallest member owns it
+  EXPECT_EQ(vs[0].evidence,
+            "src/net/a.hpp -> src/net/b.hpp -> src/net/c.hpp -> "
+            "src/net/a.hpp");
+}
+
+TEST(HwlintIncludeGraph, MissingIncludesAndAngledIncludesTolerated) {
+  const auto vs = run_graph(lex_files({
+      {"src/net/user.hpp",
+       "#include <vector>\n"
+       "#include \"generated/tables.hpp\"\n"
+       "struct U {};\n"},
+  }));
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(HwlintIncludeGraph, UpwardIncludeSuppressibleInline) {
+  std::size_t suppressed = 0;
+  const auto vs = run_graph(
+      lex_files({
+          {"src/sim/core.hpp",
+           "// hwlint: allow(layering)\n#include \"api/surface.hpp\"\n"},
+          {"src/api/surface.hpp", "struct S {};\n"},
+      }),
+      &suppressed);
+  EXPECT_TRUE(vs.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
+// ------------------------------------------------- shard-confinement pass
+
+TEST(HwlintConfinement, IndexCollectsAnnotations) {
+  hwlint::TreeIndex index;
+  hwlint::index_file(
+      "src/sim/core.hpp",
+      hwlint::lex("class HWATCH_SHARD_CONFINED EventCore { };\n"
+                  "struct HWATCH_SHARD_SHARED Registry { };\n"
+                  "HWATCH_DETERMINISTIC_PLANE std::uint64_t drain_all();\n"),
+      index);
+  ASSERT_TRUE(index.confined_types.count("EventCore"));
+  EXPECT_EQ(index.confined_types.at("EventCore"), "src/sim/core.hpp:1");
+  ASSERT_TRUE(index.shared_types.count("Registry"));
+  ASSERT_TRUE(index.deterministic_fns.count("drain_all"));
+  EXPECT_EQ(index.deterministic_fns.at("drain_all"), "src/sim/core.hpp:3");
+}
+
+TEST(HwlintConfinement, ConfinedTypeInThreadingContextFlagged) {
+  hwlint::TreeIndex index;
+  hwlint::index_file(
+      "src/sim/core.hpp",
+      hwlint::lex("class HWATCH_SHARD_CONFINED EventCore { };\n"), index);
+  const std::string threading =
+      "#include <thread>\n"
+      "void f(EventCore& c) { std::thread t([&c] {}); t.join(); }\n";
+  const auto lexed = hwlint::lex(threading);
+  const auto vs = hwlint::check_file("src/api/pool.cpp", lexed, index);
+  bool confined = false;
+  for (const auto& v : vs) {
+    if (v.rule == hwlint::kRuleShardConfinement) {
+      confined = true;
+      EXPECT_EQ(v.evidence, "HWATCH_SHARD_CONFINED at src/sim/core.hpp:1");
+    }
+  }
+  EXPECT_TRUE(confined);
+  // The same reference without any threading primitive is fine.
+  const auto calm = hwlint::lex("void f(EventCore& c) { (void)c; }\n");
+  for (const auto& v : hwlint::check_file("src/api/calm.cpp", calm, index)) {
+    EXPECT_NE(v.rule, hwlint::kRuleShardConfinement) << v.message;
+  }
+}
+
+TEST(HwlintConfinement, DeclaringFileExemptFromConfinementCheck) {
+  hwlint::TreeIndex index;
+  const std::string decl =
+      "#include <atomic>\n"  // the declaring file may thread internally
+      "class HWATCH_SHARD_CONFINED EventCore { std::atomic<int> n_; };\n";
+  const auto lexed = hwlint::lex(decl);
+  hwlint::index_file("src/sim/core.hpp", lexed, index);
+  for (const auto& v : hwlint::check_file("src/sim/core.hpp", lexed, index)) {
+    EXPECT_NE(v.rule, hwlint::kRuleShardConfinement) << v.message;
+  }
+}
+
+TEST(HwlintConfinement, DeterministicPlaneBodyScanned) {
+  const auto vs = check("src/sim/plane.cpp",
+                        "HWATCH_DETERMINISTIC_PLANE long window_end();\n"
+                        "long window_end() {\n"
+                        "  return static_cast<long>(time(nullptr));\n"
+                        "}\n");
+  bool plane = false;
+  for (const auto& v : vs) {
+    if (v.rule == hwlint::kRuleShardConfinement) {
+      plane = true;
+      EXPECT_EQ(v.pass, hwlint::kPassShardConfinement);
+      EXPECT_NE(v.message.find("window_end"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(plane);
+  // Reseeding an engine inside the plane is flagged too.
+  const auto reseed = check("src/sim/plane2.cpp",
+                            "HWATCH_DETERMINISTIC_PLANE void rewind(Rng& r);\n"
+                            "void rewind(Rng& r) { r.seed(42); }\n");
+  bool saw = false;
+  for (const auto& v : reseed) {
+    if (v.rule == hwlint::kRuleShardConfinement) saw = true;
+  }
+  EXPECT_TRUE(saw);
+  // A clean plane function passes.
+  EXPECT_TRUE(check("src/sim/plane3.cpp",
+                    "HWATCH_DETERMINISTIC_PLANE long area(long w, long h);\n"
+                    "long area(long w, long h) { return w * h; }\n")
+                  .empty());
+}
+
+TEST(HwlintConfinement, SimStaticsNeedSharedMarker) {
+  const auto vs = check("src/sim/state.cpp", "static int g_mode = 0;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleShardConfinement);
+  EXPECT_TRUE(check("src/sim/state.cpp",
+                    "HWATCH_SHARD_SHARED static int g_mode = 0;\n")
+                  .empty());
+  // Outside src/sim the marker grants nothing; mutable-global applies.
+  const auto api = check("src/api/state.cpp",
+                         "HWATCH_SHARD_SHARED static int g_mode = 0;\n");
+  ASSERT_EQ(api.size(), 1u);
+  EXPECT_EQ(api[0].rule, hwlint::kRuleMutableGlobal);
+}
+
+// -------------------------------------------------- fp-determinism pass
+
+TEST(HwlintFp, FlagsFloatComparisonsPerFile) {
+  const auto vs = check("src/stats/cmp.cpp",
+                        "bool eq(double a, double b) { return a == b; }\n"
+                        "bool tiny(double x) { return x != 0.25; }\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleFpDeterminism);
+  EXPECT_EQ(vs[0].pass, hwlint::kPassFpDeterminism);
+  // Integer comparisons and operator== declarations pass, and fp names
+  // from *other* files do not poison this one.
+  EXPECT_TRUE(check("src/stats/ok.cpp",
+                    "bool f(long a, long b) { return a == b; }\n"
+                    "bool operator==(P a, P b);\n"
+                    "bool g(char c) { return c == 'x'; }\n")
+                  .empty());
+}
+
+TEST(HwlintFp, FlagsAccumulationOverUnorderedOnly) {
+  const auto bad = check("src/stats/acc.cpp",
+                         "std::unordered_map<int, double> samples;\n"
+                         "double total() {\n"
+                         "  double sum = 0;\n"
+                         "  for (const auto& [k, v] : samples) sum += v;\n"
+                         "  return sum;\n"
+                         "}\n");
+  bool fp = false;
+  for (const auto& v : bad) {
+    if (v.rule == hwlint::kRuleFpDeterminism) fp = true;
+  }
+  EXPECT_TRUE(fp);
+  // Ordered containers accumulate fine.
+  EXPECT_TRUE(check("src/stats/acc_ok.cpp",
+                    "std::map<int, double> samples;\n"
+                    "double total() {\n"
+                    "  double sum = 0;\n"
+                    "  for (const auto& [k, v] : samples) sum += v;\n"
+                    "  return sum;\n"
+                    "}\n")
+                  .empty());
+}
+
+TEST(HwlintFp, LibmPolicySqrtExemptPowFlagged) {
+  const auto vs = check("src/stats/libm.cpp",
+                        "double a(double x) { return std::sqrt(x); }\n"
+                        "double b(double x) { return std::pow(x, 2.0); }\n"
+                        "double c(double x) { return std::fma(x, x, 1.0); }\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 2);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleFpDeterminism);
+  // Only src/ is in scope: tools and bench math is not manifest payload.
+  EXPECT_TRUE(
+      check("tools/plot.cpp", "double f(double x) { return exp(x); }\n")
+          .empty());
+}
+
+// ----------------------------------------------- unknown suppression rule
+
+TEST(HwlintSuppression, UnknownRuleInAllowListIsViolation) {
+  const auto vs = check("src/net/typo.cpp",
+                        "// hwlint: allow(layerng)\n"
+                        "constexpr int x = 0;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, hwlint::kRuleBadSuppression);
+  EXPECT_NE(vs[0].message.find("layerng"), std::string::npos);
+  // All real rule names parse clean.
+  for (const auto& rule : hwlint::all_rules()) {
+    const auto ok = check("src/net/ok.cpp",
+                          "// hwlint: allow(" + rule + ")\nconstexpr int x = 0;\n");
+    EXPECT_TRUE(ok.empty()) << rule << ": " << ok[0].message;
+  }
+}
+
+TEST(HwlintAllowlist, RejectsUnknownRuleNames) {
+  hwlint::Allowlist al;
+  std::string err;
+  EXPECT_FALSE(
+      hwlint::parse_allowlist("allow layerng src/sim/x.cpp\n", al, err));
+  EXPECT_NE(err.find("layerng"), std::string::npos);
+  EXPECT_TRUE(hwlint::parse_allowlist("allow layering src/sim/x.cpp\n"
+                                      "allow * src/scratch/\n",
+                                      al, err))
+      << err;
+}
+
 // -------------------------------------------------- allowlist and globs
 
 TEST(HwlintAllowlist, GlobMatchSemantics) {
@@ -371,6 +715,11 @@ TEST(HwlintAllowlist, GlobMatchSemantics) {
   EXPECT_TRUE(hwlint::glob_match("tests/hwlint/fixtures/",
                                  "tests/hwlint/fixtures/bad/src/a.cpp"));
   EXPECT_FALSE(hwlint::glob_match("tests/hwlint/fixtures/", "tests/a.cpp"));
+  // ...and the directory prefix itself may contain wildcards.
+  EXPECT_TRUE(hwlint::glob_match("tests/*/fixtures/",
+                                 "tests/hwlint/fixtures/bad/src/a.cpp"));
+  EXPECT_FALSE(hwlint::glob_match("tests/*/fixtures/", "tests/hwlint/x.cpp"));
+  EXPECT_TRUE(hwlint::glob_match("src/s?m/", "src/sim/context.hpp"));
   EXPECT_TRUE(hwlint::glob_match("a?c", "abc"));
   EXPECT_FALSE(hwlint::glob_match("a?c", "ac"));
 }
@@ -423,7 +772,7 @@ TEST(HwlintDriver, CleanFixtureTreePasses) {
   std::ostringstream err;
   EXPECT_EQ(hwlint::run_lint(opts, report, err), 0) << err.str();
   EXPECT_TRUE(report.violations.empty());
-  EXPECT_EQ(report.files_scanned, 4u);
+  EXPECT_EQ(report.files_scanned, 12u);
 }
 
 TEST(HwlintDriver, ViolationsAreSorted) {
@@ -437,6 +786,35 @@ TEST(HwlintDriver, ViolationsAreSorted) {
     const auto& b = report.violations[i];
     EXPECT_LE(std::tie(a.file, a.line, a.rule),
               std::tie(b.file, b.line, b.rule));
+  }
+}
+
+TEST(HwlintDriver, ReportsAreByteIdenticalAcrossJobCounts) {
+  auto run = [](unsigned jobs) {
+    hwlint::Options opts;
+    opts.root = std::string(HWLINT_FIXTURES) + "/bad_tree";
+    opts.jobs = jobs;
+    hwlint::Report report;
+    std::ostringstream err;
+    EXPECT_EQ(hwlint::run_lint(opts, report, err), 1) << err.str();
+    return report;
+  };
+  const auto serial = run(1);
+  for (const std::size_t jobs : {2u, 4u, 8u}) {
+    const auto parallel = run(jobs);
+    ASSERT_EQ(parallel.violations.size(), serial.violations.size());
+    EXPECT_EQ(parallel.files_scanned, serial.files_scanned);
+    EXPECT_EQ(parallel.suppressed, serial.suppressed);
+    EXPECT_EQ(parallel.allowlisted, serial.allowlisted);
+    for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+      const auto& a = serial.violations[i];
+      const auto& b = parallel.violations[i];
+      EXPECT_EQ(std::tie(a.file, a.line, a.rule, a.pass, a.message,
+                         a.evidence),
+                std::tie(b.file, b.line, b.rule, b.pass, b.message,
+                         b.evidence))
+          << "divergence at index " << i << " with jobs=" << jobs;
+    }
   }
 }
 
@@ -466,6 +844,19 @@ TEST(HwlintCli, ExitCodesMatchTreeState) {
   EXPECT_EQ(code, 1);
   run_cli("--root /nonexistent-hwlint-root", &code);
   EXPECT_EQ(code, 2);
+  run_cli("--jobs nope --root .", &code);
+  EXPECT_EQ(code, 2);
+}
+
+TEST(HwlintCli, JobsFlagDoesNotChangeOutputBytes) {
+  const std::string base =
+      "--json --root " + std::string(HWLINT_FIXTURES) + "/bad_tree";
+  int code = -1;
+  const std::string serial = run_cli(base + " --jobs 1", &code);
+  EXPECT_EQ(code, 1);
+  const std::string parallel = run_cli(base + " --jobs 4", &code);
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(HwlintCli, JsonReportRoundTripsThroughSimJson) {
@@ -479,21 +870,42 @@ TEST(HwlintCli, JsonReportRoundTripsThroughSimJson) {
   ASSERT_TRUE(doc.is_object());
   const auto* schema = doc.find("schema");
   ASSERT_NE(schema, nullptr);
-  EXPECT_EQ(schema->as_string(), "hwatch.hwlint_report/v1");
+  EXPECT_EQ(schema->as_string(), "hwatch.hwlint_report/v2");
+  // v2 declares its rule and pass vocabulary at top level.
+  const auto* rule_list = doc.find("rules");
+  ASSERT_NE(rule_list, nullptr);
+  ASSERT_TRUE(rule_list->is_array());
+  EXPECT_EQ(rule_list->items().size(), hwlint::all_rules().size());
+  const auto* pass_list = doc.find("passes");
+  ASSERT_NE(pass_list, nullptr);
+  ASSERT_TRUE(pass_list->is_array());
+  std::set<std::string> passes;
+  for (const auto& p : pass_list->items()) passes.insert(p.as_string());
+  EXPECT_TRUE(passes.count("token"));
+  EXPECT_TRUE(passes.count("include-graph"));
+  EXPECT_TRUE(passes.count("shard-confinement"));
+  EXPECT_TRUE(passes.count("fp-determinism"));
   const auto* violations = doc.find("violations");
   ASSERT_NE(violations, nullptr);
   ASSERT_TRUE(violations->is_array());
-  EXPECT_EQ(violations->items().size(), 23u);
+  EXPECT_EQ(violations->items().size(), 35u);
   std::set<std::string> rules;
+  bool saw_evidence = false;
   for (const auto& v : violations->items()) {
     ASSERT_TRUE(v.is_object());
     ASSERT_NE(v.find("file"), nullptr);
     ASSERT_NE(v.find("line"), nullptr);
     ASSERT_NE(v.find("rule"), nullptr);
+    ASSERT_NE(v.find("pass"), nullptr);
     ASSERT_NE(v.find("message"), nullptr);
+    ASSERT_NE(v.find("evidence"), nullptr);
     EXPECT_GT(v.find("line")->as_int(), 0);
+    EXPECT_TRUE(passes.count(v.find("pass")->as_string()))
+        << "unknown pass: " << v.find("pass")->as_string();
+    if (!v.find("evidence")->as_string().empty()) saw_evidence = true;
     rules.insert(v.find("rule")->as_string());
   }
+  EXPECT_TRUE(saw_evidence);  // include paths / annotation sites survive
   for (const auto& rule : hwlint::all_rules()) {
     EXPECT_TRUE(rules.count(rule)) << "rule missing from JSON: " << rule;
   }

@@ -1,19 +1,25 @@
-// File walking, allowlist handling and report rendering for hwlint.
+// File walking, allowlist handling, parallel scanning and report
+// rendering for hwlint.
 //
-// Two passes: the first lexes every file and collects names declared as
-// unordered containers anywhere in the tree (so a member declared in a
-// header is caught when its .cpp iterates it); the second runs the
-// rules.  File order is sorted, so diagnostics and the JSON report are
-// deterministic regardless of directory-iteration order.
+// Three phases: (1) read + lex every file, in parallel — each file is
+// lexed exactly once and the token stream is shared by every pass; (2)
+// fold the lexed files into the TreeIndex in sorted path order (so a
+// member declared in a header is honoured when its .cpp is checked, and
+// evidence strings are deterministic); (3) run the per-file rules, in
+// parallel, plus the whole-program include-graph pass.  Results are
+// merged in sorted file order, so diagnostics and the JSON report are
+// byte-identical regardless of directory-iteration order or --jobs.
 
 #include "hwlint/hwlint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 namespace hwlint {
 
@@ -65,12 +71,47 @@ void json_escape(std::ostream& os, std::string_view s) {
   }
 }
 
+unsigned worker_count(unsigned requested, std::size_t work_items) {
+  unsigned jobs = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = std::min<unsigned>(jobs, 16);
+  jobs = std::min<std::size_t>(jobs, std::max<std::size_t>(work_items, 1));
+  return jobs;
+}
+
+/// Runs fn(i) for every i in [0, count) across `jobs` threads.  Work
+/// stealing via a shared atomic counter; callers write results into
+/// per-index slots, so no other synchronization is needed and merge
+/// order is up to the caller.
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned jobs, Fn&& fn) {
+  if (count == 0) return;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs - 1);
+  for (unsigned t = 1; t < jobs; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
 }  // namespace
 
 bool glob_match(std::string_view pattern, std::string_view path) {
   if (!pattern.empty() && pattern.back() == '/') {
-    // Directory prefix: everything under it matches.
-    return path.substr(0, pattern.size()) == pattern;
+    // Directory pattern: everything under the prefix matches.  The
+    // prefix itself may contain wildcards (`tests/*/fixtures/`), so
+    // rewrite as `<prefix>*` instead of a literal prefix compare.
+    const std::string rewritten = std::string(pattern) + "*";
+    return glob_match(rewritten, path);
   }
   // Classic backtracking fnmatch; `*` crosses '/' on purpose (patterns
   // like `src/sim/random.*` and `tests/*_fixture*` read naturally).
@@ -126,6 +167,13 @@ bool parse_allowlist(std::string_view text, Allowlist& out, std::string& err) {
       if (!(ls >> e.rule >> e.glob)) {
         err = "allowlist line " + std::to_string(lineno) +
               ": expected `allow <rule> <glob>`";
+        return false;
+      }
+      // A typo'd rule name would silently allow nothing (or, worse,
+      // silently stop allowing once a rule is renamed) — fail loudly.
+      if (e.rule != "*" && !known_rule(e.rule)) {
+        err = "allowlist line " + std::to_string(lineno) +
+              ": unknown rule `" + e.rule + "`";
         return false;
       }
       out.allows.push_back(std::move(e));
@@ -213,48 +261,96 @@ int run_lint(const Options& opts, Report& report, std::ostream& err) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // Pass 1: read everything, collect unordered-container names tree-wide.
-  std::map<std::string, std::string> sources;  // rel -> content (sorted)
-  std::set<std::string> unordered_names;
+  // The scan list, sorted by rel path — slot index is identity from
+  // here on, so parallel phases can write results lock-free.
+  struct Entry {
+    fs::path abs;
+    std::string rel;
+    LexResult lexed;
+    bool read_ok = true;
+    std::vector<Violation> violations;
+    std::size_t suppressed = 0;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(files.size());
   for (const fs::path& f : files) {
-    const std::string rel = to_rel(f, root);
+    std::string rel = to_rel(f, root);
     if (allow.excluded(rel)) continue;
+    entries.push_back(Entry{f, std::move(rel), {}, true, {}, 0});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.rel < b.rel; });
+
+  const unsigned jobs = worker_count(opts.jobs, entries.size());
+
+  // Phase 1: read + lex, in parallel.  Each file is lexed exactly once;
+  // the LexResult is shared by the index build, the per-file rules and
+  // the include-graph pass.
+  parallel_for(entries.size(), jobs, [&](std::size_t i) {
     std::string content;
-    if (!read_file(f, content)) {
-      err << "hwlint: cannot read " << rel << "\n";
+    if (!read_file(entries[i].abs, content)) {
+      entries[i].read_ok = false;
+      return;
+    }
+    entries[i].lexed = lex(content);
+  });
+  for (const Entry& e : entries) {
+    if (!e.read_ok) {
+      err << "hwlint: cannot read " << e.rel << "\n";
       return 2;
     }
-    const LexResult lexed = lex(content);
-    std::set<std::string> names = collect_unordered_names(lexed.tokens);
-    unordered_names.insert(names.begin(), names.end());
-    sources.emplace(rel, std::move(content));
   }
 
-  // Pass 2: rules.
-  for (const auto& [rel, content] : sources) {
-    ++report.files_scanned;
-    std::vector<Violation> vs =
-        check_source(rel, content, unordered_names, &report.suppressed);
-    for (Violation& v : vs) {
-      if (allow.allowed(rel, v.rule)) {
-        ++report.allowlisted;
-      } else {
-        report.violations.push_back(std::move(v));
-      }
-    }
+  // Phase 2: tree-wide index, sequential in sorted order (evidence
+  // strings record the first declaration in path order).
+  TreeIndex index;
+  for (const Entry& e : entries) {
+    index_file(e.rel, e.lexed, index);
   }
+
+  // Phase 3: per-file rules, in parallel; results land in per-slot
+  // storage and are merged in slot (= sorted path) order below.
+  parallel_for(entries.size(), jobs, [&](std::size_t i) {
+    entries[i].violations =
+        check_file(entries[i].rel, entries[i].lexed, index,
+                   &entries[i].suppressed);
+  });
+
+  // Whole-program include-graph pass.
+  std::map<std::string, const LexResult*> graph_files;
+  for (const Entry& e : entries) graph_files.emplace(e.rel, &e.lexed);
+  std::size_t graph_suppressed = 0;
+  std::vector<Violation> graph_violations =
+      check_include_graph(graph_files, &graph_suppressed);
+
+  report.files_scanned = entries.size();
+  report.suppressed = graph_suppressed;
+  auto admit = [&](Violation& v) {
+    if (allow.allowed(v.file, v.rule)) {
+      ++report.allowlisted;
+    } else {
+      report.violations.push_back(std::move(v));
+    }
+  };
+  for (Entry& e : entries) {
+    report.suppressed += e.suppressed;
+    for (Violation& v : e.violations) admit(v);
+  }
+  for (Violation& v : graph_violations) admit(v);
+
   std::sort(report.violations.begin(), report.violations.end(),
             [](const Violation& a, const Violation& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
+              return std::tie(a.file, a.line, a.rule, a.evidence) <
+                     std::tie(b.file, b.line, b.rule, b.evidence);
             });
   return report.violations.empty() ? 0 : 1;
 }
 
 void print_text(const Report& report, std::ostream& out) {
   for (const Violation& v : report.violations) {
-    out << v.file << ":" << v.line << ": " << v.rule << ": " << v.message
-        << "\n";
+    out << v.file << ":" << v.line << ": " << v.rule << ": " << v.message;
+    if (!v.evidence.empty()) out << " [" << v.evidence << "]";
+    out << "\n";
   }
   out << "hwlint: " << report.files_scanned << " files, "
       << report.violations.size() << " violation"
@@ -264,20 +360,38 @@ void print_text(const Report& report, std::ostream& out) {
 }
 
 void print_json(const Report& report, const Options& opts, std::ostream& out) {
-  out << "{\n  \"schema\": \"hwatch.hwlint_report/v1\",\n  \"root\": \"";
+  out << "{\n  \"schema\": \"hwatch.hwlint_report/v2\",\n  \"root\": \"";
   json_escape(out, opts.root.generic_string());
   out << "\",\n  \"files_scanned\": " << report.files_scanned
       << ",\n  \"suppressed\": " << report.suppressed
       << ",\n  \"allowlisted\": " << report.allowlisted
-      << ",\n  \"violations\": [";
+      << ",\n  \"rules\": [";
+  const std::vector<std::string>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"";
+    json_escape(out, rules[i]);
+    out << "\"";
+  }
+  out << "],\n  \"passes\": [";
+  const std::vector<std::string>& passes = all_passes();
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"";
+    json_escape(out, passes[i]);
+    out << "\"";
+  }
+  out << "],\n  \"violations\": [";
   for (std::size_t i = 0; i < report.violations.size(); ++i) {
     const Violation& v = report.violations[i];
     out << (i == 0 ? "" : ",") << "\n    {\"file\": \"";
     json_escape(out, v.file);
     out << "\", \"line\": " << v.line << ", \"rule\": \"";
     json_escape(out, v.rule);
+    out << "\", \"pass\": \"";
+    json_escape(out, v.pass);
     out << "\", \"message\": \"";
     json_escape(out, v.message);
+    out << "\", \"evidence\": \"";
+    json_escape(out, v.evidence);
     out << "\"}";
   }
   out << (report.violations.empty() ? "]" : "\n  ]") << "\n}\n";

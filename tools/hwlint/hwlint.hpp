@@ -10,7 +10,19 @@
 // dependency-free — plain C++20 and <filesystem> — so the lint gate
 // costs nothing to build anywhere the simulator builds.
 //
-// Rules (ids are what `// hwlint: allow(<rule>)` and the allowlist use):
+// v2 grew the per-file tokenizer into a whole-program analyzer: a
+// preprocessor-lite include resolver feeds an include-graph layering
+// pass, and annotations from src/sim/annotations.hpp
+// (HWATCH_SHARD_CONFINED / HWATCH_SHARD_SHARED /
+// HWATCH_DETERMINISTIC_PLANE) feed a shard-confinement pass.  Files are
+// lexed once, in parallel, and every pass shares the memoized token
+// streams; reports stay deterministic (sorted by path) regardless of
+// thread count.
+//
+// Rules (ids are what `// hwlint: allow(<rule>)` and the allowlist use),
+// grouped by pass:
+//
+// pass "token" — per-file token scans:
 //
 //   nondeterminism     std::random_device, rand()/srand(), time()/clock(),
 //                      std::chrono::{system,steady,high_resolution}_clock,
@@ -20,12 +32,12 @@
 //                      `environment` section, and bench wall timing — all
 //                      covered by the checked-in allowlist.
 //
-//   hot-path-container std::function / std::deque / std::list in the
-//                      hot-path dirs (src/sim, src/net, src/tcp,
-//                      src/hwatch).  These either allocate per element
-//                      (deque, list) or force copyability and heap spills
-//                      (std::function); the repo provides UniqueFunction
-//                      and PacketRing instead.
+//   hot-path-container std::function / std::deque / std::list / std::map
+//                      / std::multimap in the hot-path dirs (src/sim,
+//                      src/net, src/tcp, src/hwatch).  These either
+//                      allocate per element or force copyability and
+//                      heap spills; the repo provides UniqueFunction and
+//                      PacketRing instead.
 //
 //   hot-path-alloc     raw `new` / `delete` (placement new and
 //                      `operator new` declarations are recognised and
@@ -61,17 +73,69 @@
 //                      variables that are not const/constexpr) in src/
 //                      outside src/sim — shared state across SimContext
 //                      instances breaks the zero-shared-state design.
-//                      The sim internals (log sinks, spill arenas) are
-//                      exempt by path.
+//                      The sim internals are covered by the
+//                      shard-confinement rule instead, which demands an
+//                      explicit HWATCH_SHARD_SHARED marker.
+//
+//   bad-suppression    unparsable `hwlint:` markers, and `allow(...)`
+//                      lists naming a rule this binary does not know
+//                      (`allow(layerng)` must fail loudly, not silently
+//                      no-op), so typos cannot disable the gate.
+//
+// pass "include-graph" — whole-program, over resolved `#include "..."`
+// edges between files under src/:
+//
+//   layering           the include DAG must respect the layer order
+//                        sim → net → tcp/hwatch → topo/stats/workload → api
+//                      (same-layer includes are fine; an include that
+//                      points at a *higher* layer is flagged), and must
+//                      be acyclic — cycle reports print the full
+//                      include path.  Quoted includes resolve relative
+//                      to the including file first, then against the
+//                      src/ include root; includes that resolve to no
+//                      scanned file (system headers, generated code)
+//                      are tolerated.
+//
+// pass "shard-confinement" — annotation-driven (src/sim/annotations.hpp):
+//
+//   shard-confinement  (1) a type declared HWATCH_SHARD_CONFINED
+//                      referenced from a translation unit that uses
+//                      std:: threading primitives (the ShardInbox /
+//                      ShardChannel-external threading contexts); (2) a
+//                      mutable namespace-scope variable in src/sim not
+//                      marked HWATCH_SHARD_SHARED; (3) a function
+//                      annotated HWATCH_DETERMINISTIC_PLANE whose
+//                      definition calls wall-clock or RNG-root APIs
+//                      (including `.seed(...)` reseeding) — enforced
+//                      even inside nondeterminism-allowlisted TUs.
+//
+// pass "fp-determinism" — floating-point portability, src/ only:
+//
+//   fp-determinism     (1) float/double accumulation (`+=`, `-=`, ...,
+//                      std::accumulate) inside iteration over a
+//                      container declared unordered — summation order
+//                      is implementation-defined; (2) direct `==`/`!=`
+//                      where either operand is a floating literal or a
+//                      name declared float/double *in the same file*
+//                      (per-file on purpose: a tree-wide name table
+//                      turns every `c == '"'` into noise the moment
+//                      any file declares `double c`) — representation
+//                      noise breaks cross-platform byte-identity; (3)
+//                      non-portable libm calls (pow/exp/log/tgamma/...;
+//                      sqrt and fma are exempt — IEEE 754 requires
+//                      correct rounding for them) outside allowlisted
+//                      TUs.
 //
 // Suppression: `// hwlint: allow(rule)` (or `allow(rule1, rule2)`,
 // or `allow(*)`) on the offending line, or alone on the line above.
 // A checked-in allowlist file (default <root>/tools/hwlint/allowlist.txt)
-// holds `allow <rule> <glob>` and `exclude <glob>` lines.
+// holds `allow <rule> <glob>` and `exclude <glob>` lines; rule names in
+// both places are validated against the rule table.
 #pragma once
 
 #include <filesystem>
 #include <iosfwd>
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
@@ -97,9 +161,19 @@ struct Suppression {
   std::vector<std::string> rules;
 };
 
+/// One `#include` directive, collected for the include-graph pass.
+/// `angled` distinguishes `<...>` (system — never part of the project
+/// graph) from `"..."`.
+struct IncludeDirective {
+  int line = 0;
+  bool angled = false;
+  std::string path;  // verbatim spelling between the delimiters
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  std::vector<IncludeDirective> includes;
   /// Lines carrying a `hwlint:` marker that did not parse as
   /// `allow(rule[, rule...])` — reported as violations of rule
   /// "bad-suppression" so typos cannot silently disable the gate.
@@ -108,8 +182,11 @@ struct LexResult {
 
 /// Tokenizes one translation unit: strips comments (collecting hwlint
 /// markers), string/char literals (raw strings included) and
-/// preprocessor directives; joins nothing — `::` is a single punct
-/// token so rule code can reassemble qualified names.
+/// preprocessor directives (collecting `#include` targets); joins
+/// nothing — `::` is a single punct token so rule code can reassemble
+/// qualified names.  `==` `!=` `+=` `-=` `*=` `/=` are single tokens
+/// (the fp-determinism pass keys on them); all other multi-character
+/// operators except `::` and `->` stay split.
 LexResult lex(std::string_view source);
 
 // ---------------------------------------------------------------- rules
@@ -118,7 +195,10 @@ struct Violation {
   std::string file;  // root-relative, forward slashes
   int line = 0;
   std::string rule;
+  std::string pass;      // "token" | "include-graph" | "shard-confinement"
+                         // | "fp-determinism"
   std::string message;
+  std::string evidence;  // include path / annotation site; "" when n/a
 };
 
 inline constexpr std::string_view kRuleNondeterminism = "nondeterminism";
@@ -128,23 +208,80 @@ inline constexpr std::string_view kRuleUnorderedIter = "unordered-iter";
 inline constexpr std::string_view kRuleCrossShardState = "cross-shard-state";
 inline constexpr std::string_view kRuleMutableGlobal = "mutable-global";
 inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
+inline constexpr std::string_view kRuleLayering = "layering";
+inline constexpr std::string_view kRuleShardConfinement = "shard-confinement";
+inline constexpr std::string_view kRuleFpDeterminism = "fp-determinism";
 
-/// All rule ids, for `--help` and the tests.
+inline constexpr std::string_view kPassToken = "token";
+inline constexpr std::string_view kPassIncludeGraph = "include-graph";
+inline constexpr std::string_view kPassShardConfinement = "shard-confinement";
+inline constexpr std::string_view kPassFpDeterminism = "fp-determinism";
+
+/// All rule ids, for `--help`, suppression validation and the tests.
 const std::vector<std::string>& all_rules();
+/// All pass names, in report order.
+const std::vector<std::string>& all_passes();
+/// True when `rule` names a known rule (suppression validation).
+bool known_rule(std::string_view rule);
 
-/// Scans a token stream for names declared as unordered containers
-/// (members, locals, parameters).  Collected across every scanned file
-/// before rule checks run, so a member declared in a header is caught
-/// when iterated in its .cpp.
-std::set<std::string> collect_unordered_names(const std::vector<Token>& toks);
+/// Cross-file facts collected over every scanned file before the rule
+/// checks run, so a declaration in a header is honoured when its .cpp
+/// is checked.  Values in the evidence maps are "file:line" of the
+/// first declaration in path order (deterministic).
+struct TreeIndex {
+  /// Names declared as std::unordered_{map,set,multimap,multiset}.
+  std::set<std::string> unordered_names;
+  /// Class names annotated HWATCH_SHARD_CONFINED -> declaration site.
+  std::map<std::string, std::string> confined_types;
+  /// Class names annotated HWATCH_SHARD_SHARED -> declaration site.
+  std::map<std::string, std::string> shared_types;
+  /// Function names annotated HWATCH_DETERMINISTIC_PLANE -> site.
+  std::map<std::string, std::string> deterministic_fns;
+};
 
-/// Runs every rule over one file.  `rel_path` (forward slashes, relative
-/// to the scan root) decides which rules apply; `unordered_names` is the
-/// tree-wide set from collect_unordered_names.  Inline suppressions are
+/// Folds one lexed file into the tree-wide index.  Call in sorted path
+/// order so evidence strings are deterministic.
+void index_file(const std::string& rel_path, const LexResult& lexed,
+                TreeIndex& index);
+
+/// Runs every per-file rule over one already-lexed file.  `rel_path`
+/// (forward slashes, relative to the scan root) decides which rules
+/// apply; `index` is the tree-wide fact table.  Inline suppressions are
 /// applied here; allowlist filtering happens in the driver.
+std::vector<Violation> check_file(const std::string& rel_path,
+                                  const LexResult& lexed,
+                                  const TreeIndex& index,
+                                  std::size_t* suppressed_count = nullptr);
+
+/// Convenience for tests: lex + index-free check of a single source.
+/// Builds a one-file TreeIndex from `source` itself.
 std::vector<Violation> check_source(
     const std::string& rel_path, std::string_view source,
-    const std::set<std::string>& unordered_names,
+    std::size_t* suppressed_count = nullptr);
+
+// ------------------------------------------------- include-graph pass
+
+/// Layer rank of a path under src/ (sim=0, net=1, tcp=hwatch=2,
+/// topo=stats=workload=3, api=4); -1 for anything else (unknown dirs
+/// and files outside src/ take no part in layering).
+int layer_rank(std::string_view rel_path);
+
+/// Resolves one quoted include spelled `target` inside `includer_rel`
+/// against the set of scanned files: relative to the including file's
+/// directory first, then the src/ include root, then verbatim.  Returns
+/// "" when nothing matches (missing-file tolerance).
+std::string resolve_include(const std::string& includer_rel,
+                            const std::string& target,
+                            const std::set<std::string>& known_files);
+
+/// The include-graph pass: builds the resolved `#include` DAG over the
+/// files under src/ and enforces the layer order plus acyclicity.
+/// Upward includes are attributed to the including file at the
+/// `#include` line (inline-suppressible there); cycles are attributed
+/// to the lexicographically smallest member and carry the full path in
+/// the message and evidence.  `files` maps rel path -> lexed content.
+std::vector<Violation> check_include_graph(
+    const std::map<std::string, const LexResult*>& files,
     std::size_t* suppressed_count = nullptr);
 
 // --------------------------------------------------------------- driver
@@ -163,11 +300,12 @@ struct Allowlist {
 };
 
 /// `*` crosses directory separators; a pattern ending in `/` matches any
-/// path under that prefix.
+/// path under that prefix (the prefix itself may contain wildcards).
 bool glob_match(std::string_view pattern, std::string_view path);
 
 /// Parses `allow <rule> <glob>` / `exclude <glob>` lines (# comments).
-/// Returns false (with a message in `err`) on malformed input.
+/// Rule names must be known (or `*`).  Returns false (with a message in
+/// `err`) on malformed input.
 bool parse_allowlist(std::string_view text, Allowlist& out, std::string& err);
 
 struct Options {
@@ -175,6 +313,9 @@ struct Options {
   std::vector<std::string> paths;  // explicit files/dirs; empty => default dirs
   std::filesystem::path allowlist;  // empty => <root>/tools/hwlint/allowlist.txt
   bool json = false;
+  /// Worker threads for the lex and rule passes; 0 = one per hardware
+  /// thread (clamped).  The report is byte-identical for every value.
+  unsigned jobs = 0;
 };
 
 struct Report {
@@ -191,7 +332,8 @@ int run_lint(const Options& opts, Report& report, std::ostream& err);
 /// Renders `file:line: rule: message` lines (stable order).
 void print_text(const Report& report, std::ostream& out);
 
-/// Renders the machine-readable report (schema hwatch.hwlint_report/v1).
+/// Renders the machine-readable report (schema hwatch.hwlint_report/v2:
+/// violations carry pass and evidence; top level lists rules + passes).
 void print_json(const Report& report, const Options& opts, std::ostream& out);
 
 }  // namespace hwlint

@@ -1,0 +1,252 @@
+// Include-graph layering pass.
+//
+// Builds the resolved `#include "..."` DAG over the scanned files under
+// src/ and proves two architectural facts the compiler never will:
+//
+//   1. The layer order  sim → net → tcp/hwatch → topo/stats/workload →
+//      api  is respected: a file may include its own layer or a lower
+//      one, never a higher one.  (sim is the base: everything may
+//      depend on it, it depends on nothing project-local.)
+//
+//   2. The graph is acyclic.  Header cycles "work" under #pragma once
+//      by silently giving one of the two files a truncated view, which
+//      is exactly the kind of latent breakage that surfaces months
+//      later; cycle reports therefore print the full include path.
+//
+// Resolution is preprocessor-lite: a quoted include is tried relative
+// to the including file's directory, then against the src/ include
+// root, then verbatim — the same order the build's `-Isrc` setup makes
+// the compiler use.  Angled includes and includes that resolve to no
+// scanned file (system headers) take no part in the graph.
+
+#include "hwlint/hwlint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace hwlint {
+
+namespace {
+
+/// Top-level directory under src/ ("sim" for "src/sim/context.hpp"),
+/// or "" when the path is not of that shape.
+std::string layer_dir(std::string_view rel) {
+  constexpr std::string_view kPrefix = "src/";
+  if (rel.substr(0, kPrefix.size()) != kPrefix) return "";
+  const std::string_view rest = rel.substr(kPrefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+/// Collapses "." and ".." segments; keeps forward slashes.  ".."
+/// popping past the root just drops the segment (good enough for
+/// lint-time resolution of project-relative paths).
+std::string normalize(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i <= path.size()) {
+    const std::size_t slash = std::min(path.find('/', i), path.size());
+    const std::string_view seg = path.substr(i, slash - i);
+    if (seg == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else if (!seg.empty() && seg != ".") {
+      parts.emplace_back(seg);
+    }
+    i = slash + 1;
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+bool suppressed_at(const LexResult& lexed, int line, std::string_view rule) {
+  for (const Suppression& s : lexed.suppressions) {
+    const bool line_match =
+        s.line == line || (s.whole_line && s.line + 1 == line);
+    if (!line_match) continue;
+    if (s.rules.empty()) return true;  // allow(*)
+    for (const std::string& r : s.rules) {
+      if (r == rule) return true;
+    }
+  }
+  return false;
+}
+
+std::string join_path(const std::vector<std::string>& cycle) {
+  std::string out;
+  for (const std::string& f : cycle) {
+    if (!out.empty()) out += " -> ";
+    out += f;
+  }
+  out += " -> " + cycle.front();
+  return out;
+}
+
+struct Graph {
+  // node -> (target, include line), edges in include order.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> adj;
+};
+
+/// DFS cycle finder.  Colors: 0 white, 1 on stack, 2 done.  Every back
+/// edge yields the cycle currently on the stack; cycles are
+/// canonicalized (rotated to their lexicographically smallest member)
+/// and deduped so a triangle is reported once, not three times.
+void find_cycles(const Graph& g,
+                 std::map<std::string, std::vector<std::string>>& cycles) {
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+
+  struct Walker {
+    const Graph& g;
+    std::map<std::string, int>& color;
+    std::vector<std::string>& stack;
+    std::map<std::string, std::vector<std::string>>& cycles;
+
+    void visit(const std::string& v) {
+      color[v] = 1;
+      stack.push_back(v);
+      const auto it = g.adj.find(v);
+      if (it != g.adj.end()) {
+        for (const auto& [w, line] : it->second) {
+          const int c = color.count(w) != 0 ? color[w] : 0;
+          if (c == 1) {
+            // Back edge: the cycle is stack[pos(w)..end].
+            const auto at = std::find(stack.begin(), stack.end(), w);
+            std::vector<std::string> cyc(at, stack.end());
+            const auto small = std::min_element(cyc.begin(), cyc.end());
+            std::rotate(cyc.begin(), small, cyc.end());
+            cycles.emplace(join_path(cyc), cyc);
+          } else if (c == 0) {
+            visit(w);
+          }
+        }
+      }
+      stack.pop_back();
+      color[v] = 2;
+    }
+  };
+
+  Walker walker{g, color, stack, cycles};
+  for (const auto& [v, edges] : g.adj) {
+    if (color.count(v) == 0) walker.visit(v);
+  }
+}
+
+}  // namespace
+
+int layer_rank(std::string_view rel_path) {
+  const std::string dir = layer_dir(rel_path);
+  if (dir == "sim") return 0;
+  if (dir == "net") return 1;
+  if (dir == "tcp" || dir == "hwatch") return 2;
+  if (dir == "topo" || dir == "stats" || dir == "workload") return 3;
+  if (dir == "api") return 4;
+  return -1;
+}
+
+std::string resolve_include(const std::string& includer_rel,
+                            const std::string& target,
+                            const std::set<std::string>& known_files) {
+  // 1. Relative to the including file's directory.
+  const std::size_t slash = includer_rel.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string rel =
+        normalize(includer_rel.substr(0, slash) + "/" + target);
+    if (known_files.count(rel) != 0) return rel;
+  }
+  // 2. Against the src/ include root (the build passes -Isrc).
+  const std::string rooted = normalize("src/" + target);
+  if (known_files.count(rooted) != 0) return rooted;
+  // 3. Verbatim from the repo root.
+  const std::string verbatim = normalize(target);
+  if (known_files.count(verbatim) != 0) return verbatim;
+  return "";
+}
+
+std::vector<Violation> check_include_graph(
+    const std::map<std::string, const LexResult*>& files,
+    std::size_t* suppressed_count) {
+  std::set<std::string> known;
+  for (const auto& [rel, lexed] : files) known.insert(rel);
+
+  std::vector<Violation> out;
+  auto note = [&](const LexResult& lexed, const std::string& rel, int line,
+                  std::string message, std::string evidence) {
+    if (suppressed_at(lexed, line, kRuleLayering)) {
+      if (suppressed_count != nullptr) ++*suppressed_count;
+      return;
+    }
+    out.push_back(Violation{rel, line, std::string(kRuleLayering),
+                            std::string(kPassIncludeGraph),
+                            std::move(message), std::move(evidence)});
+  };
+
+  // Resolve edges; flag upward includes as we go.  Only edges whose
+  // both endpoints live in a ranked src/ layer participate.
+  Graph graph;
+  for (const auto& [rel, lexed] : files) {
+    const int from_rank = layer_rank(rel);
+    if (from_rank < 0) continue;
+    for (const IncludeDirective& inc : lexed->includes) {
+      if (inc.angled) continue;
+      const std::string target = resolve_include(rel, inc.path, known);
+      if (target.empty()) continue;  // missing-file tolerance
+      const int to_rank = layer_rank(target);
+      if (to_rank < 0) continue;
+      graph.adj[rel].emplace_back(target, inc.line);
+      if (to_rank > from_rank) {
+        note(*lexed, rel, inc.line,
+             "upward include: layer `" + layer_dir(rel) + "` (rank " +
+                 std::to_string(from_rank) + ") includes `" +
+                 layer_dir(target) + "` (rank " + std::to_string(to_rank) +
+                 "); the layer order is sim -> net -> tcp/hwatch -> "
+                 "topo/stats/workload -> api and dependencies may only "
+                 "point down",
+             rel + " -> " + target);
+      }
+    }
+  }
+
+  // Cycles (self-includes come out as cycles of length 1).
+  std::map<std::string, std::vector<std::string>> cycles;
+  find_cycles(graph, cycles);
+  for (const auto& [key, cyc] : cycles) {
+    // Attribute to the lexicographically smallest member (cyc.front()
+    // after canonical rotation), at the line where it includes the next
+    // file on the cycle.
+    const std::string& owner = cyc.front();
+    const std::string& next = cyc.size() > 1 ? cyc[1] : cyc.front();
+    int line = 1;
+    const auto it = graph.adj.find(owner);
+    if (it != graph.adj.end()) {
+      for (const auto& [target, at] : it->second) {
+        if (target == next) {
+          line = at;
+          break;
+        }
+      }
+    }
+    const auto lexed = files.find(owner);
+    note(*lexed->second, owner, line,
+         "include cycle: " + key +
+             "; under #pragma once one member silently sees a truncated "
+             "view of the other — break the cycle with a forward "
+             "declaration or by splitting the header",
+         key);
+  }
+
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.evidence) <
+           std::tie(b.file, b.line, b.evidence);
+  });
+  return out;
+}
+
+}  // namespace hwlint

@@ -103,8 +103,27 @@ LexResult lex(std::string_view src) {
       ++i;
       continue;
     }
-    // Preprocessor directive: skip to end of line (honouring \-splices).
+    // Preprocessor directive: collect `#include` targets for the
+    // include-graph pass, then skip to end of line (honouring
+    // \-splices).
     if (c == '#' && only_ws_before(i)) {
+      std::size_t k = i + 1;
+      while (k < n && (src[k] == ' ' || src[k] == '\t')) ++k;
+      if (src.compare(k, 7, "include") == 0) {
+        k += 7;
+        while (k < n && (src[k] == ' ' || src[k] == '\t')) ++k;
+        if (k < n && (src[k] == '"' || src[k] == '<')) {
+          const bool angled = src[k] == '<';
+          const char close = angled ? '>' : '"';
+          const std::size_t begin = k + 1;
+          std::size_t end = begin;
+          while (end < n && src[end] != close && src[end] != '\n') ++end;
+          if (end < n && src[end] == close) {
+            out.includes.push_back(IncludeDirective{
+                line, angled, std::string(src.substr(begin, end - begin))});
+          }
+        }
+      }
       while (i < n) {
         if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
           ++line;
@@ -208,8 +227,10 @@ LexResult lex(std::string_view src) {
           Token{Token::Kind::kNumber, std::string(src.substr(begin, i - begin)), line});
       continue;
     }
-    // Punctuation.  `::` and `->` are kept as single tokens; everything
-    // else is one character (so `>>` closing two templates is two `>`s,
+    // Punctuation.  `::`, `->`, the equality operators and the simple
+    // compound assignments are kept as single tokens (the
+    // fp-determinism pass keys on `==`/`!=`/`+=`/...); everything else
+    // is one character (so `>>` closing two templates is two `>`s,
     // which is exactly what the template-skipper wants).
     if (c == ':' && i + 1 < n && src[i + 1] == ':') {
       out.tokens.push_back(Token{Token::Kind::kPunct, "::", line});
@@ -218,6 +239,14 @@ LexResult lex(std::string_view src) {
     }
     if (c == '-' && i + 1 < n && src[i + 1] == '>') {
       out.tokens.push_back(Token{Token::Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    if ((c == '=' || c == '!' || c == '+' || c == '-' || c == '*' ||
+         c == '/') &&
+        i + 1 < n && src[i + 1] == '=') {
+      out.tokens.push_back(
+          Token{Token::Kind::kPunct, std::string(1, c) + "=", line});
       i += 2;
       continue;
     }

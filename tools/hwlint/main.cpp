@@ -9,13 +9,15 @@
 namespace {
 
 void usage(std::ostream& os) {
-  os << "usage: hwlint [--root DIR] [--allowlist FILE] [--json] [paths...]\n"
+  os << "usage: hwlint [--root DIR] [--allowlist FILE] [--json]\n"
+        "              [--jobs N] [paths...]\n"
         "\n"
         "Project-specific static analysis for the HWatch simulator.\n"
         "Scans src/ bench/ tests/ tools/ examples/ under --root (default:\n"
         "the current directory) unless explicit paths are given.  The\n"
         "allowlist defaults to <root>/tools/hwlint/allowlist.txt when\n"
-        "present.\n"
+        "present.  --jobs 0 (the default) uses one worker per hardware\n"
+        "thread; the report is byte-identical for every job count.\n"
         "\n"
         "Rules:\n";
   for (const std::string& r : hwlint::all_rules()) {
@@ -46,6 +48,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.allowlist = argv[i];
+    } else if (arg == "--jobs" || arg == "-j") {
+      if (++i >= argc) {
+        std::cerr << "hwlint: --jobs needs a count\n";
+        return 2;
+      }
+      try {
+        opts.jobs = static_cast<unsigned>(std::stoul(argv[i]));
+      } catch (...) {
+        std::cerr << "hwlint: --jobs needs a number, got " << argv[i] << "\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
