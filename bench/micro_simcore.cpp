@@ -11,11 +11,13 @@
 #include "net/checksum.hpp"
 #include "net/queue.hpp"
 #include "sim/context.hpp"
+#include "sim/incident_hooks.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/self_profiler.hpp"
 #include "sim/shard_group.hpp"
 #include "sim/shard_telemetry.hpp"
 #include "sim/trace_span.hpp"
+#include "stats/incident.hpp"
 #include "tcp/connection.hpp"
 #include "topo/dumbbell.hpp"
 
@@ -301,6 +303,36 @@ void BM_SpanTracerHooks(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3);
 }
 BENCHMARK(BM_SpanTracerHooks)->Arg(0)->Arg(1);
+
+/// Incident-detector hooks follow the same discipline: every site in
+/// the packet path is `if (sink = ctx.incidents())`, so a run without
+/// detection pays one predictable null-pointer branch per hook and
+/// nothing else — no virtual call, no allocation.  Arg(0) pins that
+/// disabled path; Arg(1) attaches a stats::IncidentDetector and pays
+/// the dispatch plus episode bookkeeping (the depth ramp opens and
+/// closes a queue episode every 64 iterations; sub-threshold episodes
+/// are discarded, so state stays bounded).
+void BM_IncidentHooks(benchmark::State& state) {
+  sim::SimContext ctx(1);
+  stats::IncidentDetector doctor;
+  std::uint32_t q = 0;
+  if (state.range(0) != 0) {
+    q = doctor.register_queue("bench.q", 64);
+    ctx.set_incident_sink(&doctor);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if (sim::IncidentSink* sink = ctx.incidents()) {
+      sink->on_queue_depth(q, i % 64, static_cast<sim::TimePs>(i));
+      sink->on_flow_progress(1, 2, static_cast<sim::TimePs>(i),
+                             sim::microseconds(100));
+    }
+    benchmark::DoNotOptimize(ctx);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_IncidentHooks)->Arg(0)->Arg(1);
 
 /// Flow-span lookup links do per traced packet (disabled: the enabled()
 /// guard in the caller makes this free; this bench isolates the lookup

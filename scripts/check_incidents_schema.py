@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Validates a run manifest's incidents section against hwatch.incidents/v1.
+
+Usage:
+    scripts/check_incidents_schema.py manifest.json [spans.jsonl]
+
+CI runs this on every manifest the trace-export job produces so schema
+drift (renamed fields, an unsorted incident list, ids that stop being
+array indices, a kind outside the vocabulary) fails the job even when
+the incidents themselves look plausible.  With a span JSONL dump as the
+second argument it also checks referential integrity: every span id an
+incident cites must be defined by the dump ("F" flow-registry or "B"
+span-open lines), so `trace_inspect explain` can always resolve the
+join.  Exits 0 on a valid section, 1 on drift, 2 on unreadable input.
+A manifest *without* an incidents section passes (detectors off is a
+legal configuration); an incidents key with the wrong schema does not.
+"""
+
+import json
+import sys
+
+SCHEMA = "hwatch.incidents/v1"
+
+# The manifest vocabulary, in IncidentKind enum order — the global sort
+# compares the enum, not the wire name, so the checker must rank kinds
+# the same way the C++ side does (to_string in incident.cpp).
+KINDS = (
+    "queue-buildup",
+    "incast",
+    "rto-storm",
+    "retx-burst",
+    "flow-stall",
+    "rwnd-rewrite-burst",
+)
+
+INCIDENT_KEYS = ("id", "kind", "severity", "start_ps", "end_ps",
+                 "location", "magnitude", "flows", "spans")
+FLOW_KEYS = ("src", "dst", "sport", "dport", "span")
+
+
+def fail(msg):
+    print(f"check_incidents_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_incidents_schema: unreadable {path}: {exc}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def span_ids_of(path):
+    """Every span id a JSONL span dump defines (F and B lines)."""
+    ids = set()
+    try:
+        with open(path) as fh:
+            for n, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    print(f"check_incidents_schema: {path}:{n}: {exc}",
+                          file=sys.stderr)
+                    sys.exit(2)
+                if rec.get("ph") in ("F", "B") and "id" in rec:
+                    ids.add(rec["id"])
+    except OSError as exc:
+        print(f"check_incidents_schema: unreadable {path}: {exc}",
+              file=sys.stderr)
+        sys.exit(2)
+    return ids
+
+
+def uint(incident, key):
+    v = incident.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        fail(f"incident {incident.get('id')!r}: {key} is not a "
+             f"non-negative integer: {v!r}")
+    return v
+
+
+def sort_key(incident):
+    flows = incident["flows"]
+    hi = (flows[0]["src"] << 32 | flows[0]["dst"]) if flows else 0
+    lo = (flows[0]["sport"] << 16 | flows[0]["dport"]) if flows else 0
+    return (incident["start_ps"], KINDS.index(incident["kind"]),
+            incident["location"], incident["end_ps"], hi, lo,
+            incident["magnitude"])
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    manifest = load_json(sys.argv[1])
+    if not isinstance(manifest, dict):
+        fail("manifest top level is not an object")
+    section = manifest.get("incidents")
+    if section is None:
+        print("check_incidents_schema: no incidents section (detectors "
+              "off) — ok")
+        return
+    if not isinstance(section, dict):
+        fail("incidents section is not an object")
+    if section.get("schema") != SCHEMA:
+        fail(f"schema is {section.get('schema')!r}, expected {SCHEMA!r}")
+    incidents = section.get("incidents")
+    if not isinstance(incidents, list):
+        fail("incidents array missing")
+    if section.get("count") != len(incidents):
+        fail(f"count {section.get('count')!r} != array length "
+             f"{len(incidents)}")
+
+    cited_spans = set()
+    for index, inc in enumerate(incidents):
+        if not isinstance(inc, dict):
+            fail(f"incident {index} is not an object")
+        for key in INCIDENT_KEYS:
+            if key not in inc:
+                fail(f"incident {index}: missing key {key!r}")
+        if inc["id"] != index:
+            fail(f"incident {index}: id {inc['id']!r} is not its array "
+                 f"index")
+        if inc["kind"] not in KINDS:
+            fail(f"incident {index}: unknown kind {inc['kind']!r}")
+        if inc["severity"] not in (1, 2, 3):
+            fail(f"incident {index}: severity {inc['severity']!r} "
+                 f"outside 1..3")
+        if uint(inc, "start_ps") > uint(inc, "end_ps"):
+            fail(f"incident {index}: start_ps > end_ps")
+        uint(inc, "magnitude")
+        if not isinstance(inc["location"], str) or not inc["location"]:
+            fail(f"incident {index}: location is not a non-empty string")
+        # drops rides only on queue-buildup incidents.
+        if (inc["kind"] == "queue-buildup") != ("drops" in inc):
+            fail(f"incident {index}: drops key "
+                 f"{'missing from' if inc['kind'] == 'queue-buildup' else 'present on'} "
+                 f"{inc['kind']}")
+        if not isinstance(inc["flows"], list):
+            fail(f"incident {index}: flows is not an array")
+        for f in inc["flows"]:
+            for key in FLOW_KEYS:
+                if key not in f:
+                    fail(f"incident {index}: flow missing key {key!r}")
+            if f["span"] != 0:
+                cited_spans.add(f["span"])
+        spans = inc["spans"]
+        if not isinstance(spans, list) or spans != sorted(set(spans)):
+            fail(f"incident {index}: spans is not a sorted unique array")
+        if 0 in spans:
+            fail(f"incident {index}: spans contains the null span id 0")
+        cited_spans.update(spans)
+
+    keys = [sort_key(inc) for inc in incidents]
+    if keys != sorted(keys):
+        fail("incident list is not in the deterministic global order "
+             "(start_ps, kind, location, end_ps, first-flow, magnitude)")
+
+    if len(sys.argv) == 3:
+        defined = span_ids_of(sys.argv[2])
+        dangling = cited_spans - defined
+        if dangling:
+            fail(f"span refs not defined by the span dump: "
+                 f"{sorted(dangling)[:10]}")
+
+    print(f"check_incidents_schema: ok — {len(incidents)} incidents, "
+          f"{len(cited_spans)} span refs")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@
 #include <stdexcept>
 
 #include "sim/context.hpp"
+#include "stats/incident.hpp"
 
 namespace hwatch::api {
 
@@ -208,10 +209,24 @@ void wire_gauges(
   });
 }
 
+/// Registers every switch queue with the incident detector under its
+/// owning link's (globally stable) name.  Call after the topology is
+/// built and before the run.
+void wire_incidents(const net::Network& net,
+                    stats::IncidentDetector& doctor) {
+  for (const auto& l : net.links()) {
+    const std::uint32_t id =
+        doctor.register_queue(l->name(), l->qdisc().capacity_packets());
+    l->qdisc().attach_incident_sink(&doctor, id);
+  }
+}
+
 /// End-of-run harvest: quantities that already have cheap always-on
 /// aggregates (QueueStats, scheduler totals, per-flow records) become
-/// registry counters/histograms here, at zero hot-path cost.
-void harvest_metrics(sim::SimContext& ctx, const ScenarioResults& res) {
+/// registry counters/histograms here, at zero hot-path cost.  Returns
+/// the completed-flow FCT percentiles for the results section.
+stats::Percentiles harvest_metrics(sim::SimContext& ctx,
+                                   const ScenarioResults& res) {
   sim::MetricsRegistry& m = ctx.metrics();
   const net::QueueStats& q = res.bottleneck_queue;
   m.counter("queue.bottleneck.enqueued").inc(q.enqueued);
@@ -231,6 +246,7 @@ void harvest_metrics(sim::SimContext& ctx, const ScenarioResults& res) {
   for (const auto& r : res.records) {
     if (r.completed) fct.record(r.fct_ms());
   }
+  return stats::percentiles(fct);
 }
 
 sim::Json results_json(const ScenarioResults& res) {
@@ -289,8 +305,9 @@ void finish_manifest(ScenarioResults& res, sim::SimContext& ctx,
                      const std::string& label, const char* kind,
                      std::uint64_t seed, sim::Json config,
                      const stats::MetricsSampler& sampler,
-                     double wall_ms, const char* metrics_dir) {
-  harvest_metrics(ctx, res);
+                     double wall_ms, const char* metrics_dir,
+                     const stats::IncidentDetector* doctor = nullptr) {
+  const stats::Percentiles fct = harvest_metrics(ctx, res);
   sim::RunManifest& man = res.manifest;
   man.name = label.empty()
                  ? std::string(kind) + "-seed" + std::to_string(seed)
@@ -299,6 +316,10 @@ void finish_manifest(ScenarioResults& res, sim::SimContext& ctx,
   man.seed = seed;
   man.config = std::move(config);
   man.results = results_json(res);
+  man.results.set("fct_ms_percentiles", stats::percentiles_json(fct));
+  if (doctor != nullptr) {
+    man.incidents = stats::incidents_json(doctor->incidents());
+  }
   man.metrics = sim::metrics_json(ctx.metrics().snapshot());
   man.series = series_json(sampler);
   man.wall_time_ms = wall_ms;
@@ -387,7 +408,9 @@ bool env_flag(const char* name) {
 
 ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
   const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
-  const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const bool detect = cfg.detect_incidents || env_flag("HWATCH_INCIDENTS");
+  const bool collect =
+      cfg.collect_metrics || metrics_dir != nullptr || detect;
   const char* trace_dir = std::getenv("HWATCH_TRACE_DIR");
   const bool trace = cfg.trace_spans || trace_dir != nullptr;
   const bool profile = cfg.profile || env_flag("HWATCH_PROFILE");
@@ -410,6 +433,13 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
   topo_cfg.bottleneck_qdisc =
       cfg.core_aqm.make_factory(cfg.bottleneck_rate);
   topo::Dumbbell d = topo::build_dumbbell(net, topo_cfg);
+
+  std::unique_ptr<stats::IncidentDetector> doctor;
+  if (detect) {
+    doctor = std::make_unique<stats::IncidentDetector>();
+    ctx.set_incident_sink(doctor.get());
+    wire_incidents(net, *doctor);
+  }
 
   std::vector<std::unique_ptr<core::HypervisorShim>> shims;
   if (cfg.hwatch_enabled) {
@@ -481,6 +511,7 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
   res.timeouts = tm.total_timeouts();
   res.events_executed = sched.executed();
   res.shim = aggregate_shims(shims);
+  if (doctor) doctor->finalize(ctx.now());
 
   if (collect) {
     sim::Json config = sim::Json::object();
@@ -497,7 +528,7 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
     config.set("seed", cfg.seed);
     finish_manifest(res, ctx, cfg.run_label, "dumbbell", cfg.seed,
                     std::move(config), *metrics_sampler,
-                    wall_ms_since(wall0), metrics_dir);
+                    wall_ms_since(wall0), metrics_dir, doctor.get());
   }
   if (trace) {
     finish_tracing(res, ctx,
@@ -510,7 +541,9 @@ ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg) {
 
 ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
   const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
-  const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const bool detect = cfg.detect_incidents || env_flag("HWATCH_INCIDENTS");
+  const bool collect =
+      cfg.collect_metrics || metrics_dir != nullptr || detect;
   const char* trace_dir = std::getenv("HWATCH_TRACE_DIR");
   const bool trace = cfg.trace_spans || trace_dir != nullptr;
   const bool profile = cfg.profile || env_flag("HWATCH_PROFILE");
@@ -535,6 +568,13 @@ ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
   topo::LeafSpine t = topo::build_leaf_spine(net, topo_cfg);
   if (cfg.racks < 2) {
     throw std::invalid_argument("leaf-spine scenario needs >= 2 racks");
+  }
+
+  std::unique_ptr<stats::IncidentDetector> doctor;
+  if (detect) {
+    doctor = std::make_unique<stats::IncidentDetector>();
+    ctx.set_incident_sink(doctor.get());
+    wire_incidents(net, *doctor);
   }
 
   std::vector<std::unique_ptr<core::HypervisorShim>> shims;
@@ -621,6 +661,7 @@ ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
   res.timeouts = tm.total_timeouts();
   res.events_executed = sched.executed();
   res.shim = aggregate_shims(shims);
+  if (doctor) doctor->finalize(ctx.now());
 
   if (collect) {
     sim::Json config = sim::Json::object();
@@ -644,7 +685,7 @@ ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg) {
     config.set("seed", cfg.seed);
     finish_manifest(res, ctx, cfg.run_label, "leaf_spine", cfg.seed,
                     std::move(config), *metrics_sampler,
-                    wall_ms_since(wall0), metrics_dir);
+                    wall_ms_since(wall0), metrics_dir, doctor.get());
   }
   if (trace) {
     finish_tracing(res, ctx,

@@ -157,6 +157,13 @@ struct DumbbellScenarioConfig {
   /// Enables the self-profiler; the report goes to stderr at end of
   /// run.  Also forced on by HWATCH_PROFILE=1.
   bool profile = false;
+
+  /// Enables the congestion-incident detectors (stats::IncidentDetector)
+  /// and fills the manifest `incidents` section (implies
+  /// collect_metrics).  Also forced on by HWATCH_INCIDENTS=1.  Off, the
+  /// hook sites cost one predictable branch each and the manifest is
+  /// byte-identical to a detector-less build.
+  bool detect_incidents = false;
 };
 
 ScenarioResults run_dumbbell(const DumbbellScenarioConfig& cfg);
@@ -202,9 +209,11 @@ struct LeafSpineScenarioConfig {
   bool collect_metrics = false;
   std::string run_label;
 
-  /// Same semantics as DumbbellScenarioConfig::trace_spans / profile.
+  /// Same semantics as DumbbellScenarioConfig::trace_spans / profile /
+  /// detect_incidents.
   bool trace_spans = false;
   bool profile = false;
+  bool detect_incidents = false;
 };
 
 ScenarioResults run_leaf_spine(const LeafSpineScenarioConfig& cfg);

@@ -18,6 +18,8 @@
 #include "sim/self_profiler.hpp"
 #include "sim/shard_group.hpp"
 #include "sim/shard_telemetry.hpp"
+#include "stats/cdf.hpp"
+#include "stats/incident.hpp"
 
 namespace hwatch::api {
 
@@ -65,6 +67,7 @@ struct ShardRun final : sim::ShardTask {
   std::vector<net::CrossShardChannel*>* ingress = nullptr;
   std::vector<std::pair<net::Node*, net::ShardInbox::Item>> scratch;
   sim::ShardTelemetry* telemetry = nullptr;
+  stats::IncidentDetector* doctor = nullptr;
   std::size_t shard_id = 0;
 
   void drain(sim::TimePs window_start) override {
@@ -89,6 +92,11 @@ struct ShardRun final : sim::ShardTask {
     if (telemetry != nullptr) {
       telemetry->shard_run(shard_id, window_end,
                            ctx->scheduler().executed());
+      if (doctor != nullptr) {
+        // Open-episode count for the heartbeat's incident column —
+        // sim-time detector state, owner-written like the counters.
+        telemetry->shard_incidents(shard_id, doctor->active_count());
+      }
     }
   }
 };
@@ -146,7 +154,9 @@ sim::Json merged_series_json(
 
 ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
   const char* metrics_dir = std::getenv("HWATCH_METRICS_DIR");
-  const bool collect = cfg.collect_metrics || metrics_dir != nullptr;
+  const bool detect = cfg.detect_incidents || env_flag("HWATCH_INCIDENTS");
+  const bool collect =
+      cfg.collect_metrics || metrics_dir != nullptr || detect;
   const char* trace_dir = std::getenv("HWATCH_TRACE_DIR");
   const bool trace = cfg.trace_spans || trace_dir != nullptr;
   const bool profile = cfg.profile || env_flag("HWATCH_PROFILE");
@@ -187,6 +197,26 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     if (profile) ctx.profiler().set_enabled(true);
   }
 
+  // One incident detector per logical shard: every hook fires on the
+  // shard's own context, episode state never crosses a shard boundary,
+  // and the end-of-run fold walks the shards in order — so the
+  // incidents section is a pure function of (config, seed),
+  // byte-identical across worker counts.
+  std::vector<std::unique_ptr<stats::IncidentDetector>> doctors;
+  if (detect) {
+    doctors.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      auto doctor = std::make_unique<stats::IncidentDetector>();
+      tree.shards[s].ctx->set_incident_sink(doctor.get());
+      for (const auto& l : tree.shards[s].net->links()) {
+        const std::uint32_t id = doctor->register_queue(
+            l->name(), l->qdisc().capacity_packets());
+        l->qdisc().attach_incident_sink(doctor.get(), id);
+      }
+      doctors.push_back(std::move(doctor));
+    }
+  }
+
   // Shard telemetry: deterministic counters whenever the manifest wants
   // them, wall-clock timelines only for the wall-clock consumers.
   const bool wall_spans = trace || profile;
@@ -202,6 +232,7 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     tc.lookahead = tree.lookahead;
     tc.wall_spans = wall_spans;
     tc.progress = progress;
+    tc.incidents = detect;
     tc.epoch_budget_ms = epoch_budget_ms;
     if (flight_dir != nullptr) tc.flight_dir = flight_dir;
     tel.emplace(std::move(tc));
@@ -319,6 +350,7 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     shard_tasks[s].ctx = tree.shards[s].ctx.get();
     shard_tasks[s].ingress = &tree.shards[s].ingress;
     shard_tasks[s].telemetry = tel ? &*tel : nullptr;
+    shard_tasks[s].doctor = detect ? doctors[s].get() : nullptr;
     shard_tasks[s].shard_id = s;
     group.add(&shard_tasks[s]);
   }
@@ -332,6 +364,11 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     group.run(cfg.duration, tree.lookahead);
   }
   if (flight_forced && tel) tel->dump_flight("forced");
+  // Close every still-open episode at each shard's own horizon time —
+  // shard-local state, so the order of this loop cannot matter.
+  for (std::size_t s = 0; s < doctors.size(); ++s) {
+    doctors[s]->finalize(tree.shards[s].ctx->now());
+  }
 
   ScenarioResults res;
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -437,6 +474,8 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     shim_json.set("window_decisions", res.shim.window_decisions);
     shim_json.set("flows_tracked", res.shim.flows_tracked);
     results.set("shim", std::move(shim_json));
+    results.set("fct_ms_percentiles",
+                stats::percentiles_json(stats::percentiles(fct)));
 
     sim::RunManifest& man = res.manifest;
     man.name = label;
@@ -445,6 +484,17 @@ ScenarioResults run_fat_tree_sharded(const FatTreeScenarioConfig& cfg) {
     man.config = std::move(config);
     man.results = std::move(results);
     if (tel) man.shards = tel->shards_json();
+    if (detect) {
+      // Shard-ordered fold; incidents_json() re-sorts globally by
+      // (start, kind, location, ...), so the result is independent of
+      // the partition's shard numbering details and of worker count.
+      std::vector<stats::Incident> all;
+      for (const auto& d : doctors) {
+        all.insert(all.end(), d->incidents().begin(),
+                   d->incidents().end());
+      }
+      man.incidents = stats::incidents_json(std::move(all));
+    }
     man.metrics = sim::metrics_json(sim::merge_snapshots(parts));
     man.series = merged_series_json(samplers);
     man.wall_time_ms = wall_ms_since(wall0);

@@ -67,6 +67,12 @@ struct FatTreeScenarioConfig {
   /// bench event counts stay untouched.  Implied by collect_metrics,
   /// trace_spans, profile and the telemetry env knobs.
   bool shard_telemetry = false;
+
+  /// Enables one stats::IncidentDetector per logical shard and fills
+  /// the manifest `incidents` section (shard-ordered fold, globally
+  /// sorted — byte-identical across worker counts; implies
+  /// collect_metrics).  Also forced on by HWATCH_INCIDENTS=1.
+  bool detect_incidents = false;
 };
 
 /// Parses HWATCH_SHARDS: 0 when unset; throws std::invalid_argument

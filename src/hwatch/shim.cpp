@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "net/checksum.hpp"
+#include "sim/incident_hooks.hpp"
 #include "sim/log.hpp"
 #include "tcp/common.hpp"
 
@@ -420,6 +421,10 @@ void HypervisorShim::apply_window(net::Packet& p, FlowEntry& e,
   m_checksum_recomputes_.inc();
   p.tcp.rwnd_raw = new_raw;
   m_rwnd_rewrites_.inc();
+  if (sim::IncidentSink* inc = ctx_.incidents()) {
+    const auto [hi, lo] = net::flow_key_words(e.key);
+    inc->on_rwnd_rewrite(host_.id(), hi, lo, ctx_.now());
+  }
   if (!synack) ++stats_.acks_rewritten;
 }
 

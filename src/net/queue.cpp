@@ -19,6 +19,7 @@ EnqueueOutcome QueueDiscipline::enqueue(Packet&& p, sim::TimePs now) {
     } else {
       ++stats_.dropped_ctrl;
     }
+    if (incidents_) incidents_->on_queue_drop(incident_queue_, now);
     return outcome;
   }
   if (outcome == EnqueueOutcome::kAcceptedMarked) {
@@ -41,6 +42,7 @@ EnqueueOutcome QueueDiscipline::enqueue(Packet&& p, sim::TimePs now) {
                                                 fifo_.size());
   stats_.max_len_bytes = std::max(stats_.max_len_bytes, bytes_);
   if (depth_hist_) depth_hist_->record(static_cast<double>(fifo_.size()));
+  if (incidents_) incidents_->on_queue_depth(incident_queue_, fifo_.size(), now);
   return outcome;
 }
 
@@ -51,6 +53,7 @@ std::optional<Packet> QueueDiscipline::dequeue(sim::TimePs now) {
   bytes_ -= p.size_bytes();
   ++stats_.dequeued;
   on_dequeue(p, now);
+  if (incidents_) incidents_->on_queue_depth(incident_queue_, fifo_.size(), now);
   return p;
 }
 

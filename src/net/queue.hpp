@@ -16,6 +16,7 @@
 
 #include "net/packet.hpp"
 #include "net/packet_ring.hpp"
+#include "sim/incident_hooks.hpp"
 #include "sim/metrics.hpp"
 #include "sim/time.hpp"
 #include "sim/unique_function.hpp"
@@ -83,6 +84,15 @@ class QueueDiscipline {
   /// default) the hot path pays a single null check.
   void attach_depth_histogram(sim::Histogram* h) { depth_hist_ = h; }
 
+  /// Incident hook: when attached, drops and post-enqueue/dequeue
+  /// depths feed the sink under id `queue` (handed out by the sink at
+  /// registration).  Same discipline as the histogram: unattached, each
+  /// site costs one null check.
+  void attach_incident_sink(sim::IncidentSink* sink, std::uint32_t queue) {
+    incidents_ = sink;
+    incident_queue_ = queue;
+  }
+
   const QueueLimits& limits() const { return limits_; }
   /// Hard capacity in packets (kUnlimited when byte-bounded only).
   std::uint64_t capacity_packets() const { return limits_.packets; }
@@ -142,6 +152,8 @@ class QueueDiscipline {
   QueueLimits limits_;
   QueueStats stats_;
   sim::Histogram* depth_hist_ = nullptr;
+  sim::IncidentSink* incidents_ = nullptr;
+  std::uint32_t incident_queue_ = 0;
 };
 
 /// Plain tail-drop FIFO.

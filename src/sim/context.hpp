@@ -27,6 +27,8 @@
 
 namespace hwatch::sim {
 
+class IncidentSink;
+
 class HWATCH_SHARD_CONFINED SimContext {
  public:
   explicit SimContext(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
@@ -78,6 +80,13 @@ class HWATCH_SHARD_CONFINED SimContext {
   SelfProfiler& profiler() { return profiler_; }
   const SelfProfiler& profiler() const { return profiler_; }
 
+  /// Per-context congestion-incident sink (sim/incident_hooks.hpp).
+  /// Null by default: every hook site checks the pointer — one
+  /// predictable branch, no call, no allocation — until the api layer
+  /// attaches a detector.  The sink must outlive the simulation run.
+  IncidentSink* incidents() const { return incidents_; }
+  void set_incident_sink(IncidentSink* sink) { incidents_ = sink; }
+
   /// Block size of packet_pool(): fits a net::Packet (the net layer
   /// static_asserts this) with headroom so header growth doesn't break
   /// the pool.
@@ -113,6 +122,7 @@ class HWATCH_SHARD_CONFINED SimContext {
   MetricsRegistry metrics_;
   SpanTracer tracer_;
   SelfProfiler profiler_;
+  IncidentSink* incidents_ = nullptr;
 };
 
 }  // namespace hwatch::sim

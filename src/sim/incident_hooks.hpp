@@ -1,0 +1,83 @@
+// IncidentSink — hook interface for in-run congestion-incident
+// detection.
+//
+// The detectors themselves live in src/stats (stats::IncidentDetector),
+// which the packet-path layers (net / tcp / hwatch) may not include:
+// the layering pass pins stats above them.  This tiny abstract
+// interface inverts the dependency — hook sites down in the packet
+// path call through a SimContext-held pointer, the api layer wires a
+// concrete detector in.
+//
+// Overhead discipline (same contract as SpanTracer / MetricsRegistry):
+// the context pointer is null by default, so every hook site costs one
+// predictable branch and zero allocations until a sink is attached —
+// pinned by the BM_IncidentHooks/0 microbenchmark and the allocation
+// harness.  Implementations run on sim-time only: every hook receives
+// `now` from the caller's scheduler, never a wall clock (hwlint's
+// nondeterminism rule applies to implementations as much as here).
+//
+// Flow identity crosses this interface as the packed key words of
+// net::flow_key_words() — (src<<32)|dst and (sport<<16)|dport — so the
+// header stays net-free and sinks can join flows against SpanTracer's
+// register_flow() keys, which use the same packing.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hwatch::sim {
+
+class IncidentSink {
+ public:
+  virtual ~IncidentSink() = default;
+
+  // ---- switch-queue episodes (net::QueueDiscipline) ------------------
+
+  /// Post-enqueue / post-dequeue instantaneous depth of a registered
+  /// queue.  `queue` is the id the sink handed out at registration.
+  virtual void on_queue_depth(std::uint32_t queue, std::uint64_t depth_pkts,
+                              TimePs now) = 0;
+  /// A packet was tail-dropped (or evicted) at a registered queue.
+  virtual void on_queue_drop(std::uint32_t queue, TimePs now) = 0;
+
+  // ---- per-flow lifecycle (tcp::Sender) ------------------------------
+
+  /// Handshake completed.  `flow_span` is the sender's SpanTracer flow
+  /// span id (0 when tracing is off) — the back-reference incidents
+  /// carry into the manifest.
+  virtual void on_flow_established(std::uint64_t key_hi, std::uint64_t key_lo,
+                                   std::uint64_t flow_span, TimePs now) = 0;
+  /// Cumulative ACK advanced.  `srtt` is the sender's current smoothed
+  /// RTT estimate (stall thresholds scale with it).
+  virtual void on_flow_progress(std::uint64_t key_hi, std::uint64_t key_lo,
+                                TimePs now, TimePs srtt) = 0;
+  virtual void on_flow_complete(std::uint64_t key_hi, std::uint64_t key_lo,
+                                TimePs now) = 0;
+  /// Retransmission timeout fired on an established connection.
+  virtual void on_rto(std::uint64_t key_hi, std::uint64_t key_lo,
+                      TimePs now) = 0;
+  /// A data segment was retransmitted (timeout or fast retransmit).
+  virtual void on_retransmit(std::uint64_t key_hi, std::uint64_t key_lo,
+                             TimePs now) = 0;
+
+  // ---- sink-side fan-in (tcp::Sink) ----------------------------------
+
+  /// First SYN of a connection arrived at receiving host `dst_node`
+  /// (counted once per flow; retransmitted SYNs don't re-fire).
+  /// `flow_span` is the sender's flow span when this context traced it,
+  /// 0 otherwise (cross-shard flows — the sender registered on its own
+  /// shard's tracer).
+  virtual void on_sink_syn(std::uint32_t dst_node, std::uint64_t key_hi,
+                           std::uint64_t key_lo, std::uint64_t flow_span,
+                           TimePs now) = 0;
+
+  // ---- hypervisor-shim interventions (core::HypervisorShim) ----------
+
+  /// The shim rewrote a receive window on host `host_node` (no-op
+  /// rewrites that leave the wire value unchanged don't fire).
+  virtual void on_rwnd_rewrite(std::uint32_t host_node, std::uint64_t key_hi,
+                               std::uint64_t key_lo, TimePs now) = 0;
+};
+
+}  // namespace hwatch::sim

@@ -41,6 +41,7 @@ Json RunManifest::to_json(bool include_environment) const {
   j.set("config", config);
   j.set("results", results);
   if (shards.size() != 0) j.set("shards", shards);
+  if (incidents.size() != 0) j.set("incidents", incidents);
   j.set("metrics", metrics);
   j.set("series", series);
   if (include_environment) {

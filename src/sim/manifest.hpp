@@ -37,6 +37,11 @@ struct RunManifest {
   /// Omitted from the document while empty, so single-context manifests
   /// are byte-identical to their pre-telemetry form.
   Json shards = Json::object();
+  /// Detectors-on runs only (schema hwatch.incidents/v1): congestion
+  /// incidents from stats::IncidentDetector, globally sorted and id'd.
+  /// Omitted while empty, so detectors-off manifests are byte-identical
+  /// to their pre-incident form.
+  Json incidents = Json::object();
   Json metrics = Json::object();  // counters + histograms (sorted)
   Json series = Json::object();   // gauge name -> [[t_ps, value], ...]
 

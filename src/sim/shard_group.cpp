@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -52,7 +53,14 @@ void ShardGroup::dump_flight_on_error(const std::exception_ptr& error) {
   } catch (...) {
     telemetry_->note_error("unknown exception");
   }
-  telemetry_->dump_flight("shard_exception");
+  // A flight-dir configuration error must never mask the shard's own
+  // exception (our caller rethrows it next); the dump already fell
+  // back to stderr, so only the message is left to report.
+  try {
+    telemetry_->dump_flight("shard_exception");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+  }
 }
 
 void ShardGroup::run_sequential(TimePs horizon, TimePs window) {

@@ -15,6 +15,8 @@
 #include <iostream>
 #include <numeric>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "sim/manifest.hpp"
@@ -128,6 +130,12 @@ void ShardTelemetry::shard_run(std::size_t shard, TimePs window_end,
   ++st.epochs;
 }
 
+void ShardTelemetry::shard_incidents(std::size_t shard,
+                                     std::uint32_t active) {
+  if (shard >= shards_.size()) return;
+  shards_[shard].active_incidents = active;
+}
+
 void ShardTelemetry::worker_mark(unsigned worker, Mark m) {
   if (!cfg_.wall_spans || worker >= workers_.size()) return;
   WorkerState& w = workers_[worker];
@@ -173,7 +181,15 @@ void ShardTelemetry::epoch_end(TimePs window_end, TimePs horizon) {
   if (cfg_.epoch_budget_ms > 0 && !budget_tripped_ &&
       epoch_ms > static_cast<double>(cfg_.epoch_budget_ms)) {
     budget_tripped_ = true;
-    dump_flight("epoch_budget_exceeded");
+    // The coordinator cannot unwind mid-epoch (the other workers are
+    // parked at a barrier), so a flight-dir configuration error is
+    // reported on stderr here instead of thrown; the dump itself
+    // already fell back to stderr.
+    try {
+      dump_flight("epoch_budget_exceeded");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+    }
   }
   if (cfg_.progress) heartbeat(now, window_end, horizon);
 }
@@ -190,12 +206,23 @@ void ShardTelemetry::heartbeat(std::uint64_t now_ns, TimePs window_end,
   char buf[240];
   std::snprintf(buf, sizeof(buf),
                 "[%s] epoch %llu, t=%.2f/%.2f ms, %.2fM ev/s, "
-                "imbalance %.2fx\n",
+                "imbalance %.2fx",
                 cfg_.label.c_str(),
                 static_cast<unsigned long long>(epochs_done_),
                 to_seconds(window_end) * 1e3, to_seconds(horizon) * 1e3,
                 ev_s / 1e6, imbalance_ratio());
-  std::fputs(buf, stderr);
+  std::string line(buf);
+  if (cfg_.incidents) {
+    // Open congestion incidents right now, summed over the shards
+    // (each shard's owner wrote its count before the epoch barrier).
+    std::uint64_t active = 0;
+    for (const ShardStats& st : shards_) active += st.active_incidents;
+    std::snprintf(buf, sizeof(buf), ", %llu incidents",
+                  static_cast<unsigned long long>(active));
+    line += buf;
+  }
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
 }
 
 void ShardTelemetry::note_error(std::string what) { error_ = std::move(what); }
@@ -360,16 +387,28 @@ void ShardTelemetry::dump_flight(const char* reason) {
     const fs::path path =
         fs::path(cfg_.flight_dir) /
         (RunManifest::sanitize(cfg_.label) + ".flight.json");
-    std::ofstream os(path, std::ios::binary);
-    dump_flight(os, reason);
-    if (os) {
+    bool written = false;
+    if (!ec) {
+      std::ofstream os(path, std::ios::binary);
+      dump_flight(os, reason);
+      written = static_cast<bool>(os);
+    }
+    if (written) {
       std::fprintf(stderr, "[%s] flight recorder (%s) written to %s\n",
                    cfg_.label.c_str(), reason, path.string().c_str());
       return;
     }
-    std::fprintf(stderr,
-                 "[%s] cannot write flight dump to %s; dumping to stderr\n",
-                 cfg_.label.c_str(), path.string().c_str());
+    // Same contract as HWATCH_METRICS_DIR / HWATCH_TRACE_DIR: an
+    // unusable directory is a configuration error, never a silent
+    // no-op.  The document still reaches stderr first, so the flight
+    // data survives the throw; callers that must not let a dump
+    // failure mask a shard's own exception catch this (see
+    // ShardGroup::dump_flight_on_error and the budget watchdog).
+    dump_flight(std::cerr, reason);
+    throw std::runtime_error(
+        std::string("HWATCH_FLIGHT_DIR=\"") + cfg_.flight_dir +
+        "\": cannot create the directory or write \"" + path.string() +
+        "\"; point HWATCH_FLIGHT_DIR at a writable path");
   }
   dump_flight(std::cerr, reason);
 }

@@ -65,6 +65,10 @@ class HWATCH_SHARD_SHARED ShardTelemetry {
     bool wall_spans = false;
     /// Print the once-per-second stderr heartbeat (HWATCH_PROGRESS=1).
     bool progress = false;
+    /// Incident detectors are attached (shard_incidents() will report
+    /// per-epoch open-episode counts); adds the heartbeat's incident
+    /// column.  Off, the heartbeat keeps its exact pre-incident format.
+    bool incidents = false;
     /// Dump the flight ring when one epoch's wall time exceeds this
     /// budget (0 disables the watchdog).
     std::uint64_t epoch_budget_ms = 0;
@@ -94,6 +98,12 @@ class HWATCH_SHARD_SHARED ShardTelemetry {
   /// End of the shard's run phase; `events_cum` = scheduler.executed().
   void shard_run(std::size_t shard, TimePs window_end,
                  std::uint64_t events_cum);
+  /// Open congestion incidents on this shard's detector at the end of
+  /// its run phase (stats::IncidentDetector::active_count()).  Called
+  /// only on detectors-on runs; its first call enables the heartbeat's
+  /// incident column.  Deterministic — derived from sim-time episode
+  /// state, never from the wall clock.
+  void shard_incidents(std::size_t shard, std::uint32_t active);
 
   // ---- wall-clock hooks (ShardGroup) ---------------------------------
 
@@ -187,6 +197,9 @@ class HWATCH_SHARD_SHARED ShardTelemetry {
     std::uint64_t spilled = 0;
     std::uint64_t max_epoch_spill = 0;
     std::uint64_t inbox_peak = 0;
+    // Open incidents on the shard's detector after its latest run
+    // phase; owner-written, coordinator-read after the barrier.
+    std::uint32_t active_incidents = 0;
     // Cumulative baselines for delta computation.
     std::uint64_t last_events = 0;
     std::uint64_t last_pushed = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "sim/json.hpp"
 #include "sim/metrics.hpp"
 
 namespace hwatch::stats {
@@ -123,6 +124,16 @@ Percentiles percentiles(const std::vector<double>& bounds,
 
 Percentiles percentiles(const sim::Histogram& h) {
   return percentiles(h.bounds(), h.bucket_counts(), h.max());
+}
+
+sim::Json percentiles_json(const Percentiles& p) {
+  sim::Json j = sim::Json::object();
+  j.set("count", p.count);
+  j.set("p50", p.p50);
+  j.set("p95", p.p95);
+  j.set("p99", p.p99);
+  j.set("p999", p.p999);
+  return j;
 }
 
 double mean_of(const std::vector<double>& v) {

@@ -13,6 +13,7 @@
 
 namespace hwatch::sim {
 class Histogram;
+class Json;
 }  // namespace hwatch::sim
 
 namespace hwatch::stats {
@@ -82,6 +83,11 @@ Percentiles percentiles(const std::vector<double>& bounds,
 /// Convenience overload for the metrics-registry histogram; uses the
 /// recorded maximum as the overflow hint.
 Percentiles percentiles(const sim::Histogram& h);
+
+/// The manifest's "fct_ms_percentiles" results entry —
+/// {count, p50, p95, p99, p999} — one source of truth shared by every
+/// scenario runner (single-context and sharded).
+sim::Json percentiles_json(const Percentiles& p);
 
 /// Mean of a sample vector (0 for empty).
 double mean_of(const std::vector<double>& v);

@@ -1,0 +1,411 @@
+#include "stats/incident.hpp"
+
+#include <algorithm>
+
+namespace hwatch::stats {
+
+namespace {
+
+constexpr std::uint64_t kUnbounded = UINT64_MAX;
+
+// Severity ladders: 1 advisory, 2 degraded, 3 outage-grade.  Queue
+// episodes escalate on loss; the count-based detectors escalate when
+// the episode dwarfs its trigger threshold.
+std::uint32_t count_severity(std::uint64_t total, std::uint64_t threshold) {
+  if (total >= 4 * threshold) return 3;
+  if (total >= 2 * threshold) return 2;
+  return 1;
+}
+
+void append_flow(std::vector<IncidentFlow>& flows, const IncidentFlow& f,
+                 std::size_t cap) {
+  if (flows.size() >= cap) return;
+  for (const IncidentFlow& have : flows) {
+    if (have.key_hi == f.key_hi && have.key_lo == f.key_lo) return;
+  }
+  flows.push_back(f);
+}
+
+std::string host_location(std::uint32_t node) {
+  return "host" + std::to_string(node);
+}
+
+}  // namespace
+
+std::string_view to_string(IncidentKind k) {
+  switch (k) {
+    case IncidentKind::kQueueBuildup:
+      return "queue-buildup";
+    case IncidentKind::kIncast:
+      return "incast";
+    case IncidentKind::kRtoStorm:
+      return "rto-storm";
+    case IncidentKind::kRetxBurst:
+      return "retx-burst";
+    case IncidentKind::kFlowStall:
+      return "flow-stall";
+    case IncidentKind::kRwndRewriteBurst:
+      return "rwnd-rewrite-burst";
+  }
+  return "unknown";
+}
+
+IncidentDetector::IncidentDetector(IncidentConfig cfg) : cfg_(cfg) {}
+
+std::uint32_t IncidentDetector::register_queue(std::string name,
+                                               std::uint64_t capacity_pkts) {
+  QueueState q;
+  q.name = std::move(name);
+  q.capacity = capacity_pkts;
+  if (cfg_.queue_high_pkts != 0) {
+    q.high = cfg_.queue_high_pkts;
+  } else if (capacity_pkts != kUnbounded && capacity_pkts > 0) {
+    q.high = std::max<std::uint64_t>(8, capacity_pkts / 2);
+  } else {
+    q.high = 64;  // byte-/un-bounded: absolute fallback watermark
+  }
+  q.low = cfg_.queue_low_pkts != 0
+              ? cfg_.queue_low_pkts
+              : std::max<std::uint64_t>(1, q.high / 4);
+  queues_.push_back(std::move(q));
+  return static_cast<std::uint32_t>(queues_.size() - 1);
+}
+
+void IncidentDetector::on_queue_depth(std::uint32_t queue,
+                                      std::uint64_t depth_pkts,
+                                      sim::TimePs now) {
+  QueueState& q = queues_[queue];
+  if (!q.open) {
+    if (depth_pkts < q.high) return;
+    q.open = true;
+    q.start = now;
+    q.peak = depth_pkts;
+    q.drops = 0;
+    ++open_episodes_;
+    return;
+  }
+  q.peak = std::max(q.peak, depth_pkts);
+  if (depth_pkts <= q.low) close_queue(q, now);
+}
+
+void IncidentDetector::on_queue_drop(std::uint32_t queue, sim::TimePs now) {
+  QueueState& q = queues_[queue];
+  if (!q.open) {
+    // A drop without a crossed watermark (tiny or byte-bounded buffer)
+    // still opens an episode: loss is never noise.
+    q.open = true;
+    q.start = now;
+    q.peak = 0;
+    q.drops = 0;
+    ++open_episodes_;
+  }
+  ++q.drops;
+}
+
+void IncidentDetector::close_queue(QueueState& q, sim::TimePs end) {
+  q.open = false;
+  --open_episodes_;
+  if (q.drops == 0 && end - q.start < cfg_.queue_min_duration) return;
+  Incident inc;
+  inc.kind = IncidentKind::kQueueBuildup;
+  inc.severity = q.drops > 0 ? 3 : (q.peak >= 2 * q.high ? 2 : 1);
+  inc.start = q.start;
+  inc.end = end;
+  inc.location = q.name;
+  inc.magnitude = q.peak;
+  inc.drops = q.drops;
+  record(std::move(inc));
+}
+
+IncidentDetector::FlowState& IncidentDetector::flow_at(std::uint64_t key_hi,
+                                                       std::uint64_t key_lo) {
+  const auto key = std::make_pair(key_hi, key_lo);
+  const auto it = flow_index_.find(key);
+  if (it != flow_index_.end()) return flows_[it->second];
+  flow_index_.emplace(key, static_cast<std::uint32_t>(flows_.size()));
+  FlowState f;
+  f.id.key_hi = key_hi;
+  f.id.key_lo = key_lo;
+  flows_.push_back(std::move(f));
+  return flows_.back();
+}
+
+void IncidentDetector::on_flow_established(std::uint64_t key_hi,
+                                           std::uint64_t key_lo,
+                                           std::uint64_t flow_span,
+                                           sim::TimePs now) {
+  FlowState& f = flow_at(key_hi, key_lo);
+  f.id.span = flow_span;
+  f.active = true;
+  f.last_progress = now;
+}
+
+void IncidentDetector::on_flow_progress(std::uint64_t key_hi,
+                                        std::uint64_t key_lo, sim::TimePs now,
+                                        sim::TimePs srtt) {
+  FlowState& f = flow_at(key_hi, key_lo);
+  check_stall(f, now);
+  f.last_progress = now;
+  f.srtt = srtt;
+}
+
+void IncidentDetector::on_flow_complete(std::uint64_t key_hi,
+                                        std::uint64_t key_lo,
+                                        sim::TimePs now) {
+  FlowState& f = flow_at(key_hi, key_lo);
+  check_stall(f, now);
+  f.active = false;
+  close_rto_run(f);
+  close_retx_run(f);
+}
+
+void IncidentDetector::check_stall(FlowState& f, sim::TimePs now) {
+  if (!f.active || f.srtt == 0) return;
+  const sim::TimePs gap = now - f.last_progress;
+  const sim::TimePs threshold =
+      std::max(cfg_.stall_min_gap,
+               static_cast<sim::TimePs>(cfg_.stall_rtts *
+                                        static_cast<double>(f.srtt)));
+  if (gap < threshold) return;
+  Incident inc;
+  inc.kind = IncidentKind::kFlowStall;
+  inc.severity = gap >= 4 * threshold ? 3 : (gap >= 2 * threshold ? 2 : 1);
+  inc.start = f.last_progress;
+  inc.end = now;
+  inc.location = host_location(static_cast<std::uint32_t>(f.id.key_hi >> 32));
+  inc.magnitude = gap;
+  inc.flows.push_back(f.id);
+  record(std::move(inc));
+}
+
+void IncidentDetector::on_rto(std::uint64_t key_hi, std::uint64_t key_lo,
+                              sim::TimePs now) {
+  FlowState& f = flow_at(key_hi, key_lo);
+  if (f.rto_run != 0 && now - f.rto_last <= cfg_.rto_storm_gap) {
+    ++f.rto_run;
+  } else {
+    close_rto_run(f);
+    f.rto_run = 1;
+    f.rto_first = now;
+  }
+  f.rto_last = now;
+  if (!f.rto_open && f.rto_run >= cfg_.rto_storm_count) {
+    f.rto_open = true;
+    ++open_episodes_;
+  }
+}
+
+void IncidentDetector::close_rto_run(FlowState& f) {
+  if (f.rto_open) {
+    --open_episodes_;
+    Incident inc;
+    inc.kind = IncidentKind::kRtoStorm;
+    inc.severity = count_severity(f.rto_run, cfg_.rto_storm_count);
+    inc.start = f.rto_first;
+    inc.end = f.rto_last;
+    inc.location =
+        host_location(static_cast<std::uint32_t>(f.id.key_hi >> 32));
+    inc.magnitude = f.rto_run;
+    inc.flows.push_back(f.id);
+    record(std::move(inc));
+  }
+  f.rto_open = false;
+  f.rto_run = 0;
+}
+
+void IncidentDetector::on_retransmit(std::uint64_t key_hi,
+                                     std::uint64_t key_lo, sim::TimePs now) {
+  FlowState& f = flow_at(key_hi, key_lo);
+  if (f.retx_run != 0 && now - f.retx_last <= cfg_.retx_burst_gap) {
+    ++f.retx_run;
+  } else {
+    close_retx_run(f);
+    f.retx_run = 1;
+    f.retx_first = now;
+  }
+  f.retx_last = now;
+  if (!f.retx_open && f.retx_run >= cfg_.retx_burst_count) {
+    f.retx_open = true;
+    ++open_episodes_;
+  }
+}
+
+void IncidentDetector::close_retx_run(FlowState& f) {
+  if (f.retx_open) {
+    --open_episodes_;
+    Incident inc;
+    inc.kind = IncidentKind::kRetxBurst;
+    inc.severity = count_severity(f.retx_run, cfg_.retx_burst_count);
+    inc.start = f.retx_first;
+    inc.end = f.retx_last;
+    inc.location =
+        host_location(static_cast<std::uint32_t>(f.id.key_hi >> 32));
+    inc.magnitude = f.retx_run;
+    inc.flows.push_back(f.id);
+    record(std::move(inc));
+  }
+  f.retx_open = false;
+  f.retx_run = 0;
+}
+
+IncidentDetector::BurstState& IncidentDetector::burst_at(
+    std::vector<BurstState>& states,
+    std::map<std::uint32_t, std::uint32_t>& index, std::uint32_t node) {
+  const auto it = index.find(node);
+  if (it != index.end()) return states[it->second];
+  index.emplace(node, static_cast<std::uint32_t>(states.size()));
+  BurstState b;
+  b.node = node;
+  states.push_back(std::move(b));
+  return states.back();
+}
+
+void IncidentDetector::burst_event(BurstState& b, const IncidentFlow& flow,
+                                   sim::TimePs now, std::uint32_t threshold,
+                                   sim::TimePs window, IncidentKind kind) {
+  if (b.open && now - b.last > window) close_burst(b, threshold, kind);
+  // Age the window, compacting the dead prefix once it dominates.
+  while (b.begin < b.recent.size() && now - b.recent[b.begin].first > window) {
+    ++b.begin;
+  }
+  if (b.begin > 64 && b.begin * 2 > b.recent.size()) {
+    b.recent.erase(b.recent.begin(),
+                   b.recent.begin() + static_cast<std::ptrdiff_t>(b.begin));
+    b.begin = 0;
+  }
+  b.recent.emplace_back(now, flow);
+  const std::size_t in_window = b.recent.size() - b.begin;
+  if (!b.open && in_window >= threshold) {
+    b.open = true;
+    b.start = b.recent[b.begin].first;
+    b.total = in_window;
+    b.flows.clear();
+    for (std::size_t i = b.begin; i < b.recent.size(); ++i) {
+      append_flow(b.flows, b.recent[i].second, cfg_.max_flows_per_incident);
+    }
+    ++open_episodes_;
+  } else if (b.open) {
+    ++b.total;
+    append_flow(b.flows, flow, cfg_.max_flows_per_incident);
+  }
+  if (b.open) b.last = now;
+}
+
+void IncidentDetector::close_burst(BurstState& b, std::uint32_t threshold,
+                                   IncidentKind kind) {
+  if (!b.open) return;
+  b.open = false;
+  --open_episodes_;
+  Incident inc;
+  inc.kind = kind;
+  inc.severity = count_severity(b.total, threshold);
+  inc.start = b.start;
+  inc.end = b.last;
+  inc.location = host_location(b.node);
+  inc.magnitude = b.total;
+  inc.flows = std::move(b.flows);
+  b.flows.clear();
+  b.total = 0;
+  record(std::move(inc));
+}
+
+void IncidentDetector::on_sink_syn(std::uint32_t dst_node,
+                                   std::uint64_t key_hi, std::uint64_t key_lo,
+                                   std::uint64_t flow_span, sim::TimePs now) {
+  IncidentFlow f{key_hi, key_lo, flow_span};
+  burst_event(burst_at(sinks_, sink_index_, dst_node), f, now,
+              cfg_.incast_fanin, cfg_.incast_window, IncidentKind::kIncast);
+}
+
+void IncidentDetector::on_rwnd_rewrite(std::uint32_t host_node,
+                                       std::uint64_t key_hi,
+                                       std::uint64_t key_lo,
+                                       sim::TimePs now) {
+  const auto it = flow_index_.find(std::make_pair(key_hi, key_lo));
+  IncidentFlow f{key_hi, key_lo,
+                 it != flow_index_.end() ? flows_[it->second].id.span : 0};
+  burst_event(burst_at(shims_, shim_index_, host_node), f, now,
+              cfg_.rewrite_burst_count, cfg_.rewrite_window,
+              IncidentKind::kRwndRewriteBurst);
+}
+
+void IncidentDetector::finalize(sim::TimePs now) {
+  for (QueueState& q : queues_) {
+    if (q.open) close_queue(q, now);
+  }
+  for (FlowState& f : flows_) {
+    check_stall(f, now);
+    close_rto_run(f);
+    close_retx_run(f);
+  }
+  for (BurstState& b : sinks_) {
+    close_burst(b, cfg_.incast_fanin, IncidentKind::kIncast);
+  }
+  for (BurstState& b : shims_) {
+    close_burst(b, cfg_.rewrite_burst_count,
+                IncidentKind::kRwndRewriteBurst);
+  }
+}
+
+void IncidentDetector::record(Incident inc) {
+  incidents_.push_back(std::move(inc));
+}
+
+sim::Json incidents_json(std::vector<Incident> all) {
+  // Total deterministic order: every field of the key is a pure
+  // function of simulation state, so ties resolve identically no
+  // matter which shard contributed which record.
+  std::sort(all.begin(), all.end(), [](const Incident& a, const Incident& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.location != b.location) return a.location < b.location;
+    if (a.end != b.end) return a.end < b.end;
+    const std::uint64_t ah = a.flows.empty() ? 0 : a.flows[0].key_hi;
+    const std::uint64_t bh = b.flows.empty() ? 0 : b.flows[0].key_hi;
+    if (ah != bh) return ah < bh;
+    const std::uint64_t al = a.flows.empty() ? 0 : a.flows[0].key_lo;
+    const std::uint64_t bl = b.flows.empty() ? 0 : b.flows[0].key_lo;
+    if (al != bl) return al < bl;
+    return a.magnitude < b.magnitude;
+  });
+
+  sim::Json root = sim::Json::object();
+  root.set("schema", "hwatch.incidents/v1");
+  root.set("count", all.size());
+  sim::Json arr = sim::Json::array();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Incident& inc = all[i];
+    sim::Json j = sim::Json::object();
+    j.set("id", i);
+    j.set("kind", std::string(to_string(inc.kind)));
+    j.set("severity", inc.severity);
+    j.set("start_ps", inc.start);
+    j.set("end_ps", inc.end);
+    j.set("location", inc.location);
+    j.set("magnitude", inc.magnitude);
+    if (inc.kind == IncidentKind::kQueueBuildup) j.set("drops", inc.drops);
+    sim::Json flows = sim::Json::array();
+    std::vector<std::uint64_t> spans;
+    for (const IncidentFlow& f : inc.flows) {
+      sim::Json fj = sim::Json::object();
+      fj.set("src", f.key_hi >> 32);
+      fj.set("dst", f.key_hi & 0xFFFFFFFFu);
+      fj.set("sport", f.key_lo >> 16);
+      fj.set("dport", f.key_lo & 0xFFFFu);
+      fj.set("span", f.span);
+      flows.push_back(std::move(fj));
+      if (f.span != 0) spans.push_back(f.span);
+    }
+    j.set("flows", std::move(flows));
+    std::sort(spans.begin(), spans.end());
+    spans.erase(std::unique(spans.begin(), spans.end()), spans.end());
+    sim::Json sj = sim::Json::array();
+    for (std::uint64_t s : spans) sj.push_back(s);
+    j.set("spans", std::move(sj));
+    arr.push_back(std::move(j));
+  }
+  root.set("incidents", std::move(arr));
+  return root;
+}
+
+}  // namespace hwatch::stats

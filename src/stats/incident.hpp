@@ -1,0 +1,232 @@
+// IncidentDetector — deterministic in-run congestion-incident
+// detection ("the doctor's front end").
+//
+// A set of event-driven detectors watches the same signals the paper's
+// hypervisor watches — queue occupancy, loss, timeouts, fan-in, shim
+// interventions — and turns them into structured *episodes*:
+//
+//   queue-buildup       sustained occupancy above a high watermark at
+//                       one switch queue, closed when it drains below
+//                       the low watermark (drops escalate severity)
+//   incast              >= N connection SYNs converging on one sink
+//                       host inside a short window
+//   rto-storm           >= N retransmission timeouts on one flow with
+//                       small inter-timeout gaps
+//   retx-burst          >= N data retransmissions on one flow inside a
+//                       short window
+//   flow-stall          an established flow making no cumulative-ACK
+//                       progress for max(min_gap, stall_rtts * srtt)
+//   rwnd-rewrite-burst  >= N shim receive-window rewrites on one host
+//                       inside a short window
+//
+// Determinism contract: hooks arrive in each SimContext's event order
+// and carry sim-time only, so the incident list is a pure function of
+// (config, seed).  Sharded runs hold one detector per logical shard;
+// the api layer folds them in shard order and incidents_json() imposes
+// a deterministic global sort + id assignment, making the manifest
+// section byte-identical across HWATCH_SHARDS / HWATCH_SWEEP_THREADS.
+//
+// Span back-references: flow-scoped incidents carry the SpanTracer
+// flow-span id the hook site supplied (0 when tracing is off or the
+// flow's sender is traced on another shard) so trace_inspect can join
+// incidents against the span export.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/incident_hooks.hpp"
+#include "sim/json.hpp"
+#include "sim/time.hpp"
+
+namespace hwatch::stats {
+
+enum class IncidentKind : std::uint8_t {
+  kQueueBuildup = 0,
+  kIncast,
+  kRtoStorm,
+  kRetxBurst,
+  kFlowStall,
+  kRwndRewriteBurst,
+};
+
+/// Stable wire name ("queue-buildup", ... — the manifest vocabulary).
+std::string_view to_string(IncidentKind k);
+
+/// One affected flow, identified by the packed key words (see
+/// net::flow_key_words) plus the tracer flow span (0 = untraced).
+struct IncidentFlow {
+  std::uint64_t key_hi = 0;
+  std::uint64_t key_lo = 0;
+  std::uint64_t span = 0;
+};
+
+struct Incident {
+  IncidentKind kind = IncidentKind::kQueueBuildup;
+  /// 1 = advisory, 2 = degraded, 3 = loss / outage-grade.
+  std::uint32_t severity = 1;
+  sim::TimePs start = 0;
+  sim::TimePs end = 0;
+  /// Link name for queue episodes, "host<N>" for host/flow-scoped ones.
+  std::string location;
+  /// Kind-specific size: peak depth (pkts), fan-in, timeout / retx /
+  /// rewrite count, or stall gap (ps).
+  std::uint64_t magnitude = 0;
+  /// Packets dropped inside the episode (queue-buildup only).
+  std::uint64_t drops = 0;
+  /// Affected flows, capped at IncidentConfig::max_flows_per_incident
+  /// (magnitude keeps the uncapped count).
+  std::vector<IncidentFlow> flows;
+};
+
+struct IncidentConfig {
+  // Queue buildup: open at >= high, close at <= low.  0 = derive from
+  // the registered capacity (high = capacity/2, low = high/4; byte- or
+  // un-bounded queues fall back to an absolute 64-packet watermark).
+  std::uint64_t queue_high_pkts = 0;
+  std::uint64_t queue_low_pkts = 0;
+  /// Dropless episodes shorter than this are noise, not incidents.
+  sim::TimePs queue_min_duration = sim::microseconds(50);
+
+  std::uint32_t incast_fanin = 8;
+  sim::TimePs incast_window = sim::milliseconds(1);
+
+  std::uint32_t rto_storm_count = 2;
+  sim::TimePs rto_storm_gap = sim::milliseconds(500);
+
+  std::uint32_t retx_burst_count = 8;
+  sim::TimePs retx_burst_gap = sim::milliseconds(1);
+
+  double stall_rtts = 16.0;
+  sim::TimePs stall_min_gap = sim::milliseconds(5);
+
+  std::uint32_t rewrite_burst_count = 16;
+  sim::TimePs rewrite_window = sim::milliseconds(1);
+
+  std::size_t max_flows_per_incident = 16;
+};
+
+class IncidentDetector final : public sim::IncidentSink {
+ public:
+  explicit IncidentDetector(IncidentConfig cfg = {});
+
+  /// Registers one switch queue under a globally stable `name` (the
+  /// owning link's name) and returns the id the queue must pass back
+  /// through the hooks (net::QueueDiscipline::attach_incident_sink).
+  /// `capacity_pkts` derives the default watermarks; pass
+  /// UINT64_MAX for byte-/un-bounded queues.
+  std::uint32_t register_queue(std::string name, std::uint64_t capacity_pkts);
+
+  // ---- sim::IncidentSink ---------------------------------------------
+  void on_queue_depth(std::uint32_t queue, std::uint64_t depth_pkts,
+                      sim::TimePs now) override;
+  void on_queue_drop(std::uint32_t queue, sim::TimePs now) override;
+  void on_flow_established(std::uint64_t key_hi, std::uint64_t key_lo,
+                           std::uint64_t flow_span, sim::TimePs now) override;
+  void on_flow_progress(std::uint64_t key_hi, std::uint64_t key_lo,
+                        sim::TimePs now, sim::TimePs srtt) override;
+  void on_flow_complete(std::uint64_t key_hi, std::uint64_t key_lo,
+                        sim::TimePs now) override;
+  void on_rto(std::uint64_t key_hi, std::uint64_t key_lo,
+              sim::TimePs now) override;
+  void on_retransmit(std::uint64_t key_hi, std::uint64_t key_lo,
+                     sim::TimePs now) override;
+  void on_sink_syn(std::uint32_t dst_node, std::uint64_t key_hi,
+                   std::uint64_t key_lo, std::uint64_t flow_span,
+                   sim::TimePs now) override;
+  void on_rwnd_rewrite(std::uint32_t host_node, std::uint64_t key_hi,
+                       std::uint64_t key_lo, sim::TimePs now) override;
+
+  /// Closes every open episode at `now`.  Call once, after the run.
+  void finalize(sim::TimePs now);
+
+  /// Closed incidents, in close order (sort via incidents_json).
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+  /// Episodes open right now — the HWATCH_PROGRESS heartbeat column.
+  std::uint32_t active_count() const { return open_episodes_; }
+
+  const IncidentConfig& config() const { return cfg_; }
+
+ private:
+  struct QueueState {
+    std::string name;
+    std::uint64_t capacity = 0;
+    std::uint64_t high = 0;
+    std::uint64_t low = 0;
+    bool open = false;
+    sim::TimePs start = 0;
+    std::uint64_t peak = 0;
+    std::uint64_t drops = 0;
+  };
+
+  /// Shared shape of the three windowed burst detectors (incast per
+  /// sink host, rwnd rewrites per shim host): events inside `window`
+  /// of each other accumulate; a gap closes the episode.
+  struct BurstState {
+    std::uint32_t node = 0;
+    std::vector<std::pair<sim::TimePs, IncidentFlow>> recent;
+    std::size_t begin = 0;  // live window = recent[begin..]
+    bool open = false;
+    sim::TimePs start = 0;
+    sim::TimePs last = 0;
+    std::uint64_t total = 0;  // events in the open episode
+    std::vector<IncidentFlow> flows;
+  };
+
+  struct FlowState {
+    IncidentFlow id;
+    bool active = false;
+    sim::TimePs last_progress = 0;
+    sim::TimePs srtt = 0;
+    // RTO-storm run.
+    std::uint32_t rto_run = 0;
+    sim::TimePs rto_first = 0;
+    sim::TimePs rto_last = 0;
+    bool rto_open = false;
+    // Retx-burst run.
+    std::uint32_t retx_run = 0;
+    sim::TimePs retx_first = 0;
+    sim::TimePs retx_last = 0;
+    bool retx_open = false;
+  };
+
+  FlowState& flow_at(std::uint64_t key_hi, std::uint64_t key_lo);
+  BurstState& burst_at(std::vector<BurstState>& states,
+                       std::map<std::uint32_t, std::uint32_t>& index,
+                       std::uint32_t node);
+  void close_queue(QueueState& q, sim::TimePs end);
+  void burst_event(BurstState& b, const IncidentFlow& flow, sim::TimePs now,
+                   std::uint32_t threshold, sim::TimePs window,
+                   IncidentKind kind);
+  void close_burst(BurstState& b, std::uint32_t threshold, IncidentKind kind);
+  void close_rto_run(FlowState& f);
+  void close_retx_run(FlowState& f);
+  void check_stall(FlowState& f, sim::TimePs now);
+  void record(Incident inc);
+
+  IncidentConfig cfg_;
+  std::vector<QueueState> queues_;
+  std::vector<FlowState> flows_;  // first-touch order (deterministic)
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t>
+      flow_index_;
+  std::vector<BurstState> sinks_;
+  std::map<std::uint32_t, std::uint32_t> sink_index_;
+  std::vector<BurstState> shims_;
+  std::map<std::uint32_t, std::uint32_t> shim_index_;
+  std::vector<Incident> incidents_;
+  std::uint32_t open_episodes_ = 0;
+};
+
+/// Folds incident lists (per-shard, concatenated in shard order) into
+/// the manifest `incidents` section: deterministic global sort, ids
+/// assigned 0..N-1 post-sort, schema hwatch.incidents/v1.  The section
+/// is well-formed (schema + count + empty array) even with no
+/// incidents, so detectors-on runs always carry it.
+sim::Json incidents_json(std::vector<Incident> all);
+
+}  // namespace hwatch::stats

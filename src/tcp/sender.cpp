@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "net/checksum.hpp"
+#include "sim/incident_hooks.hpp"
 #include "sim/log.hpp"
 
 namespace hwatch::tcp {
@@ -115,6 +116,10 @@ void TcpSender::handle_syn_ack(const net::Packet& p) {
   snd_max_ = 1;
   state_ = SenderState::kEstablished;
   stats_.established_time = ctx_.now();
+  if (sim::IncidentSink* inc = ctx_.incidents()) {
+    const auto [hi, lo] = net::flow_key_words(flow_key());
+    inc->on_flow_established(hi, lo, flow_span_, ctx_.now());
+  }
   if (ctx_.tracer().enabled()) {
     sim::SpanTracer& tr = ctx_.tracer();
     tr.end_span(ctx_.now(), handshake_span_, stats_.syn_timeouts);
@@ -195,6 +200,10 @@ void TcpSender::on_new_data_acked(const net::Packet& p, std::uint64_t newly) {
   }
   cwnd_hist_.record(cwnd_);
   if (ctx_.tracer().enabled()) trace_on_ack_progress();
+  if (sim::IncidentSink* inc = ctx_.incidents()) {
+    const auto [hi, lo] = net::flow_key_words(flow_key());
+    inc->on_flow_progress(hi, lo, ctx_.now(), rtt_.srtt());
+  }
 
   if (snd_una_ < snd_nxt_) {
     arm_rto();
@@ -413,6 +422,10 @@ void TcpSender::emit_segment(std::uint64_t seq, bool retransmission) {
     ++stats_.retransmits;
     // Karn: samples covering retransmitted data are invalid.
     if (timing_valid_ && rtt_seq_ > seq) timing_valid_ = false;
+    if (sim::IncidentSink* inc = ctx_.incidents()) {
+      const auto [hi, lo] = net::flow_key_words(flow_key());
+      inc->on_retransmit(hi, lo, ctx_.now());
+    }
   }
   if (p.payload_bytes > 0) ++stats_.segments_sent;
   arm_rto();
@@ -434,6 +447,10 @@ void TcpSender::on_rto() {
   }
   if (state_ != SenderState::kEstablished) return;
   ++stats_.timeouts;
+  if (sim::IncidentSink* inc = ctx_.incidents()) {
+    const auto [hi, lo] = net::flow_key_words(flow_key());
+    inc->on_rto(hi, lo, ctx_.now());
+  }
   ctx_.log().msg(sim::LogLevel::kDebug, "RTO flow ", port_, " snd_una=",
                snd_una_, " snd_nxt=", snd_nxt_);
   if (ctx_.tracer().enabled()) {
@@ -480,6 +497,10 @@ void TcpSender::maybe_complete() {
     state_ = SenderState::kClosed;
     stats_.complete_time = ctx_.now();
     rto_timer_.cancel();
+    if (sim::IncidentSink* inc = ctx_.incidents()) {
+      const auto [hi, lo] = net::flow_key_words(flow_key());
+      inc->on_flow_complete(hi, lo, ctx_.now());
+    }
     if (ctx_.tracer().enabled() && flow_span_ != 0) {
       sim::SpanTracer& tr = ctx_.tracer();
       // Children first, then the flow span, to keep B/E pairs a stack.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/checksum.hpp"
+#include "sim/incident_hooks.hpp"
 
 namespace hwatch::tcp {
 
@@ -70,6 +71,13 @@ void TcpSink::handle_syn(const net::Packet& p) {
   if (!connected_) {
     connected_ = true;
     rcv_nxt_ = p.tcp.seq + 1;  // SYN consumes one sequence number
+    if (sim::IncidentSink* inc = ctx_.incidents()) {
+      // Keyed in the sender's direction so the fan-in detector's flow
+      // identities match the sender-side hooks and the span registry.
+      const auto [hi, lo] = net::flow_key_words(net::flow_key_of(p));
+      inc->on_sink_syn(host_.id(), hi, lo,
+                       ctx_.tracer().flow_span_of(hi, lo), ctx_.now());
+    }
   }
   update_ecn_state(p);
   send_ack(/*syn_ack=*/true, /*fin_ack=*/false);

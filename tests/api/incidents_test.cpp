@@ -1,0 +1,256 @@
+// Incident detection end to end: the doctor's manifest section must be
+// deterministic (byte-identical across sweep-thread and shard-worker
+// counts), well-formed when the workload is empty, absent when the
+// detectors are off, and its span references must resolve against the
+// span export so `trace_inspect explain` can join the two.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "api/sharded.hpp"
+#include "api/sweep.hpp"
+#include "sim/json.hpp"
+
+namespace hwatch {
+namespace {
+
+/// Congested fat-tree miniature: every host opens 8 flows to the same
+/// (deranged) destination inside a 1 ms spread, so each sink sees a
+/// fan-in burst >= the default incast threshold, and the shallow
+/// 16-packet port buffers drop under it — a run that exercises the
+/// queue, fan-in AND sender-side (retransmission) detectors, not just
+/// their hooks.
+api::FatTreeScenarioConfig congested_config() {
+  api::FatTreeScenarioConfig cfg;
+  cfg.k = 4;  // 16 hosts, 8 shards
+  cfg.aqm.kind = api::AqmKind::kDctcpStep;
+  cfg.aqm.buffer_packets = 16;
+  cfg.aqm.mark_threshold_packets = 8;
+  cfg.flows_per_host = 8;
+  cfg.flow_bytes = 50'000;
+  cfg.start_spread = sim::milliseconds(1);
+  cfg.transport = tcp::Transport::kDctcp;
+  cfg.duration = sim::milliseconds(40);
+  cfg.seed = 7;
+  cfg.collect_metrics = true;
+  cfg.trace_spans = true;
+  cfg.detect_incidents = true;
+  cfg.run_label = "incidents-sharded";
+  return cfg;
+}
+
+tcp::TcpConfig quick_tcp() {
+  tcp::TcpConfig t;
+  t.min_rto = sim::milliseconds(50);
+  t.initial_rto = sim::milliseconds(50);
+  t.ecn = tcp::EcnMode::kDctcp;
+  return t;
+}
+
+/// Dumbbell miniature with incast epochs (mirrors sweep_test's point)
+/// plus metrics + detectors, so the single-context runner emits the
+/// same manifest section the sharded one does.
+api::DumbbellScenarioConfig dumbbell_point(std::uint64_t seed) {
+  api::DumbbellScenarioConfig cfg;
+  cfg.pairs = 8;
+  cfg.core_aqm.kind = api::AqmKind::kDctcpStep;
+  cfg.core_aqm.buffer_packets = 100;
+  cfg.core_aqm.mark_threshold_packets = 20;
+  cfg.edge_aqm = cfg.core_aqm;
+  workload::SenderGroup g{tcp::Transport::kDctcp, quick_tcp(), 4, "dctcp"};
+  cfg.long_groups = {g};
+  cfg.short_groups = {g};
+  cfg.incast.epochs = 2;
+  cfg.incast.first_epoch = sim::milliseconds(10);
+  cfg.incast.epoch_interval = sim::milliseconds(20);
+  cfg.duration = sim::milliseconds(60);
+  cfg.seed = seed;
+  cfg.collect_metrics = true;
+  cfg.detect_incidents = true;
+  cfg.run_label = "incidents-sweep";
+  return cfg;
+}
+
+/// Every span id a JSONL span dump defines ("F" flow-registry lines and
+/// "B" span-open lines both carry one).
+std::set<std::uint64_t> span_ids_of(const std::string& jsonl) {
+  std::set<std::uint64_t> ids;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string err;
+    const sim::Json j = sim::Json::parse(line, &err);
+    EXPECT_TRUE(err.empty()) << err << " in: " << line;
+    const sim::Json* ph = j.find("ph");
+    if (ph == nullptr) continue;
+    const std::string p = ph->as_string();
+    if (p != "F" && p != "B") continue;
+    const sim::Json* id = j.find("id");
+    if (id != nullptr) ids.insert(id->as_uint());
+  }
+  return ids;
+}
+
+TEST(IncidentsTest, ShardedByteIdenticalAcrossWorkerCounts) {
+  api::FatTreeScenarioConfig cfg = congested_config();
+  cfg.shards = 1;
+  const api::ScenarioResults base = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(base.has_manifest);
+  const std::string base_dump = base.manifest.deterministic_dump();
+  EXPECT_NE(base_dump.find("hwatch.incidents/v1"), std::string::npos);
+
+  const sim::Json& inc = base.manifest.incidents;
+  ASSERT_TRUE(inc.is_object());
+  ASSERT_NE(inc.find("count"), nullptr);
+  EXPECT_GT(inc.find("count")->as_uint(), 0u)
+      << "a congested incast run must emit incidents";
+
+  for (unsigned threads : {2u, 4u}) {
+    cfg.shards = threads;
+    const api::ScenarioResults run = api::run_fat_tree_sharded(cfg);
+    ASSERT_TRUE(run.has_manifest);
+    EXPECT_EQ(run.manifest.deterministic_dump(), base_dump)
+        << "incidents differ at " << threads << " worker threads";
+  }
+}
+
+TEST(IncidentsTest, SectionIsWellFormedAndSpanRefsResolve) {
+  api::FatTreeScenarioConfig cfg = congested_config();
+  cfg.shards = 2;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(res.has_manifest);
+  const sim::Json& section = res.manifest.incidents;
+  ASSERT_TRUE(section.is_object());
+  EXPECT_EQ(section.find("schema")->as_string(), "hwatch.incidents/v1");
+  const sim::Json* list = section.find("incidents");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(section.find("count")->as_uint(), list->size());
+  ASSERT_GT(list->size(), 0u);
+
+  const std::set<std::uint64_t> defined = span_ids_of(res.trace_spans_jsonl);
+  ASSERT_FALSE(defined.empty());
+
+  std::set<std::string> kinds;
+  std::uint64_t expect_id = 0;
+  std::size_t cited = 0;
+  sim::TimePs prev_start = 0;
+  for (const sim::Json& i : list->items()) {
+    EXPECT_EQ(i.find("id")->as_uint(), expect_id++);
+    kinds.insert(i.find("kind")->as_string());
+    const std::uint64_t sev = i.find("severity")->as_uint();
+    EXPECT_GE(sev, 1u);
+    EXPECT_LE(sev, 3u);
+    const auto start =
+        static_cast<sim::TimePs>(i.find("start_ps")->as_uint());
+    EXPECT_LE(start, static_cast<sim::TimePs>(i.find("end_ps")->as_uint()));
+    EXPECT_GE(start, prev_start) << "incidents must be start-sorted";
+    prev_start = start;
+    ASSERT_NE(i.find("location"), nullptr);
+    // Every span back-reference must exist in the span export — the
+    // join trace_inspect explain performs.
+    for (const sim::Json& s : i.find("spans")->items()) {
+      ++cited;
+      EXPECT_TRUE(defined.count(s.as_uint()))
+          << "dangling span ref " << s.as_uint();
+    }
+    for (const sim::Json& f : i.find("flows")->items()) {
+      const sim::Json* span = f.find("span");
+      ASSERT_NE(span, nullptr);
+      if (span->as_uint() != 0) {
+        EXPECT_TRUE(defined.count(span->as_uint()))
+            << "dangling flow span ref " << span->as_uint();
+      }
+    }
+  }
+  // The deranged 8-flows-per-host pattern converges 8 SYNs on each
+  // receiver inside the spread window: the incast detector must fire,
+  // and the saturated uplinks must log buildups.
+  EXPECT_TRUE(kinds.count("incast")) << "expected incast incidents";
+  EXPECT_TRUE(kinds.count("queue-buildup"))
+      << "expected queue-buildup incidents";
+  // At least some incidents must carry resolvable span back-references
+  // (flows whose sender is traced on the incident's own shard), or the
+  // explain join has nothing to work with.
+  EXPECT_GT(cited, 0u) << "no incident cited any span";
+}
+
+TEST(IncidentsTest, FctPercentilesLandInResults) {
+  api::FatTreeScenarioConfig cfg = congested_config();
+  cfg.trace_spans = false;
+  cfg.shards = 2;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(res.has_manifest);
+  const sim::Json* p = res.manifest.results.find("fct_ms_percentiles");
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(p->find("count")->as_uint(), 0u);
+  const double p50 = p->find("p50")->as_double();
+  const double p95 = p->find("p95")->as_double();
+  const double p99 = p->find("p99")->as_double();
+  const double p999 = p->find("p999")->as_double();
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, p999);
+}
+
+TEST(IncidentsTest, SweepThreadCountDoesNotChangeIncidents) {
+  std::vector<api::DumbbellScenarioConfig> points = {dumbbell_point(7),
+                                                     dumbbell_point(8)};
+  const auto serial = api::SweepRunner(1).run(points);
+  const auto threaded = api::SweepRunner(4).run(points);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].has_manifest);
+    ASSERT_TRUE(threaded[i].has_manifest);
+    const std::string a = serial[i].manifest.deterministic_dump();
+    EXPECT_NE(a.find("hwatch.incidents/v1"), std::string::npos);
+    EXPECT_EQ(a, threaded[i].manifest.deterministic_dump())
+        << "point " << i << " diverged across sweep threads";
+  }
+}
+
+TEST(IncidentsTest, DetectorsOffLeaveNoSection) {
+  api::FatTreeScenarioConfig cfg = congested_config();
+  cfg.detect_incidents = false;
+  cfg.trace_spans = false;
+  cfg.shards = 2;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(res.has_manifest);
+  EXPECT_EQ(res.manifest.incidents.size(), 0u);
+  std::string err;
+  const sim::Json dump =
+      sim::Json::parse(res.manifest.deterministic_dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(dump.find("incidents"), nullptr);
+  // Percentiles still ride along: they come from metrics, not the
+  // detectors.
+  ASSERT_NE(dump.find("results"), nullptr);
+  EXPECT_NE(dump.find("results")->find("fct_ms_percentiles"), nullptr);
+}
+
+TEST(IncidentsTest, EmptyWorkloadSectionIsPresentAndEmpty) {
+  api::FatTreeScenarioConfig cfg = congested_config();
+  cfg.flows_per_host = 0;
+  cfg.trace_spans = false;
+  cfg.sample_interval = sim::seconds(1);
+  cfg.run_label = "incidents-empty";
+  cfg.shards = 1;
+  const api::ScenarioResults res = api::run_fat_tree_sharded(cfg);
+  ASSERT_TRUE(res.has_manifest);
+  const sim::Json& section = res.manifest.incidents;
+  ASSERT_TRUE(section.is_object());
+  EXPECT_EQ(section.find("schema")->as_string(), "hwatch.incidents/v1");
+  EXPECT_EQ(section.find("count")->as_uint(), 0u);
+  EXPECT_EQ(section.find("incidents")->size(), 0u);
+  const sim::Json* p = res.manifest.results.find("fct_ms_percentiles");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->find("count")->as_uint(), 0u);
+}
+
+}  // namespace
+}  // namespace hwatch

@@ -307,6 +307,49 @@ TEST(ShardGroupFlightTest, DumpsOnShardException) {
   }
 }
 
+TEST(ShardGroupFlightTest, CreatesMissingFlightDirectories) {
+  const std::string base = flight_dir_for("mkdirs");
+  ShardTelemetry::Config cfg = base_config(1);
+  // Two levels that don't exist yet: the dump must create them rather
+  // than silently writing nothing.
+  cfg.flight_dir = (std::filesystem::path(base) / "a" / "b").string();
+  cfg.label = "nested";
+  ShardTelemetry tel(std::move(cfg));
+  tel.dump_flight("forced");
+  const auto path =
+      std::filesystem::path(base) / "a" / "b" / "nested.flight.json";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::string err;
+  const Json j = Json::parse(read_file(path), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(j.find("reason")->as_string(), "forced");
+  std::filesystem::remove_all(base);
+}
+
+TEST(ShardGroupFlightTest, UnwritableFlightDirThrowsNamingTheVariable) {
+  const std::string base = flight_dir_for("unwritable");
+  // A regular file where a directory is needed: create_directories can
+  // neither traverse nor create through it.
+  const auto blocker = std::filesystem::path(base) / "file";
+  { std::ofstream(blocker) << "not a directory"; }
+  const std::string bad_dir = (blocker / "sub").string();
+  ShardTelemetry::Config cfg = base_config(1);
+  cfg.flight_dir = bad_dir;
+  cfg.label = "stuck";
+  ShardTelemetry tel(std::move(cfg));
+  try {
+    tel.dump_flight("forced");
+    FAIL() << "dump_flight must throw when the flight dir is unwritable";
+  } catch (const std::runtime_error& e) {
+    // The message must name the knob and the value so the operator can
+    // fix the environment, not grep the source.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HWATCH_FLIGHT_DIR"), std::string::npos) << what;
+    EXPECT_NE(what.find(bad_dir), std::string::npos) << what;
+  }
+  std::filesystem::remove_all(base);
+}
+
 struct SlowTask final : ShardTask {
   void drain(TimePs) override {}
   void run(TimePs) override {

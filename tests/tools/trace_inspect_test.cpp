@@ -185,6 +185,105 @@ TEST(TraceInspectCli, ExportWritesOutputFile) {
   EXPECT_NE(content.find("hwatch.trace_export/v1"), std::string::npos);
 }
 
+/// A manifest carrying one incident that names the span_fixture flow
+/// (span 1, 1:40000 -> 2:80) and overlaps its lifetime.
+std::string manifest_fixture() {
+  return write_fixture(
+      "ti_manifest.json",
+      R"({"schema":"hwatch.run_manifest/v2","name":"doctor",
+"incidents":{"schema":"hwatch.incidents/v1","count":1,"incidents":[
+{"id":0,"kind":"queue-buildup","severity":2,"start_ps":400000,
+"end_ps":2500000,"location":"core","magnitude":90,"drops":3,
+"flows":[{"src":1,"dst":2,"sport":40000,"dport":80,"span":1}],
+"spans":[1]}]}})");
+}
+
+TEST(TraceInspectCli, ExplainBySpanIdBreaksDownTheFlow) {
+  int code = -1;
+  const std::string out = run_cli("explain 1 " + span_fixture(), &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("flow 1:40000->2:80 (span 1)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("4096/4096 bytes acked"), std::string::npos) << out;
+  // The only latency component in the fixture is queueing, so the
+  // decomposition and the verdict both pin it at 100%.
+  EXPECT_NE(out.find("queueing"), std::string::npos) << out;
+  EXPECT_NE(out.find("slow because: 100% queueing"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("shim cut rwnd 1x"), std::string::npos) << out;
+}
+
+TEST(TraceInspectCli, ExplainAcceptsTupleSelector) {
+  int code = -1;
+  const std::string out =
+      run_cli("explain '1:40000->2:80' " + span_fixture(), &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("(span 1)"), std::string::npos) << out;
+}
+
+TEST(TraceInspectCli, ExplainJoinsManifestIncidents) {
+  int code = -1;
+  const std::string out =
+      run_cli("explain 1 --manifest " + manifest_fixture() + " " +
+                  span_fixture(),
+              &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("incidents touching this flow: 1"), std::string::npos)
+      << out;
+  // Membership (not mere time overlap) is reported, and the causal
+  // clause cites the incident by id and location.
+  EXPECT_NE(out.find("#0 queue-buildup at core sev2"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("(this flow)"), std::string::npos) << out;
+  EXPECT_NE(out.find("at core during queue-buildup #0"), std::string::npos)
+      << out;
+}
+
+TEST(TraceInspectCli, ExplainUnknownFlowExitsOne) {
+  int code = -1;
+  const std::string out = run_cli("explain 99 " + span_fixture(), &code);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("not found"), std::string::npos) << out;
+}
+
+TEST(TraceInspectCli, ExplainBadManifestSchemaExitsTwo) {
+  const std::string bad = write_fixture(
+      "ti_bad_manifest.json",
+      R"({"incidents":{"schema":"hwatch.incidents/v0","incidents":[]}})");
+  int code = -1;
+  run_cli("explain 1 --manifest " + bad + " " + span_fixture(), &code);
+  EXPECT_EQ(code, 2);
+}
+
+TEST(TraceInspectCli, ExportCarriesIncidentTrack) {
+  int code = -1;
+  const std::string out =
+      run_cli("export --manifest " + manifest_fixture() + " " +
+                  span_fixture(),
+              &code);
+  ASSERT_EQ(code, 0);
+  std::string err;
+  const Json doc = Json::parse(out, &err);
+  ASSERT_TRUE(err.empty()) << err << "\n" << out;
+  // Incidents land on pid 3 as balanced B/E slices without breaking
+  // the monotonic timestamp order of the merged stream.
+  double last_ts = -1;
+  int pid3_b = 0, pid3_e = 0;
+  for (const Json& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() == "M") continue;
+    const double ts = e.find("ts")->as_double();
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    if (e.find("pid")->as_int() != 3) continue;
+    pid3_b += e.find("ph")->as_string() == "B" ? 1 : 0;
+    pid3_e += e.find("ph")->as_string() == "E" ? 1 : 0;
+  }
+  EXPECT_EQ(pid3_b, 1);
+  EXPECT_EQ(pid3_e, 1);
+  EXPECT_NE(out.find("\"incidents\""), std::string::npos);
+  EXPECT_NE(out.find("queue-buildup"), std::string::npos);
+}
+
 TEST(TraceInspectCli, ExportIsDeterministic) {
   int code_a = -1, code_b = -1;
   const std::string fixture = span_fixture() + " " + packet_fixture();

@@ -6,7 +6,10 @@
 //   trace_inspect [summary] [options] [files...]      aggregate report
 //   trace_inspect filter [options] [files...]         re-emit matching lines
 //   trace_inspect print ...                           alias of filter
-//   trace_inspect export [-o FILE] [files...]         Chrome trace-event JSON
+//   trace_inspect export [-o FILE] [--manifest M] [files...]
+//                                                     Chrome trace-event JSON
+//   trace_inspect explain FLOW [--manifest M] [files...]
+//                                                     root-cause one flow
 //
 // Options (summary/filter):
 //   --kind K           keep only kind K (repeatable: OR across kinds)
@@ -19,10 +22,18 @@
 // `export` merges packet lines and span lines from every input into one
 // Chrome trace-event JSON object (schema `hwatch.trace_export/v1`) that
 // loads directly in Perfetto: span begin/end pairs become nested slices
-// on one track per flow, packets and decisions become instants.
+// on one track per flow, packets and decisions become instants.  With
+// --manifest pointing at a run manifest carrying an `incidents` section
+// (schema hwatch.incidents/v1), the incidents ride along as a third
+// process with one track per location.
 //
-// Files default to stdin.  Exit codes: 0 ok, 1 bad usage or unreadable
-// file, 2 malformed input line.
+// `explain` is the root-cause doctor: FLOW is a flow-span id or a
+// "src:sport->dst:dport" tuple; the report joins the flow's spans, its
+// per-packet latency decomposition and the manifest's overlapping
+// incidents into a causal FCT breakdown ("slow because: ...").
+//
+// Files default to stdin.  Exit codes: 0 ok, 1 bad usage / unreadable
+// file / flow not found, 2 malformed input line.
 #include <algorithm>
 #include <cinttypes>
 #include <cstdint>
@@ -34,6 +45,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/json.hpp"
@@ -42,7 +54,7 @@ namespace {
 
 using hwatch::sim::Json;
 
-enum class Mode { kSummary, kFilter, kExport };
+enum class Mode { kSummary, kFilter, kExport, kExplain };
 
 struct Options {
   Mode mode = Mode::kSummary;
@@ -53,13 +65,18 @@ struct Options {
   bool ce_only = false;
   std::vector<std::string> files;  // empty = stdin
   std::string out_file;            // export only; empty = stdout
+  std::string manifest_file;       // export/explain; empty = none
+  std::string explain_flow;        // explain only: span id or 4-tuple
 };
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " [summary|filter|print|export] [options] "
+      << "usage: " << argv0
+      << " [summary|filter|print|export|explain FLOW] [options] "
       << "[files...]\n"
       << "  summary (default) | filter/print | export [-o FILE]\n"
+      << "  explain FLOW: FLOW = flow-span id or src:sport->dst:dport\n"
+      << "  --manifest FILE (export/explain: join incidents section)\n"
       << "  --kind K (repeatable)   --dir in|out   --ce\n"
       << "  --src N --dst N --sport N --dport N\n"
       << "  --since SECONDS --until SECONDS\n";
@@ -78,6 +95,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       ++i;
     } else if (first == "export") {
       opt.mode = Mode::kExport;
+      ++i;
+    } else if (first == "explain") {
+      opt.mode = Mode::kExplain;
+      ++i;
+      if (i >= argc) return false;
+      opt.explain_flow = argv[i];
       ++i;
     }
   }
@@ -113,6 +136,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "-o" && (v = need(i))) {
       if (opt.mode != Mode::kExport) return false;
       opt.out_file = v;
+    } else if (a == "--manifest" && (v = need(i))) {
+      if (opt.mode != Mode::kExport && opt.mode != Mode::kExplain) {
+        return false;
+      }
+      opt.manifest_file = v;
     } else if (!a.empty() && a[0] != '-') {
       opt.files.push_back(a);
     } else {
@@ -260,9 +288,50 @@ struct ExportLine {
   std::size_t order = 0;  // input order; ties on t keep it (nesting)
   Json j;
   bool is_packet = false;
+  // Incident slice (from --manifest): pid 3, one track per location.
+  bool is_incident = false;
+  char incident_phase = 'B';
+  std::size_t incident_tid = 0;
 };
 
-int run_export(const std::vector<Json>& lines, std::ostream& os) {
+/// Reads the manifest's `incidents` section (schema hwatch.incidents/v1).
+/// Returns 0 and fills `out` (left null when the file has no incidents
+/// section); 1 when the file is unreadable, 2 when it is not valid JSON.
+int load_manifest_incidents(const std::string& path, Json& out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string err;
+  const Json doc = Json::parse(buf.str(), &err);
+  if (!err.empty() || !doc.is_object()) {
+    std::cerr << path << ": parse error: "
+              << (err.empty() ? "not an object" : err) << "\n";
+    return 2;
+  }
+  const Json* inc = doc.find("incidents");
+  if (inc == nullptr) return 0;
+  const Json* schema = inc->find("schema");
+  if (schema == nullptr ||
+      schema->as_string() != "hwatch.incidents/v1") {
+    std::cerr << path << ": incidents section is not "
+              << "hwatch.incidents/v1\n";
+    return 2;
+  }
+  const Json* arr = inc->find("incidents");
+  if (arr == nullptr || !arr->is_array()) {
+    std::cerr << path << ": incidents section has no incident array\n";
+    return 2;
+  }
+  out = *arr;
+  return 0;
+}
+
+int run_export(const std::vector<Json>& lines, const Json& incidents,
+               std::ostream& os) {
   // First pass: flow-track registry (span flows from "F" lines, packet
   // flows from 4-tuples in order of first appearance) and the dropped
   // count.
@@ -309,6 +378,33 @@ int run_export(const std::vector<Json>& lines, std::ostream& os) {
     ev.j = j;
     events.push_back(std::move(ev));
   }
+
+  // Incidents (--manifest) become duration slices on pid 3, one track
+  // per location (order of first appearance); they merge into the same
+  // time-sorted stream, so the export stays monotonic.
+  std::map<std::string, std::size_t> incident_tid;
+  std::vector<std::string> incident_names;
+  if (incidents.is_array()) {
+    for (const Json& inc : incidents.items()) {
+      const std::string loc = get_str(inc, "location");
+      if (incident_tid.emplace(loc, incident_tid.size() + 1).second) {
+        incident_names.push_back(loc);
+      }
+      const std::size_t tid = incident_tid[loc];
+      for (const char phase : {'B', 'E'}) {
+        ExportLine ev;
+        ev.t = get_uint(inc, phase == 'B' ? "start_ps" : "end_ps");
+        ev.order = events.size();
+        ev.is_incident = true;
+        ev.incident_phase = phase;
+        ev.incident_tid = tid;
+        ev.j = inc;
+        if (ev.t > t_max) t_max = ev.t;
+        events.push_back(std::move(ev));
+      }
+    }
+  }
+
   std::stable_sort(events.begin(), events.end(),
                    [](const ExportLine& a, const ExportLine& b) {
                      return a.t < b.t;
@@ -339,6 +435,12 @@ int run_export(const std::vector<Json>& lines, std::ostream& os) {
       meta(2, i + 1, "thread_name", packet_names[i]);
     }
   }
+  if (!incident_names.empty()) {
+    meta(3, 0, "process_name", "incidents");
+    for (std::size_t i = 0; i < incident_names.size(); ++i) {
+      meta(3, i + 1, "thread_name", incident_names[i]);
+    }
+  }
 
   const auto write_args = [&](const Json& j,
                               std::initializer_list<const char*> skip) {
@@ -362,6 +464,16 @@ int run_export(const std::vector<Json>& lines, std::ostream& os) {
 
   for (const ExportLine& ev : events) {
     sep();
+    if (ev.is_incident) {
+      os << "{\"name\":\"" << get_str(ev.j, "kind")
+         << "\",\"cat\":\"incident\",\"ph\":\"" << ev.incident_phase
+         << "\",\"pid\":3,\"tid\":" << ev.incident_tid << ",\"ts\":";
+      write_ts_us(os, ev.t);
+      os << ",\"args\":{\"incident\":" << get_uint(ev.j, "id")
+         << ",\"severity\":" << get_uint(ev.j, "severity")
+         << ",\"magnitude\":" << get_uint(ev.j, "magnitude") << "}}";
+      continue;
+    }
     const std::string ph = get_str(ev.j, "ph");
     if (ev.is_packet) {
       const auto it = packet_tid.find(
@@ -408,6 +520,311 @@ int run_export(const std::vector<Json>& lines, std::ostream& os) {
   return 0;
 }
 
+// ---- explain: the per-flow root-cause doctor --------------------------
+
+struct FlowRef {
+  std::uint64_t span = 0;
+  std::uint64_t src = 0, dst = 0, sport = 0, dport = 0;
+};
+
+std::string tuple_of(const FlowRef& f) {
+  std::ostringstream os;
+  os << f.src << ':' << f.sport << "->" << f.dst << ':' << f.dport;
+  return os.str();
+}
+
+std::string fmt_ms(std::uint64_t ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ps) / 1e9);
+  return buf;
+}
+
+/// One incident touching the flow: `member` = the incident's flow list
+/// or span list names this flow; otherwise it merely overlaps the
+/// flow's lifetime.
+struct IncidentHit {
+  const Json* j = nullptr;
+  bool member = false;
+  std::uint64_t overlap_ps = 0;
+};
+
+/// Picks the best evidence of `kind` in `hits`: members first, then
+/// the longest time overlap.  `members_only` restricts to incidents
+/// that name the flow — required for flow-scoped kinds (incast,
+/// rto-storm, rwnd-rewrite-burst, flow-stall), where a same-window
+/// bystander would pin the blame on somebody else's incident; pure
+/// time correlation is only sound for queue-buildup, whose flow list
+/// is empty by construction.  nullptr when nothing qualifies.
+const Json* best_hit(const std::vector<IncidentHit>& hits,
+                     std::string_view kind, bool members_only) {
+  const Json* best = nullptr;
+  bool best_member = false;
+  std::uint64_t best_overlap = 0;
+  for (const IncidentHit& h : hits) {
+    if (members_only && !h.member) continue;
+    if (get_str(*h.j, "kind") != kind) continue;
+    if (best == nullptr || (h.member && !best_member) ||
+        (h.member == best_member && h.overlap_ps > best_overlap)) {
+      best = h.j;
+      best_member = h.member;
+      best_overlap = h.overlap_ps;
+    }
+  }
+  return best;
+}
+
+int run_explain(const std::vector<Json>& lines, const Json& incidents,
+                const std::string& selector, std::ostream& os) {
+  // Resolve the selector against the flow registry ("F" lines): either
+  // a flow-span id or the "src:sport->dst:dport" tuple.
+  std::vector<FlowRef> flows;
+  for (const Json& j : lines) {
+    if (get_str(j, "ph") != "F") continue;
+    FlowRef f;
+    f.span = get_uint(j, "id");
+    f.src = get_uint(j, "src");
+    f.dst = get_uint(j, "dst");
+    f.sport = get_uint(j, "sport");
+    f.dport = get_uint(j, "dport");
+    flows.push_back(f);
+  }
+  const bool numeric =
+      !selector.empty() &&
+      selector.find_first_not_of("0123456789") == std::string::npos;
+  const FlowRef* target = nullptr;
+  for (const FlowRef& f : flows) {
+    if (numeric ? std::to_string(f.span) == selector
+                : tuple_of(f) == selector) {
+      target = &f;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    std::cerr << "error: flow \"" << selector << "\" not found ("
+              << flows.size()
+              << " flows in the span input; pass a flow-span id or "
+              << "src:sport->dst:dport)\n";
+    return 1;
+  }
+
+  // The flow's own span pair, its child spans and its latency line.
+  std::uint64_t t0 = 0, t1 = 0, t_last = 0;
+  bool saw_begin = false, saw_end = false;
+  std::uint64_t total_bytes = 0, bytes_acked = 0, retransmits = 0;
+  std::map<std::string, std::uint64_t> span_counts;
+  std::uint64_t rto_count = 0, rwnd_writes = 0;
+  const Json* latency = nullptr;
+  for (const Json& j : lines) {
+    const std::string ph = get_str(j, "ph");
+    if (ph == "L") {
+      if (get_uint(j, "flow") == target->span) latency = &j;
+      continue;
+    }
+    if (ph != "B" && ph != "E" && ph != "i") continue;
+    if (get_uint(j, "flow") != target->span) continue;
+    const std::uint64_t t = get_uint(j, "t_ps");
+    if (t > t_last) t_last = t;
+    const std::string kind = get_str(j, "kind");
+    if (kind == "flow" && get_uint(j, "id") == target->span) {
+      if (ph == "B") {
+        t0 = t;
+        saw_begin = true;
+        total_bytes = get_uint(j, "total_bytes");
+      } else if (ph == "E") {
+        t1 = t;
+        saw_end = true;
+        bytes_acked = get_uint(j, "bytes_acked");
+        retransmits = get_uint(j, "retransmits");
+      }
+      continue;
+    }
+    if (ph == "B" || ph == "i") ++span_counts[kind];
+    if (kind == "rto" && ph == "B") ++rto_count;
+    if (kind == "rwnd_write") ++rwnd_writes;
+  }
+  if (!saw_begin) {
+    std::cerr << "error: flow span " << target->span
+              << " has no begin event in the span input\n";
+    return 1;
+  }
+  const std::uint64_t t_end = saw_end ? t1 : t_last;
+  const std::uint64_t fct_ps = t_end - t0;
+
+  // Incidents touching the flow: members (the incident names this flow)
+  // plus same-window bystanders.
+  std::vector<IncidentHit> hits;
+  if (incidents.is_array()) {
+    for (const Json& inc : incidents.items()) {
+      const std::uint64_t s = get_uint(inc, "start_ps");
+      const std::uint64_t e = get_uint(inc, "end_ps");
+      const std::uint64_t lo = std::max(s, t0);
+      const std::uint64_t hi = std::min(e, t_end);
+      IncidentHit h;
+      h.j = &inc;
+      h.overlap_ps = hi >= lo ? hi - lo : 0;
+      if (const Json* spans = inc.find("spans")) {
+        for (const Json& sp : spans->items()) {
+          if (sp.as_uint() == target->span) h.member = true;
+        }
+      }
+      if (!h.member) {
+        if (const Json* fl = inc.find("flows")) {
+          for (const Json& fj : fl->items()) {
+            if (get_uint(fj, "src") == target->src &&
+                get_uint(fj, "dst") == target->dst &&
+                get_uint(fj, "sport") == target->sport &&
+                get_uint(fj, "dport") == target->dport) {
+              h.member = true;
+            }
+          }
+        }
+      }
+      if (h.member || (e >= t0 && s <= t_end)) hits.push_back(h);
+    }
+  }
+
+  // ---- the report ----
+  os << "flow " << tuple_of(*target) << " (span " << target->span
+     << ")\n";
+  os << "  FCT " << fmt_ms(fct_ps) << " ms (t=" << fmt_ms(t0) << ".."
+     << fmt_ms(t_end) << " ms)";
+  // Long-lived bulk flows carry a practically-infinite byte target.
+  const bool unbounded = total_bytes >= (std::uint64_t{1} << 62);
+  if (saw_end) {
+    os << ", " << bytes_acked << "/";
+    if (unbounded) {
+      os << "unbounded";
+    } else {
+      os << total_bytes;
+    }
+    os << " bytes acked, " << retransmits << " retransmits\n";
+  } else if (unbounded) {
+    os << ", long-lived flow still open at end of trace\n";
+  } else {
+    os << ", DID NOT COMPLETE (" << total_bytes << " bytes asked)\n";
+  }
+
+  static constexpr const char* kComponents[] = {
+      "queueing", "transmission", "propagation", "retx_wait"};
+  std::uint64_t comp_ps[4] = {};
+  std::uint64_t comp_total = 0;
+  if (latency != nullptr) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      comp_ps[c] = get_uint(*latency,
+                            (std::string(kComponents[c]) + "_ps").c_str());
+      comp_total += comp_ps[c];
+    }
+  }
+  if (comp_total > 0) {
+    os << "  latency decomposition (per-packet sums):\n";
+    for (std::size_t c = 0; c < 4; ++c) {
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%5.1f%%",
+                    100.0 * static_cast<double>(comp_ps[c]) /
+                        static_cast<double>(comp_total));
+      os << "    " << kComponents[c]
+         << std::string(13 - std::strlen(kComponents[c]), ' ') << pct
+         << "  " << fmt_ms(comp_ps[c]) << " ms\n";
+    }
+  }
+  if (!span_counts.empty()) {
+    os << "  spans:";
+    for (const auto& [kind, n] : span_counts) {
+      os << ' ' << kind << '=' << n;
+    }
+    os << '\n';
+  }
+  // Members (the incident names this flow) always print; same-window
+  // bystanders are capped — a long flow can overlap almost everything.
+  os << "  incidents touching this flow: " << hits.size() << '\n';
+  constexpr std::size_t kMaxBystanders = 10;
+  std::size_t bystanders_shown = 0, bystanders_total = 0;
+  for (const bool members_pass : {true, false}) {
+    for (const IncidentHit& h : hits) {
+      if (h.member != members_pass) continue;
+      if (!h.member) {
+        ++bystanders_total;
+        if (bystanders_shown >= kMaxBystanders) continue;
+        ++bystanders_shown;
+      }
+      os << "    #" << get_uint(*h.j, "id") << ' '
+         << get_str(*h.j, "kind") << " at " << get_str(*h.j, "location")
+         << " sev" << get_uint(*h.j, "severity") << ' '
+         << fmt_ms(get_uint(*h.j, "start_ps")) << ".."
+         << fmt_ms(get_uint(*h.j, "end_ps")) << " ms"
+         << (h.member ? " (this flow)" : " (same time window)") << '\n';
+    }
+  }
+  if (bystanders_total > bystanders_shown) {
+    os << "    ... and " << (bystanders_total - bystanders_shown)
+       << " more in the same time window\n";
+  }
+
+  // ---- the causal line ----
+  std::vector<std::string> clauses;
+  if (comp_total > 0) {
+    std::size_t dom = 0;
+    for (std::size_t c = 1; c < 4; ++c) {
+      if (comp_ps[c] > comp_ps[dom]) dom = c;
+    }
+    std::ostringstream clause;
+    clause << (100 * comp_ps[dom] / comp_total) << "% "
+           << kComponents[dom];
+    if (dom == 0) {
+      if (const Json* qb =
+              best_hit(hits, "queue-buildup", /*members_only=*/false)) {
+        clause << " at " << get_str(*qb, "location")
+               << " during queue-buildup #" << get_uint(*qb, "id");
+      }
+    }
+    clauses.push_back(clause.str());
+  }
+  if (rto_count > 0) {
+    std::ostringstream clause;
+    clause << rto_count << (rto_count == 1 ? " RTO" : " RTOs");
+    const Json* inside = best_hit(hits, "incast", /*members_only=*/true);
+    if (inside == nullptr) {
+      inside = best_hit(hits, "rto-storm", /*members_only=*/true);
+    }
+    if (inside != nullptr) {
+      clause << " inside " << get_str(*inside, "kind") << " #"
+             << get_uint(*inside, "id");
+    }
+    clauses.push_back(clause.str());
+  }
+  if (rwnd_writes > 0) {
+    std::ostringstream clause;
+    clause << "shim cut rwnd " << rwnd_writes << "x";
+    if (const Json* rb =
+            best_hit(hits, "rwnd-rewrite-burst", /*members_only=*/true)) {
+      clause << " (rwnd-rewrite-burst #" << get_uint(*rb, "id") << ")";
+    }
+    clauses.push_back(clause.str());
+  }
+  for (const IncidentHit& h : hits) {
+    // A stall incident asserts THIS flow made no progress, so only a
+    // membership hit may contribute the clause.
+    if (!h.member || get_str(*h.j, "kind") != "flow-stall") continue;
+    std::ostringstream clause;
+    clause << "stalled " << fmt_ms(get_uint(*h.j, "magnitude"))
+           << " ms (flow-stall #" << get_uint(*h.j, "id") << ")";
+    clauses.push_back(clause.str());
+    break;
+  }
+  if (clauses.empty()) {
+    os << "  verdict: no dominant cause found — the flow looks "
+          "healthy\n";
+  } else {
+    os << "  slow because: ";
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      os << (i > 0 ? "; " : "") << clauses[i];
+    }
+    os << '\n';
+  }
+  return 0;
+}
+
 int run(std::istream& in, const char* name, const Options& opt, Summary& s,
         std::vector<Json>& export_lines) {
   std::string line;
@@ -425,6 +842,7 @@ int run(std::istream& in, const char* name, const Options& opt, Summary& s,
     }
     switch (opt.mode) {
       case Mode::kExport:
+      case Mode::kExplain:
         export_lines.push_back(std::move(j));
         break;
       case Mode::kFilter:
@@ -447,6 +865,12 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage(argv[0]);
 
+  Json incidents;  // stays null without --manifest (or no section)
+  if (!opt.manifest_file.empty()) {
+    const int rc = load_manifest_incidents(opt.manifest_file, incidents);
+    if (rc != 0) return rc;
+  }
+
   Summary s;
   std::vector<Json> export_lines;
   if (opt.files.empty()) {
@@ -466,15 +890,20 @@ int main(int argc, char** argv) {
 
   if (opt.mode == Mode::kSummary) {
     print_summary(s);
+  } else if (opt.mode == Mode::kExplain) {
+    return run_explain(export_lines, incidents, opt.explain_flow,
+                       std::cout);
   } else if (opt.mode == Mode::kExport) {
-    if (opt.out_file.empty()) return run_export(export_lines, std::cout);
+    if (opt.out_file.empty()) {
+      return run_export(export_lines, incidents, std::cout);
+    }
     std::ofstream out(opt.out_file, std::ios::binary);
     if (!out) {
       std::cerr << "error: cannot open " << opt.out_file
                 << " for writing\n";
       return 1;
     }
-    return run_export(export_lines, out);
+    return run_export(export_lines, incidents, out);
   }
   return 0;
 }
